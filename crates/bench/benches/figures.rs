@@ -1,0 +1,24 @@
+//! Regenerates every table and figure in one pass. Not a statistical
+//! benchmark: `harness = false` is used so `cargo bench` executes the full
+//! evaluation in release mode and prints the paper-style reports.
+use sw_bench::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "== StrandWeaver evaluation (threads={}, regions={}, ops/region={}) ==\n",
+        scale.threads, scale.regions, scale.ops_per_region
+    );
+    println!("{}", table1());
+    println!("{}", fig1_report());
+    println!("{}", fig2_report());
+    let rows = table2(scale);
+    println!("{}", table2_report(&rows));
+    let cells = full_sweep(scale);
+    println!("{}", fig7_report(&cells));
+    println!("{}", fig8_report(&cells));
+    println!("{}", fig9_report(scale));
+    println!("{}", fig10_report(scale));
+    println!("{}", summary_report(&cells));
+    println!("{}", lang_sensitivity_report(&cells));
+}

@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the reproduction's hot paths: PMO
+//! computation, crash-state sampling, undo-log appends, litmus evaluation,
+//! and a small end-to-end simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use strandweaver::experiment::Experiment;
+use strandweaver::lang::{FuncCtx, LangModel, RuntimeConfig, ThreadRuntime};
+use strandweaver::model::isa::LockId;
+use strandweaver::model::{crash, litmus, MemoryModel, OpKind, Pmo, Program};
+use strandweaver::pmem::{Addr, PmLayout};
+use strandweaver::{BenchmarkId, HwDesign};
+
+/// A single-threaded program with `n` log/update pairs under strands.
+fn strand_program(n: usize) -> Program {
+    let mut p = Program::new(1);
+    for k in 0..n as u64 {
+        p.push(0, OpKind::store(Addr(0x1000_0000 + k * 128), 1));
+        p.push(0, OpKind::PersistBarrier);
+        p.push(0, OpKind::store(Addr(0x1000_0040 + k * 128), 1));
+        p.push(0, OpKind::NewStrand);
+    }
+    p.push(0, OpKind::JoinStrand);
+    p
+}
+
+fn bench_pmo(c: &mut Criterion) {
+    let exec = strand_program(200).single_threaded_execution();
+    c.bench_function("pmo_compute_400_stores", |b| {
+        b.iter(|| Pmo::compute(&exec, MemoryModel::StrandWeaver))
+    });
+}
+
+fn bench_crash_sampling(c: &mut Criterion) {
+    let exec = strand_program(200).single_threaded_execution();
+    let pmo = Pmo::compute(&exec, MemoryModel::StrandWeaver);
+    let mut rng = SmallRng::seed_from_u64(1);
+    c.bench_function("crash_sample_400_stores", |b| {
+        b.iter(|| crash::sample_state(&pmo, &mut rng))
+    });
+}
+
+fn bench_log_append(c: &mut Criterion) {
+    let layout = PmLayout::new(1, 4096);
+    let heap = layout.heap_base();
+    c.bench_function("undo_log_region_8_stores", |b| {
+        b.iter_batched(
+            || {
+                let ctx = FuncCtx::new(layout.clone(), 1);
+                let rt = ThreadRuntime::new(
+                    &layout,
+                    0,
+                    RuntimeConfig::new(HwDesign::StrandWeaver, LangModel::Txn),
+                );
+                (ctx, rt)
+            },
+            |(mut ctx, mut rt)| {
+                rt.region_begin(&mut ctx, &[LockId(0)]);
+                for k in 0..8u64 {
+                    rt.store(&mut ctx, heap.offset_words(k * 8), k);
+                }
+                rt.region_end(&mut ctx);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_litmus(c: &mut Criterion) {
+    c.bench_function("litmus_fig2_suite", |b| {
+        b.iter(|| {
+            for l in litmus::all() {
+                l.check(MemoryModel::StrandWeaver).unwrap();
+            }
+        })
+    });
+}
+
+fn bench_small_simulation(c: &mut Criterion) {
+    c.bench_function("sim_queue_txn_2x16_regions", |b| {
+        b.iter(|| {
+            Experiment::new(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver)
+                .threads(2)
+                .total_regions(16)
+                .run_timing()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pmo,
+    bench_crash_sampling,
+    bench_log_append,
+    bench_litmus,
+    bench_small_simulation
+);
+criterion_main!(benches);

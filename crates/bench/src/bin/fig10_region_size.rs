@@ -1,0 +1,5 @@
+//! Regenerates Figure 10 (speedup vs. operations per SFR).
+use sw_bench::{fig10_report, Scale};
+fn main() {
+    print!("{}", fig10_report(Scale::from_env()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Figure 1(e,f) motivating-ordering comparison.
+fn main() {
+    print!("{}", sw_bench::fig1_report());
+}

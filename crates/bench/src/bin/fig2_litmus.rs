@@ -1,0 +1,4 @@
+//! Runs the Figure 2 litmus suite under the strand persistency model.
+fn main() {
+    print!("{}", sw_bench::fig2_report());
+}

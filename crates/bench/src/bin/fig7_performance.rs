@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 (speedup over Intel x86 across designs).
+use sw_bench::{fig7_report, full_sweep, Scale};
+fn main() {
+    let cells = full_sweep(Scale::from_env());
+    print!("{}", fig7_report(&cells));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 (persist-ordering CPU stalls).
+use sw_bench::{fig8_report, full_sweep, Scale};
+fn main() {
+    let cells = full_sweep(Scale::from_env());
+    print!("{}", fig8_report(&cells));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 (strand-buffer-unit sensitivity).
+use sw_bench::{fig9_report, Scale};
+fn main() {
+    print!("{}", fig9_report(Scale::from_env()));
+}

@@ -1,0 +1,7 @@
+//! Prints the paper's headline numbers next to the measured ones.
+use sw_bench::{full_sweep, lang_sensitivity_report, summary_report, Scale};
+fn main() {
+    let cells = full_sweep(Scale::from_env());
+    print!("{}", summary_report(&cells));
+    print!("{}", lang_sensitivity_report(&cells));
+}

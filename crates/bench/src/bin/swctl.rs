@@ -1,0 +1,169 @@
+//! `swctl` — command-line driver for the StrandWeaver reproduction.
+//!
+//! ```text
+//! swctl run   <benchmark> [--lang txn|sfr|atlas] [--design <d>] [--redo]
+//!             [--threads N] [--regions N] [--ops N]
+//! swctl crash <benchmark> [--rounds N] [--design <d>] [--lang ...] [--redo]
+//! swctl litmus
+//! swctl table1|table2|fig7|fig8|fig9|fig10|summary
+//! ```
+
+use strandweaver::experiment::Experiment;
+use strandweaver::{BenchmarkId, HwDesign, LangModel};
+use sw_bench::Scale;
+
+fn parse_bench(s: &str) -> Option<BenchmarkId> {
+    BenchmarkId::ALL.into_iter().find(|b| b.label() == s)
+}
+
+fn parse_design(s: &str) -> Option<HwDesign> {
+    HwDesign::ALL.into_iter().find(|d| d.label() == s)
+}
+
+fn parse_lang(s: &str) -> Option<LangModel> {
+    LangModel::ALL.into_iter().find(|l| l.label() == s)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: swctl <command>\n\
+         \n  run <benchmark>    simulate one cell (flags: --lang --design --redo --threads --regions --ops)\
+         \n  crash <benchmark>  crash-consistency campaign (flags as above plus --rounds)\
+         \n  litmus             run the Figure 2 litmus suite\
+         \n  table1|table2|fig1|fig2|fig7|fig8|fig9|fig10|summary  regenerate a table/figure\
+         \n\nbenchmarks: {}\ndesigns: {}\nlangs: {}",
+        BenchmarkId::ALL.map(|b| b.label()).join(" "),
+        HwDesign::ALL.map(|d| d.label()).join(" "),
+        LangModel::ALL.map(|l| l.label()).join(" "),
+    );
+    std::process::exit(2);
+}
+
+struct Flags {
+    lang: LangModel,
+    design: HwDesign,
+    redo: bool,
+    threads: usize,
+    regions: usize,
+    ops: usize,
+    rounds: usize,
+    stats: bool,
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let scale = Scale::from_env();
+    let mut f = Flags {
+        lang: LangModel::Txn,
+        design: HwDesign::StrandWeaver,
+        redo: false,
+        threads: scale.threads,
+        regions: scale.regions,
+        ops: scale.ops_per_region,
+        rounds: 100,
+        stats: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2)
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--lang" => f.lang = parse_lang(&next("--lang")).unwrap_or_else(|| usage()),
+            "--design" => f.design = parse_design(&next("--design")).unwrap_or_else(|| usage()),
+            "--redo" => f.redo = true,
+            "--stats" => f.stats = true,
+            "--threads" => f.threads = next("--threads").parse().unwrap_or_else(|_| usage()),
+            "--regions" => f.regions = next("--regions").parse().unwrap_or_else(|_| usage()),
+            "--ops" => f.ops = next("--ops").parse().unwrap_or_else(|_| usage()),
+            "--rounds" => f.rounds = next("--rounds").parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if f.threads == 0 || f.regions == 0 || f.ops == 0 {
+        eprintln!("--threads, --regions, and --ops must be at least 1");
+        std::process::exit(2);
+    }
+    f
+}
+
+fn experiment(bench: BenchmarkId, f: &Flags) -> Experiment {
+    let e = Experiment::new(bench, f.lang, f.design)
+        .threads(f.threads)
+        .total_regions(f.regions)
+        .ops_per_region(f.ops);
+    if f.redo {
+        e.redo()
+    } else {
+        e
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "run" => {
+            let Some(bench) = args.get(1).and_then(|s| parse_bench(s)) else {
+                usage()
+            };
+            let f = parse_flags(&args[2..]);
+            let stats = experiment(bench, &f).run_timing();
+            println!(
+                "{bench} lang={} design={} redo={}: {} cycles, {} clwbs, ckc {:.2}, \
+                 persist stalls {}, lock stalls {}",
+                f.lang,
+                f.design,
+                f.redo,
+                stats.cycles,
+                stats.total_clwbs(),
+                stats.ckc(),
+                stats.persist_stall_cycles(),
+                stats.lock_stall_cycles(),
+            );
+            if f.stats {
+                print!("{}", stats.report());
+            }
+        }
+        "crash" => {
+            let Some(bench) = args.get(1).and_then(|s| parse_bench(s)) else {
+                usage()
+            };
+            let f = parse_flags(&args[2..]);
+            match experiment(bench, &f).run_crash_campaign(f.rounds) {
+                Ok(()) => println!("{bench}: {} crash states recovered consistently", f.rounds),
+                Err(e) => {
+                    println!("{bench}: INCONSISTENT — {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "litmus" | "fig2" => print!("{}", sw_bench::fig2_report()),
+        "fig1" => print!("{}", sw_bench::fig1_report()),
+        "table1" => print!("{}", sw_bench::table1()),
+        "table2" => {
+            let rows = sw_bench::table2(Scale::from_env());
+            print!("{}", sw_bench::table2_report(&rows));
+        }
+        "fig7" => print!(
+            "{}",
+            sw_bench::fig7_report(&sw_bench::full_sweep(Scale::from_env()))
+        ),
+        "fig8" => print!(
+            "{}",
+            sw_bench::fig8_report(&sw_bench::full_sweep(Scale::from_env()))
+        ),
+        "fig9" => print!("{}", sw_bench::fig9_report(Scale::from_env())),
+        "fig10" => print!("{}", sw_bench::fig10_report(Scale::from_env())),
+        "summary" => {
+            let cells = sw_bench::full_sweep(Scale::from_env());
+            print!("{}", sw_bench::summary_report(&cells));
+            print!("{}", sw_bench::lang_sensitivity_report(&cells));
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,4 @@
+//! Prints Table I (simulator configuration).
+fn main() {
+    print!("{}", sw_bench::table1());
+}

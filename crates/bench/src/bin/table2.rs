@@ -1,0 +1,6 @@
+//! Regenerates Table II (benchmarks and CKC write intensity).
+use sw_bench::{table2, table2_report, Scale};
+fn main() {
+    let rows = table2(Scale::from_env());
+    print!("{}", table2_report(&rows));
+}

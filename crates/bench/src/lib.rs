@@ -1,0 +1,497 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (Section VI).
+//!
+//! Each `fig*`/`table*` function runs the corresponding experiment and
+//! returns a formatted report; the binaries in `src/bin/` are thin wrappers
+//! and `benches/figures.rs` regenerates everything in one pass (run with
+//! `cargo bench -p sw-bench --bench figures`).
+//!
+//! Scale: the paper simulates 50 K operations in gem5; these runs default
+//! to 240 regions × 4 operations so a full table/figure sweep completes in
+//! minutes. Set `SW_BENCH_REGIONS` / `SW_BENCH_THREADS` /
+//! `SW_BENCH_OPS_PER_REGION` to change the scale — relative results (who
+//! wins, by what factor) are stable across scales.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use strandweaver::experiment::{design_sweep, Experiment};
+use strandweaver::model::litmus;
+use strandweaver::{BenchmarkId, HwDesign, LangModel, MemoryModel, SimConfig, SimStats};
+
+/// Run scale shared by all figures.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Threads (= cores).
+    pub threads: usize,
+    /// Total failure-atomic regions per run.
+    pub regions: usize,
+    /// Operations per region.
+    pub ops_per_region: usize,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (defaults: 8 threads, 240
+    /// regions, 4 ops/region).
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: usize| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        Self {
+            threads: get("SW_BENCH_THREADS", 8),
+            regions: get("SW_BENCH_REGIONS", 240),
+            ops_per_region: get("SW_BENCH_OPS_PER_REGION", 4),
+        }
+    }
+
+    fn experiment(&self, bench: BenchmarkId, lang: LangModel, design: HwDesign) -> Experiment {
+        Experiment::new(bench, lang, design)
+            .threads(self.threads)
+            .total_regions(self.regions)
+            .ops_per_region(self.ops_per_region)
+    }
+}
+
+/// Table I: the simulated machine configuration.
+pub fn table1() -> String {
+    let c = SimConfig::table_i();
+    let mut s = String::new();
+    let _ = writeln!(s, "Table I — Simulator specifications");
+    let _ = writeln!(
+        s,
+        "  Core        {} cores, 2 GHz, in-order issue w/ OoO fence semantics",
+        c.cores
+    );
+    let _ = writeln!(
+        s,
+        "              {}-entry store queue, {}-entry persist queue",
+        c.store_queue_entries, c.persist_queue_entries
+    );
+    let _ = writeln!(
+        s,
+        "  D-Cache     32kB {}-way 64B, {} cycles hit, {} flush slots (MSHRs)",
+        c.l1_ways, c.l1_hit_cycles, c.intel_flush_slots
+    );
+    let _ = writeln!(s, "  L2-Cache    shared, {} cycles hit", c.l2_hit_cycles);
+    let _ = writeln!(
+        s,
+        "  Strand unit {} buffers x {} entries",
+        c.strand_buffers, c.strand_buffer_entries
+    );
+    let _ = writeln!(
+        s,
+        "  PM          {}-cycle read (346ns), {}-cycle write-to-controller ack (96ns),",
+        c.pm_read_cycles, c.pm_write_ack_cycles
+    );
+    let _ = writeln!(
+        s,
+        "              {}-entry ADR write queue, 1 media write / {} cycles",
+        c.pm_write_queue, c.pm_drain_interval
+    );
+    let _ = writeln!(s, "  DRAM        {} cycles access", c.dram_cycles);
+    s
+}
+
+/// One Table II row: benchmark and measured write intensity.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark.
+    pub bench: BenchmarkId,
+    /// CLWBs per thousand cycles on the non-atomic design.
+    pub ckc: f64,
+    /// The paper's reported CKC.
+    pub paper_ckc: f64,
+}
+
+/// The paper's Table II CKC values, in `BenchmarkId::ALL` order.
+pub const PAPER_CKC: [f64; 8] = [0.78, 4.83, 4.45, 3.46, 1.58, 4.41, 8.06, 10.05];
+
+/// Table II: benchmarks and their write intensity (CKC, measured on the
+/// non-atomic design under failure-atomic transactions).
+pub fn table2(scale: Scale) -> Vec<Table2Row> {
+    BenchmarkId::ALL
+        .iter()
+        .zip(PAPER_CKC)
+        .map(|(&bench, paper_ckc)| {
+            let stats = scale
+                .experiment(bench, LangModel::Txn, HwDesign::NonAtomic)
+                .run_timing();
+            Table2Row {
+                bench,
+                ckc: stats.ckc(),
+                paper_ckc,
+            }
+        })
+        .collect()
+}
+
+/// Formats Table II.
+pub fn table2_report(rows: &[Table2Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Table II — Benchmarks and write intensity (CKC = CLWBs / kilocycle)"
+    );
+    let _ = writeln!(s, "  {:12} {:>10} {:>10}", "benchmark", "measured", "paper");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "  {:12} {:>10.2} {:>10.2}",
+            r.bench.label(),
+            r.ckc,
+            r.paper_ckc
+        );
+    }
+    s
+}
+
+/// One Figure 7/8 cell: every design's stats for a benchmark × language
+/// model, with identical logical work.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Benchmark.
+    pub bench: BenchmarkId,
+    /// Language model.
+    pub lang: LangModel,
+    /// `(design, stats)` for all five designs.
+    pub designs: Vec<(HwDesign, SimStats)>,
+}
+
+impl SweepCell {
+    /// Cycles of `design`.
+    pub fn cycles(&self, design: HwDesign) -> u64 {
+        self.designs
+            .iter()
+            .find(|(d, _)| *d == design)
+            .expect("design present")
+            .1
+            .cycles
+    }
+
+    /// Speedup of `design` over the Intel x86 baseline.
+    pub fn speedup(&self, design: HwDesign) -> f64 {
+        self.cycles(HwDesign::IntelX86) as f64 / self.cycles(design) as f64
+    }
+
+    /// Persist-ordering stall cycles of `design`, normalized to Intel x86
+    /// (the Figure 8 metric).
+    pub fn stall_ratio(&self, design: HwDesign) -> f64 {
+        let intel = self
+            .designs
+            .iter()
+            .find(|(d, _)| *d == HwDesign::IntelX86)
+            .expect("intel present")
+            .1
+            .persist_stall_cycles() as f64;
+        let d = self
+            .designs
+            .iter()
+            .find(|(x, _)| *x == design)
+            .expect("design present")
+            .1
+            .persist_stall_cycles() as f64;
+        if intel == 0.0 {
+            0.0
+        } else {
+            d / intel
+        }
+    }
+}
+
+/// Runs the full Figure 7/8 sweep: every benchmark × language model ×
+/// design. This is the workhorse; Figures 7, 8 and the summary all read
+/// from its output.
+pub fn full_sweep(scale: Scale) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for &lang in &LangModel::ALL {
+        for &bench in &BenchmarkId::ALL {
+            let proto = scale.experiment(bench, lang, HwDesign::StrandWeaver);
+            let designs = design_sweep(bench, lang, &proto);
+            cells.push(SweepCell {
+                bench,
+                lang,
+                designs,
+            });
+        }
+    }
+    cells
+}
+
+/// Figure 7: speedup over Intel x86 per benchmark, language model, design.
+pub fn fig7_report(cells: &[SweepCell]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 7 — Speedup over the Intel x86 design");
+    for &lang in &LangModel::ALL {
+        let _ = writeln!(s, "  [{}]", lang.label());
+        let _ = writeln!(
+            s,
+            "  {:12} {:>9} {:>9} {:>9} {:>12} {:>11}",
+            "benchmark", "intel", "hops", "no-pq", "strandweaver", "non-atomic"
+        );
+        for cell in cells.iter().filter(|c| c.lang == lang) {
+            let _ = writeln!(
+                s,
+                "  {:12} {:>8.2}x {:>8.2}x {:>8.2}x {:>11.2}x {:>10.2}x",
+                cell.bench.label(),
+                1.0,
+                cell.speedup(HwDesign::Hops),
+                cell.speedup(HwDesign::NoPersistQueue),
+                cell.speedup(HwDesign::StrandWeaver),
+                cell.speedup(HwDesign::NonAtomic),
+            );
+        }
+    }
+    s
+}
+
+/// Figure 8: persist-ordering CPU stalls, normalized to Intel x86.
+pub fn fig8_report(cells: &[SweepCell]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Figure 8 — Persist-ordering CPU stalls (normalized to Intel x86)"
+    );
+    for &lang in &LangModel::ALL {
+        let _ = writeln!(s, "  [{}]", lang.label());
+        let _ = writeln!(
+            s,
+            "  {:12} {:>9} {:>9} {:>9} {:>12}",
+            "benchmark", "intel", "hops", "no-pq", "strandweaver"
+        );
+        for cell in cells.iter().filter(|c| c.lang == lang) {
+            let _ = writeln!(
+                s,
+                "  {:12} {:>9.2} {:>9.2} {:>9.2} {:>12.2}",
+                cell.bench.label(),
+                1.0,
+                cell.stall_ratio(HwDesign::Hops),
+                cell.stall_ratio(HwDesign::NoPersistQueue),
+                cell.stall_ratio(HwDesign::StrandWeaver),
+            );
+        }
+    }
+    s
+}
+
+/// The Figure 9 strand-buffer-unit shapes `(buffers, entries per buffer)`.
+pub const FIG9_SHAPES: [(usize, usize); 5] = [(2, 2), (4, 2), (2, 4), (4, 4), (8, 8)];
+
+/// Figure 9: sensitivity to the strand-buffer-unit configuration, SFR
+/// implementation, speedup over Intel x86 (geometric mean across the
+/// microbenchmarks).
+pub fn fig9_report(scale: Scale) -> String {
+    let micro = [
+        BenchmarkId::Queue,
+        BenchmarkId::Hashmap,
+        BenchmarkId::ArraySwap,
+        BenchmarkId::RbTree,
+    ];
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Figure 9 — Sensitivity to (strand buffers, entries per buffer), SFR"
+    );
+    let _ = write!(s, "  {:12}", "benchmark");
+    for (b, e) in FIG9_SHAPES {
+        let _ = write!(s, " {:>9}", format!("({b},{e})"));
+    }
+    let _ = writeln!(s);
+    let mut geo = vec![1.0f64; FIG9_SHAPES.len()];
+    for bench in micro {
+        let intel = scale
+            .experiment(bench, LangModel::Sfr, HwDesign::IntelX86)
+            .run_timing();
+        let _ = write!(s, "  {:12}", bench.label());
+        for (k, (b, e)) in FIG9_SHAPES.into_iter().enumerate() {
+            let stats = scale
+                .experiment(bench, LangModel::Sfr, HwDesign::StrandWeaver)
+                .strand_buffers(b, e)
+                .run_timing();
+            let speedup = intel.cycles as f64 / stats.cycles as f64;
+            geo[k] *= speedup;
+            let _ = write!(s, " {:>8.2}x", speedup);
+        }
+        let _ = writeln!(s);
+    }
+    let _ = write!(s, "  {:12}", "geomean");
+    for g in geo {
+        let _ = write!(s, " {:>8.2}x", g.powf(1.0 / micro.len() as f64));
+    }
+    let _ = writeln!(s);
+    s
+}
+
+/// Figure 10: speedup over Intel x86 as operations per SFR vary.
+pub fn fig10_report(scale: Scale) -> String {
+    let ops_axis = [2usize, 4, 8, 16, 32];
+    let micro = [
+        BenchmarkId::Queue,
+        BenchmarkId::Hashmap,
+        BenchmarkId::ArraySwap,
+        BenchmarkId::RbTree,
+    ];
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Figure 10 — Speedup vs. operations per failure-atomic SFR"
+    );
+    let _ = write!(s, "  {:12}", "benchmark");
+    for o in ops_axis {
+        let _ = write!(s, " {:>8}", format!("{o} ops"));
+    }
+    let _ = writeln!(s);
+    let mut geo = vec![1.0f64; ops_axis.len()];
+    for bench in micro {
+        let _ = write!(s, "  {:12}", bench.label());
+        for (k, ops) in ops_axis.into_iter().enumerate() {
+            // Hold total logical work constant across the axis.
+            let regions = (scale.regions * scale.ops_per_region / ops).max(scale.threads);
+            let mk = |design| {
+                Experiment::new(bench, LangModel::Sfr, design)
+                    .threads(scale.threads)
+                    .total_regions(regions)
+                    .ops_per_region(ops)
+            };
+            let sw = mk(HwDesign::StrandWeaver).run_timing();
+            let intel = mk(HwDesign::IntelX86).run_timing();
+            let speedup = intel.cycles as f64 / sw.cycles as f64;
+            geo[k] *= speedup;
+            let _ = write!(s, " {:>7.2}x", speedup);
+        }
+        let _ = writeln!(s);
+    }
+    let _ = write!(s, "  {:12}", "geomean");
+    for g in geo {
+        let _ = write!(s, " {:>7.2}x", g.powf(1.0 / micro.len() as f64));
+    }
+    let _ = writeln!(s);
+    s
+}
+
+/// Figure 2: litmus outcomes under the strand persistency model.
+pub fn fig2_report() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 2 — Strand persistency litmus tests");
+    for l in litmus::all() {
+        let out = l.run(MemoryModel::StrandWeaver);
+        let _ = writeln!(
+            s,
+            "  {:28} reachable states: {:3}  forbidden hit: {}  required missing: {}  => {}",
+            l.name,
+            out.reachable.len(),
+            out.violations.len(),
+            out.missing.len(),
+            if out.passed() { "PASS" } else { "FAIL" }
+        );
+    }
+    s
+}
+
+/// Figure 1 companion: the motivating ordering example — under an epoch
+/// model the independent persist C serializes behind A; under strands it
+/// does not.
+pub fn fig1_report() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 1(e,f) — desired order A -> B with C independent");
+    let strand = litmus::fig1_ef_strand();
+    let out = strand.run(MemoryModel::StrandWeaver);
+    let _ = writeln!(
+        s,
+        "  strand persistency: C-before-A state reachable: {} (concurrency preserved)",
+        out.reachable.contains(&vec![0, 0, 1])
+    );
+    // The same intent under an epoch model: C after the barrier.
+    let mut p = strandweaver::model::Program::new(1);
+    use strandweaver::model::OpKind;
+    p.push(0, OpKind::store(litmus::loc_a(), 1));
+    p.push(0, OpKind::Sfence);
+    p.push(0, OpKind::store(litmus::loc_b(), 1));
+    p.push(0, OpKind::store(litmus::loc_c(), 1));
+    let epoch = strandweaver::model::litmus::Litmus {
+        name: "fig1f-epoch".into(),
+        program: p,
+        observe: vec![litmus::loc_a(), litmus::loc_b(), litmus::loc_c()],
+        forbidden: vec![],
+        required: vec![],
+        vmo_filter: None,
+    };
+    let out = epoch.run(MemoryModel::IntelX86);
+    let _ = writeln!(
+        s,
+        "  epoch persistency:  C-before-A state reachable: {} (C serialized after A)",
+        out.reachable.contains(&vec![0, 0, 1])
+    );
+    s
+}
+
+/// Headline numbers (Section VI-B): average/max speedups of StrandWeaver
+/// over Intel x86 and HOPS, stall reduction, distance to non-atomic.
+pub fn summary_report(cells: &[SweepCell]) -> String {
+    let geo = |xs: &[f64]| xs.iter().product::<f64>().powf(1.0 / xs.len() as f64);
+    let over_intel: Vec<f64> = cells
+        .iter()
+        .map(|c| c.speedup(HwDesign::StrandWeaver))
+        .collect();
+    let over_hops: Vec<f64> = cells
+        .iter()
+        .map(|c| c.cycles(HwDesign::Hops) as f64 / c.cycles(HwDesign::StrandWeaver) as f64)
+        .collect();
+    let below_na: Vec<f64> = cells
+        .iter()
+        .map(|c| c.cycles(HwDesign::StrandWeaver) as f64 / c.cycles(HwDesign::NonAtomic) as f64)
+        .collect();
+    let stall: Vec<f64> = cells
+        .iter()
+        .map(|c| c.stall_ratio(HwDesign::StrandWeaver))
+        .collect();
+    let max = |xs: &[f64]| xs.iter().cloned().fold(f64::MIN, f64::max);
+    let mut s = String::new();
+    let _ = writeln!(s, "Headline numbers (paper values in parentheses)");
+    let _ = writeln!(
+        s,
+        "  StrandWeaver over Intel x86: {:.2}x avg (1.45x), {:.2}x max (1.97x)",
+        geo(&over_intel),
+        max(&over_intel)
+    );
+    let _ = writeln!(
+        s,
+        "  StrandWeaver over HOPS:      {:.2}x avg (1.20x), {:.2}x max (1.55x)",
+        geo(&over_hops),
+        max(&over_hops)
+    );
+    let _ = writeln!(
+        s,
+        "  Persist-stall cycles vs Intel: {:.1}% of baseline (paper: 62.4% fewer)",
+        geo(&stall) * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "  Slowdown vs non-atomic bound: {:.1}% (paper: 3.1-5.7%)",
+        (geo(&below_na) - 1.0) * 100.0
+    );
+    s
+}
+
+/// Per-language-model speedup averages (Section VI-B "sensitivity to
+/// language-level persistency model": SFR 1.50x > TXN 1.45x > ATLAS 1.40x).
+pub fn lang_sensitivity_report(cells: &[SweepCell]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Per-language-model average speedup of StrandWeaver over Intel x86"
+    );
+    for &lang in &LangModel::ALL {
+        let xs: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.lang == lang)
+            .map(|c| c.speedup(HwDesign::StrandWeaver))
+            .collect();
+        let geo = xs.iter().product::<f64>().powf(1.0 / xs.len() as f64);
+        let _ = writeln!(s, "  {:6} {:.2}x", lang.label(), geo);
+    }
+    s
+}

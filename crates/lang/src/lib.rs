@@ -1,0 +1,54 @@
+//! Language-level persistency runtimes for the StrandWeaver reproduction
+//! (paper Section V).
+//!
+//! This crate implements the software half of the paper: undo logging built
+//! on the ISA primitives of a chosen hardware design, integrated with three
+//! language-level persistency models:
+//!
+//! * **TXN** — failure-atomic transactions (PMDK-style, eager commit),
+//! * **SFR** — synchronization-free regions (batched commits),
+//! * **ATLAS** — outermost critical sections (batched commits, heavier
+//!   lock bookkeeping),
+//!
+//! each lowered onto any of the five hardware designs of the evaluation
+//! ([`HwDesign`]): Intel x86, HOPS, StrandWeaver without a persist queue,
+//! full StrandWeaver, and the non-atomic upper bound.
+//!
+//! The crate also provides post-failure [`recovery`] and a crash-injection
+//! [`harness`] that samples formally-allowed crash states (via `sw-model`)
+//! and checks that recovery restores failure atomicity.
+//!
+//! # Example
+//!
+//! ```
+//! use sw_lang::{FuncCtx, HwDesign, LangModel, RuntimeConfig, ThreadRuntime};
+//! use sw_model::isa::LockId;
+//! use sw_pmem::PmLayout;
+//!
+//! let layout = PmLayout::new(1, 256);
+//! let mut ctx = FuncCtx::new(layout.clone(), 1);
+//! let mut rt = ThreadRuntime::new(
+//!     &layout, 0, RuntimeConfig::new(HwDesign::StrandWeaver, LangModel::Txn));
+//!
+//! let x = layout.heap_base();
+//! rt.region_begin(&mut ctx, &[LockId(0)]);
+//! rt.store(&mut ctx, x, 42); // undo-logged, failure-atomic
+//! rt.region_end(&mut ctx);   // committed
+//! assert_eq!(ctx.mem().load(x), 42);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ctx;
+pub mod harness;
+pub mod log;
+pub mod recovery;
+pub(crate) mod runtime;
+
+pub use ctx::{CtxStats, FuncCtx};
+pub use runtime::{
+    coordinated_commit, LangModel, LogStrategy, RegionRecord, RuntimeConfig, ThreadRuntime,
+    COMMIT_TOKEN_LOCK, GLOBAL_CUT_LOCK, REDO_CHAIN_LOCK_BASE,
+};
+pub use sw_model::HwDesign;

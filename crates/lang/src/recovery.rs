@@ -1,0 +1,234 @@
+//! Post-failure recovery (paper Figure 6(b)).
+//!
+//! Recovery inspects every per-thread log region in the crashed PM image:
+//!
+//! 1. For each thread, find the highest persisted commit cut (the paper's
+//!    commit-intent marker): entries at or below the cut belong to regions
+//!    whose commit was in progress or complete — they are discarded, never
+//!    rolled back (Figure 6(b) step 2).
+//! 2. Every surviving `Store` entry is rolled back — the old value is
+//!    written over the in-place update — in reverse order of creation
+//!    across **all** threads (Figure 6(b) step 3; global reverse sequence
+//!    order unwinds same-address overwrites by later regions correctly).
+//! 3. Synchronization entries (acquire/release/begin/end) carry
+//!    happens-before metadata and are skipped by rollback.
+//! 4. Under the redo extension ([`LogStrategy::Redo`]) the direction
+//!    flips: committed `RedoStore` entries (at or below the cut) are
+//!    *replayed forward* in creation order — their in-place updates may
+//!    not have persisted — and uncommitted ones are discarded.
+//!
+//! [`LogStrategy::Redo`]: crate::LogStrategy::Redo
+
+use sw_pmem::{PmImage, PmLayout};
+
+use crate::log::{scan_log, DecodedEntry, EntryType};
+
+/// Statistics about one recovery pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Per-thread commit cut: the highest sequence number covered by a
+    /// persisted commit record (0 when the thread never committed).
+    pub per_thread_cut: Vec<u64>,
+    /// Valid entries discarded because a commit record covered them.
+    pub discarded_committed: usize,
+    /// Store entries rolled back.
+    pub rolled_back_stores: usize,
+    /// Committed redo entries replayed forward.
+    pub replayed_redo: usize,
+    /// Synchronization entries skipped during rollback.
+    pub sync_entries: usize,
+}
+
+impl RecoveryReport {
+    /// `true` if recovery had nothing to undo or replay (clean shutdown).
+    pub fn was_clean(&self) -> bool {
+        self.rolled_back_stores == 0 && self.replayed_redo == 0
+    }
+}
+
+/// Runs recovery over a crashed PM image, mutating it to the recovered
+/// state, and reports what was done.
+pub fn recover(img: &mut PmImage, layout: &PmLayout) -> RecoveryReport {
+    let mut cuts = vec![0u64; layout.threads()];
+    let mut survivors: Vec<DecodedEntry> = Vec::new();
+    let mut discarded = 0usize;
+
+    // The coordinated-commit protocol publishes a machine-wide cut in a
+    // dedicated PM word; it covers every thread.
+    let global_cut = img.load(layout.lock_addr(crate::runtime::GLOBAL_CUT_LOCK));
+
+    let mut replayable: Vec<DecodedEntry> = Vec::new();
+    for (tid, cut_slot) in cuts.iter_mut().enumerate() {
+        let region = layout.log_region(tid);
+        let entries: Vec<DecodedEntry> = scan_log(img, region).collect();
+        // Commit records carry the cut in their value field; stale records
+        // from earlier batches have smaller cuts, so the max is correct.
+        // The durable-cut header word covers entries truncated by a group
+        // commit or coordinated commit.
+        let header_cut = img.load(layout.log_region(tid).base.offset_words(1));
+        let cut = entries
+            .iter()
+            .filter(|e| e.etype == EntryType::Commit)
+            .map(|e| e.value)
+            .max()
+            .unwrap_or(0)
+            .max(global_cut)
+            .max(header_cut);
+        *cut_slot = cut;
+        for e in entries {
+            if e.etype == EntryType::Commit {
+                continue;
+            }
+            if e.etype == EntryType::RedoStore {
+                // Redo direction: committed entries replay, uncommitted
+                // ones are dropped.
+                if e.seq <= cut {
+                    replayable.push(e);
+                } else {
+                    discarded += 1;
+                }
+                continue;
+            }
+            if e.seq <= cut {
+                discarded += 1;
+            } else {
+                survivors.push(e);
+            }
+        }
+    }
+
+    // Replay committed redo entries forward, in creation order.
+    replayable.sort_unstable_by_key(|e| e.seq);
+    let replayed_redo = replayable.len();
+    for e in &replayable {
+        img.store(e.addr, e.value);
+    }
+
+    // Roll back in reverse order of creation, across all threads.
+    survivors.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
+    let mut rolled_back = 0usize;
+    let mut sync_entries = 0usize;
+    for e in &survivors {
+        match e.etype {
+            EntryType::Store => {
+                img.store(e.addr, e.value);
+                rolled_back += 1;
+            }
+            EntryType::Commit => unreachable!("filtered above"),
+            _ => sync_entries += 1,
+        }
+    }
+
+    RecoveryReport {
+        per_thread_cut: cuts,
+        discarded_committed: discarded,
+        rolled_back_stores: rolled_back,
+        replayed_redo,
+        sync_entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::FuncCtx;
+    use crate::runtime::{LangModel, RuntimeConfig, ThreadRuntime};
+    use sw_model::isa::LockId;
+    use sw_model::HwDesign;
+
+    fn run_one_region(design: HwDesign, lang: LangModel, commit: bool) -> (FuncCtx, PmLayout) {
+        let layout = PmLayout::new(1, 256);
+        let heap = layout.heap_base();
+        let mut ctx = FuncCtx::new(layout.clone(), 1);
+        let mut rt = ThreadRuntime::new(&layout, 0, RuntimeConfig::new(design, lang));
+        rt.region_begin(&mut ctx, &[LockId(0)]);
+        rt.store(&mut ctx, heap, 7);
+        rt.store(&mut ctx, heap.offset_words(8), 8);
+        rt.region_end(&mut ctx);
+        if commit {
+            rt.shutdown(&mut ctx);
+        }
+        (ctx, layout)
+    }
+
+    #[test]
+    fn rollback_of_uncommitted_region() {
+        // SFR leaves the region uncommitted; persist everything, crash,
+        // recover: the region must be undone (entries valid, no commit).
+        let (mut ctx, layout) = run_one_region(HwDesign::StrandWeaver, LangModel::Sfr, false);
+        ctx.mem_mut().persist_all();
+        let mut img = ctx.mem().persisted_image().clone();
+        let report = recover(&mut img, &layout);
+        assert_eq!(report.rolled_back_stores, 2);
+        assert_eq!(
+            img.load(layout.heap_base()),
+            0,
+            "update rolled back to old value"
+        );
+        assert_eq!(img.load(layout.heap_base().offset_words(8)), 0);
+    }
+
+    #[test]
+    fn committed_region_is_not_rolled_back() {
+        let (mut ctx, layout) = run_one_region(HwDesign::StrandWeaver, LangModel::Txn, false);
+        ctx.mem_mut().persist_all();
+        let mut img = ctx.mem().persisted_image().clone();
+        let report = recover(&mut img, &layout);
+        assert!(report.was_clean());
+        assert_eq!(img.load(layout.heap_base()), 7);
+        assert_eq!(img.load(layout.heap_base().offset_words(8)), 8);
+    }
+
+    #[test]
+    fn nothing_persisted_recovers_to_initial_state() {
+        let (ctx, layout) = run_one_region(HwDesign::StrandWeaver, LangModel::Txn, false);
+        let mut img = ctx.mem().persisted_image().clone(); // nothing persisted
+        let report = recover(&mut img, &layout);
+        assert!(report.was_clean());
+        assert_eq!(img.load(layout.heap_base()), 0);
+    }
+
+    #[test]
+    fn reverse_order_rollback_unwinds_overwrites() {
+        // Two uncommitted regions writing the same word: rollback must land
+        // on the value before the first region.
+        let layout = PmLayout::new(1, 256);
+        let heap = layout.heap_base();
+        let mut ctx = FuncCtx::new(layout.clone(), 1);
+        let mut rt = ThreadRuntime::new(
+            &layout,
+            0,
+            RuntimeConfig::new(HwDesign::StrandWeaver, LangModel::Sfr),
+        );
+        for v in [5, 9] {
+            rt.region_begin(&mut ctx, &[LockId(0)]);
+            rt.store(&mut ctx, heap, v);
+            rt.region_end(&mut ctx);
+        }
+        ctx.mem_mut().persist_all();
+        let mut img = ctx.mem().persisted_image().clone();
+        let report = recover(&mut img, &layout);
+        assert_eq!(report.rolled_back_stores, 2);
+        assert_eq!(img.load(heap), 0);
+    }
+
+    #[test]
+    fn report_tracks_commit_cuts() {
+        let (mut ctx, layout) = run_one_region(HwDesign::StrandWeaver, LangModel::Txn, false);
+        ctx.mem_mut().persist_all();
+        let mut img = ctx.mem().persisted_image().clone();
+        let report = recover(&mut img, &layout);
+        assert!(report.per_thread_cut[0] > 0);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let (mut ctx, layout) = run_one_region(HwDesign::StrandWeaver, LangModel::Sfr, false);
+        ctx.mem_mut().persist_all();
+        let mut img = ctx.mem().persisted_image().clone();
+        recover(&mut img, &layout);
+        let snapshot = img.clone();
+        recover(&mut img, &layout);
+        assert_eq!(img, snapshot);
+    }
+}

@@ -1,0 +1,166 @@
+//! The five hardware persistency designs of the paper's evaluation and how
+//! the logging runtime lowers its ordering points onto each.
+
+use crate::isa::FenceKind;
+use crate::pmo::MemoryModel;
+
+/// A hardware persistency design from Section VI of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HwDesign {
+    /// Intel's existing ISA: `CLWB` + `SFENCE` epochs. `SFENCE` stalls
+    /// subsequent stores until prior flushes *complete*.
+    IntelX86,
+    /// HOPS: delegated epoch persistency with lightweight `ofence` and
+    /// durable `dfence`.
+    Hops,
+    /// StrandWeaver without the persist queue: strand primitives flow
+    /// through the store queue (intermediate design of Section VI-B).
+    NoPersistQueue,
+    /// Full StrandWeaver: persist queue + strand buffer unit.
+    StrandWeaver,
+    /// No ordering between logs and updates: the paper's non-recoverable
+    /// performance upper bound.
+    NonAtomic,
+}
+
+impl HwDesign {
+    /// All designs in the order the paper's figures present them.
+    pub const ALL: [HwDesign; 5] = [
+        HwDesign::IntelX86,
+        HwDesign::Hops,
+        HwDesign::NoPersistQueue,
+        HwDesign::StrandWeaver,
+        HwDesign::NonAtomic,
+    ];
+
+    /// The formal ordering model the design implements. The intermediate
+    /// no-persist-queue design enforces the same *order* as StrandWeaver —
+    /// it differs only in timing (head-of-line blocking in the store queue).
+    pub fn memory_model(self) -> MemoryModel {
+        match self {
+            HwDesign::IntelX86 => MemoryModel::IntelX86,
+            HwDesign::Hops => MemoryModel::Hops,
+            HwDesign::NoPersistQueue | HwDesign::StrandWeaver => MemoryModel::StrandWeaver,
+            HwDesign::NonAtomic => MemoryModel::NonAtomic,
+        }
+    }
+
+    /// Fence emitted between an undo-log append and its in-place update
+    /// (the pairwise log→update ordering required for correct recovery).
+    pub fn pairwise_fence(self) -> Option<FenceKind> {
+        match self {
+            HwDesign::IntelX86 => Some(FenceKind::Sfence),
+            HwDesign::Hops => Some(FenceKind::Ofence),
+            HwDesign::NoPersistQueue | HwDesign::StrandWeaver => Some(FenceKind::PersistBarrier),
+            HwDesign::NonAtomic => None,
+        }
+    }
+
+    /// Fence emitted after the in-place update, separating one log/update
+    /// pair from the next. StrandWeaver starts a fresh strand (Figure 5),
+    /// which *removes* ordering; the epoch designs must fence, which *adds*
+    /// ordering — this asymmetry is the paper's core claim.
+    pub fn after_update_fence(self) -> Option<FenceKind> {
+        match self {
+            HwDesign::IntelX86 => Some(FenceKind::Sfence),
+            HwDesign::Hops => Some(FenceKind::Ofence),
+            HwDesign::NoPersistQueue | HwDesign::StrandWeaver => Some(FenceKind::NewStrand),
+            HwDesign::NonAtomic => None,
+        }
+    }
+
+    /// Fence that makes all prior persists durable before proceeding (used
+    /// at region commit: before the commit marker, between invalidation and
+    /// the head-pointer update, etc.).
+    ///
+    /// The paper's NON-ATOMIC design removes only the pairwise SFENCE
+    /// between log creation and in-place update ("we remove the SFENCE
+    /// between the log entry creation and in-place update"); it is Intel
+    /// hardware otherwise, so region and commit drains remain SFENCEs.
+    pub fn drain_fence(self) -> Option<FenceKind> {
+        match self {
+            HwDesign::IntelX86 | HwDesign::NonAtomic => Some(FenceKind::Sfence),
+            HwDesign::Hops => Some(FenceKind::Dfence),
+            HwDesign::NoPersistQueue | HwDesign::StrandWeaver => Some(FenceKind::JoinStrand),
+        }
+    }
+
+    /// Short label used in benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            HwDesign::IntelX86 => "intel-x86",
+            HwDesign::Hops => "hops",
+            HwDesign::NoPersistQueue => "no-persist-queue",
+            HwDesign::StrandWeaver => "strandweaver",
+            HwDesign::NonAtomic => "non-atomic",
+        }
+    }
+}
+
+impl std::fmt::Display for HwDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_models() {
+        assert_eq!(HwDesign::IntelX86.memory_model(), MemoryModel::IntelX86);
+        assert_eq!(HwDesign::Hops.memory_model(), MemoryModel::Hops);
+        assert_eq!(
+            HwDesign::StrandWeaver.memory_model(),
+            MemoryModel::StrandWeaver
+        );
+        assert_eq!(
+            HwDesign::NoPersistQueue.memory_model(),
+            MemoryModel::StrandWeaver
+        );
+        assert_eq!(HwDesign::NonAtomic.memory_model(), MemoryModel::NonAtomic);
+    }
+
+    #[test]
+    fn non_atomic_drops_only_pairwise_ordering() {
+        let d = HwDesign::NonAtomic;
+        assert_eq!(d.pairwise_fence(), None);
+        assert_eq!(d.after_update_fence(), None);
+        assert_eq!(
+            d.drain_fence(),
+            Some(FenceKind::Sfence),
+            "commit drains remain"
+        );
+    }
+
+    #[test]
+    fn strandweaver_lowering_matches_figure5() {
+        let d = HwDesign::StrandWeaver;
+        assert_eq!(d.pairwise_fence(), Some(FenceKind::PersistBarrier));
+        assert_eq!(d.after_update_fence(), Some(FenceKind::NewStrand));
+        assert_eq!(d.drain_fence(), Some(FenceKind::JoinStrand));
+    }
+
+    #[test]
+    fn intel_uses_sfence_everywhere() {
+        let d = HwDesign::IntelX86;
+        assert_eq!(d.pairwise_fence(), Some(FenceKind::Sfence));
+        assert_eq!(d.after_update_fence(), Some(FenceKind::Sfence));
+        assert_eq!(d.drain_fence(), Some(FenceKind::Sfence));
+    }
+
+    #[test]
+    fn hops_distinguishes_ordering_from_durability() {
+        let d = HwDesign::Hops;
+        assert_eq!(d.pairwise_fence(), Some(FenceKind::Ofence));
+        assert_eq!(d.drain_fence(), Some(FenceKind::Dfence));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            HwDesign::ALL.iter().map(|d| d.label()).collect();
+        assert_eq!(labels.len(), HwDesign::ALL.len());
+    }
+}

@@ -1,0 +1,251 @@
+//! Witnessed executions: global interleavings of per-thread programs.
+
+use crate::ops::{OpKind, Program, ThreadId};
+
+/// A reference to one operation of a [`Program`]: thread + program index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpRef {
+    /// Thread the operation belongs to.
+    pub thread: ThreadId,
+    /// Program-order index within the thread.
+    pub index: usize,
+}
+
+/// A witnessed **volatile memory order**: one global total order over all
+/// operations of a [`Program`], respecting each thread's program order.
+///
+/// Under the paper's TSO baseline, store visibility is a total order and
+/// same-thread operations become visible in program order; an `Execution` is
+/// one such witness. The persist memory order is computed *from* an
+/// execution by [`Pmo::compute`](crate::Pmo::compute).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution {
+    program: Program,
+    order: Vec<OpRef>,
+}
+
+impl Execution {
+    /// Creates an execution from a program and a global order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the program's operations or
+    /// violates some thread's program order.
+    pub fn new(program: Program, order: Vec<OpRef>) -> Self {
+        assert_eq!(
+            order.len(),
+            program.len(),
+            "order must cover every operation exactly once"
+        );
+        let mut next = vec![0usize; program.num_threads()];
+        for r in &order {
+            let t = r.thread.0;
+            assert!(t < program.num_threads(), "thread {t} out of range");
+            assert_eq!(
+                r.index, next[t],
+                "order violates program order of {}",
+                r.thread
+            );
+            next[t] += 1;
+        }
+        Self { program, order }
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of operations in the execution.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if the execution has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterates over `(global position, OpRef, OpKind)` in visibility order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, OpRef, OpKind)> + '_ {
+        self.order
+            .iter()
+            .enumerate()
+            .map(|(pos, r)| (pos, *r, self.program.op(r.thread.0, r.index).kind))
+    }
+
+    /// The operation kind at global position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn kind_at(&self, pos: usize) -> OpKind {
+        let r = self.order[pos];
+        self.program.op(r.thread.0, r.index).kind
+    }
+
+    /// The op reference at global position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn op_ref_at(&self, pos: usize) -> OpRef {
+        self.order[pos]
+    }
+}
+
+/// Enumerates every interleaving of the program's threads, up to `cap`
+/// executions. Intended for litmus-sized programs (a handful of operations);
+/// the count grows multinomially.
+///
+/// Returns fewer than `cap` executions only if the program has fewer
+/// interleavings.
+pub fn enumerate_interleavings(program: &Program, cap: usize) -> Vec<Execution> {
+    let mut out = Vec::new();
+    let mut next = vec![0usize; program.num_threads()];
+    let mut order = Vec::with_capacity(program.len());
+    recurse(program, &mut next, &mut order, &mut out, cap);
+    out
+}
+
+fn recurse(
+    program: &Program,
+    next: &mut [usize],
+    order: &mut Vec<OpRef>,
+    out: &mut Vec<Execution>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    if order.len() == program.len() {
+        out.push(Execution::new(program.clone(), order.clone()));
+        return;
+    }
+    for t in 0..program.num_threads() {
+        if next[t] < program.thread_ops(t).len() {
+            order.push(OpRef {
+                thread: ThreadId(t),
+                index: next[t],
+            });
+            next[t] += 1;
+            recurse(program, next, order, out, cap);
+            next[t] -= 1;
+            order.pop();
+        }
+    }
+}
+
+/// Samples one interleaving uniformly at random among next-op choices
+/// (not uniform over interleavings, but covers the space well for testing).
+pub fn random_interleaving<R: rand::Rng>(program: &Program, rng: &mut R) -> Execution {
+    let mut next = vec![0usize; program.num_threads()];
+    let mut remaining: Vec<usize> = (0..program.num_threads())
+        .filter(|&t| !program.thread_ops(t).is_empty())
+        .collect();
+    let mut order = Vec::with_capacity(program.len());
+    while !remaining.is_empty() {
+        let pick = remaining[rng.gen_range(0..remaining.len())];
+        order.push(OpRef {
+            thread: ThreadId(pick),
+            index: next[pick],
+        });
+        next[pick] += 1;
+        if next[pick] == program.thread_ops(pick).len() {
+            remaining.retain(|&t| t != pick);
+        }
+    }
+    Execution::new(program.clone(), order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_pmem::Addr;
+
+    fn two_thread_program() -> Program {
+        let mut p = Program::new(2);
+        p.push(0, OpKind::store(Addr(0), 1));
+        p.push(0, OpKind::store(Addr(8), 2));
+        p.push(1, OpKind::store(Addr(16), 3));
+        p
+    }
+
+    #[test]
+    fn enumeration_counts_interleavings() {
+        // 3 ops, threads of size 2 and 1: C(3,1) = 3 interleavings.
+        let p = two_thread_program();
+        let all = enumerate_interleavings(&p, 1000);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn enumeration_respects_cap() {
+        let p = two_thread_program();
+        assert_eq!(enumerate_interleavings(&p, 2).len(), 2);
+    }
+
+    #[test]
+    fn interleavings_respect_program_order() {
+        let p = two_thread_program();
+        for e in enumerate_interleavings(&p, 1000) {
+            let positions: Vec<usize> = e
+                .iter()
+                .filter(|(_, r, _)| r.thread == ThreadId(0))
+                .map(|(pos, _, _)| pos)
+                .collect();
+            assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn random_interleaving_is_valid() {
+        let p = two_thread_program();
+        let mut rng = rand::thread_rng();
+        for _ in 0..50 {
+            let e = random_interleaving(&p, &mut rng);
+            assert_eq!(e.len(), 3); // Execution::new validates the rest
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn execution_rejects_reordered_thread_ops() {
+        let mut p = Program::new(1);
+        p.push(0, OpKind::store(Addr(0), 1));
+        p.push(0, OpKind::store(Addr(8), 2));
+        let order = vec![
+            OpRef {
+                thread: ThreadId(0),
+                index: 1,
+            },
+            OpRef {
+                thread: ThreadId(0),
+                index: 0,
+            },
+        ];
+        Execution::new(p, order);
+    }
+
+    #[test]
+    #[should_panic(expected = "every operation")]
+    fn execution_rejects_incomplete_order() {
+        let p = two_thread_program();
+        Execution::new(p, vec![]);
+    }
+
+    #[test]
+    fn kind_at_and_op_ref_at() {
+        let mut p = Program::new(1);
+        p.push(0, OpKind::NewStrand);
+        let e = p.single_threaded_execution();
+        assert_eq!(e.kind_at(0), OpKind::NewStrand);
+        assert_eq!(
+            e.op_ref_at(0),
+            OpRef {
+                thread: ThreadId(0),
+                index: 0
+            }
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Shared ISA-level instruction vocabulary.
+//!
+//! The language-level runtimes in `sw-lang` lower logging and data accesses
+//! to streams of [`IsaOp`]s; the timing simulator in `sw-sim` replays those
+//! streams. The formal model ignores [`IsaOp::Clwb`] (persists are modelled
+//! at stores; a CLWB only affects *when* a persist happens, which is the
+//! simulator's concern) and treats lock operations as scheduling constraints
+//! rather than persist-ordering events.
+
+use std::fmt;
+
+use sw_pmem::Addr;
+
+use crate::ops::OpKind;
+
+/// A mutual-exclusion lock identifier (locks are runtime/volatile objects;
+/// the paper notes they may also be persistent, in which case SPA orders
+/// their persists — an orthogonal concern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(pub u32);
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lock{}", self.0)
+    }
+}
+
+/// Persist-ordering fence instructions across all modelled designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FenceKind {
+    /// StrandWeaver persist barrier (orders persists within a strand).
+    PersistBarrier,
+    /// StrandWeaver `NewStrand`.
+    NewStrand,
+    /// StrandWeaver `JoinStrand`.
+    JoinStrand,
+    /// Intel x86 `SFENCE`.
+    Sfence,
+    /// HOPS `ofence`.
+    Ofence,
+    /// HOPS `dfence`.
+    Dfence,
+}
+
+impl FenceKind {
+    /// The formal-model operation corresponding to this fence.
+    pub fn op_kind(self) -> OpKind {
+        match self {
+            FenceKind::PersistBarrier => OpKind::PersistBarrier,
+            FenceKind::NewStrand => OpKind::NewStrand,
+            FenceKind::JoinStrand => OpKind::JoinStrand,
+            FenceKind::Sfence => OpKind::Sfence,
+            FenceKind::Ofence => OpKind::Ofence,
+            FenceKind::Dfence => OpKind::Dfence,
+        }
+    }
+}
+
+/// One dynamic ISA-level instruction, the simulator's input vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsaOp {
+    /// Load a word.
+    Load(Addr),
+    /// Store a word.
+    Store(Addr),
+    /// Flush the cache line containing the address toward the PM
+    /// controller (non-invalidating, like `CLWB`).
+    Clwb(Addr),
+    /// A persist-ordering fence.
+    Fence(FenceKind),
+    /// Acquire a lock (spins / arbitrates in the timing simulator).
+    Lock(LockId),
+    /// Release a lock.
+    Unlock(LockId),
+    /// `cycles` of non-memory work (models computation between accesses).
+    Compute(u32),
+}
+
+impl IsaOp {
+    /// Returns the address touched by a memory instruction, if any.
+    pub fn addr(self) -> Option<Addr> {
+        match self {
+            IsaOp::Load(a) | IsaOp::Store(a) | IsaOp::Clwb(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`IsaOp::Clwb`].
+    pub fn is_clwb(self) -> bool {
+        matches!(self, IsaOp::Clwb(_))
+    }
+}
+
+/// A per-thread dynamic instruction stream for the timing simulator.
+pub type IsaTrace = Vec<IsaOp>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fence_to_op_kind_roundtrip() {
+        assert_eq!(FenceKind::PersistBarrier.op_kind(), OpKind::PersistBarrier);
+        assert_eq!(FenceKind::NewStrand.op_kind(), OpKind::NewStrand);
+        assert_eq!(FenceKind::JoinStrand.op_kind(), OpKind::JoinStrand);
+        assert_eq!(FenceKind::Sfence.op_kind(), OpKind::Sfence);
+        assert_eq!(FenceKind::Ofence.op_kind(), OpKind::Ofence);
+        assert_eq!(FenceKind::Dfence.op_kind(), OpKind::Dfence);
+    }
+
+    #[test]
+    fn isa_op_addr_extraction() {
+        let a = Addr(64);
+        assert_eq!(IsaOp::Load(a).addr(), Some(a));
+        assert_eq!(IsaOp::Store(a).addr(), Some(a));
+        assert_eq!(IsaOp::Clwb(a).addr(), Some(a));
+        assert_eq!(IsaOp::Fence(FenceKind::Sfence).addr(), None);
+        assert_eq!(IsaOp::Compute(5).addr(), None);
+        assert_eq!(IsaOp::Lock(LockId(0)).addr(), None);
+    }
+
+    #[test]
+    fn clwb_classification() {
+        assert!(IsaOp::Clwb(Addr(0)).is_clwb());
+        assert!(!IsaOp::Store(Addr(0)).is_clwb());
+    }
+}

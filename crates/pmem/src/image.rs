@@ -1,0 +1,160 @@
+//! Durable PM contents at word granularity.
+
+use std::collections::HashMap;
+
+use crate::addr::{Addr, LineAddr, WORDS_PER_LINE};
+
+/// The contents of persistent memory as recovery would observe them.
+///
+/// A `PmImage` is a sparse map from cache lines to their word contents.
+/// Unwritten memory reads as zero, mirroring a freshly-zeroed PM device.
+/// The image is word-granular because all workload data in this reproduction
+/// is word-sized; a persist (CLWB or cache writeback) transfers a whole line.
+///
+/// # Example
+///
+/// ```
+/// use sw_pmem::{Addr, PmImage};
+///
+/// let mut img = PmImage::new();
+/// img.store(Addr(64), 7);
+/// assert_eq!(img.load(Addr(64)), 7);
+/// assert_eq!(img.load(Addr(72)), 0); // untouched word in same line
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PmImage {
+    lines: HashMap<LineAddr, [u64; WORDS_PER_LINE]>,
+}
+
+impl PmImage {
+    /// Creates an empty (all-zero) image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the word at `addr`. Unwritten memory reads as zero.
+    pub fn load(&self, addr: Addr) -> u64 {
+        self.lines
+            .get(&addr.line())
+            .map_or(0, |line| line[addr.word_in_line()])
+    }
+
+    /// Writes the word at `addr`.
+    pub fn store(&mut self, addr: Addr, value: u64) {
+        self.lines.entry(addr.line()).or_insert([0; WORDS_PER_LINE])[addr.word_in_line()] = value;
+    }
+
+    /// Copies the full contents of `line` from `src` into this image.
+    ///
+    /// This models a line-granular persist: the entire cache line drains to
+    /// the PM device at once.
+    pub fn absorb_line(&mut self, line: LineAddr, src: &PmImage) {
+        match src.lines.get(&line) {
+            Some(words) => {
+                self.lines.insert(line, *words);
+            }
+            None => {
+                self.lines.remove(&line);
+            }
+        }
+    }
+
+    /// Returns the words of `line` (zeros if never written).
+    pub fn line_words(&self, line: LineAddr) -> [u64; WORDS_PER_LINE] {
+        self.lines
+            .get(&line)
+            .copied()
+            .unwrap_or([0; WORDS_PER_LINE])
+    }
+
+    /// Overwrites the words of `line`.
+    pub fn set_line_words(&mut self, line: LineAddr, words: [u64; WORDS_PER_LINE]) {
+        if words == [0; WORDS_PER_LINE] {
+            self.lines.remove(&line);
+        } else {
+            self.lines.insert(line, words);
+        }
+    }
+
+    /// Returns an iterator over all lines that have ever been written.
+    pub fn written_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.lines.keys().copied()
+    }
+
+    /// Number of distinct cache lines with non-default contents.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let img = PmImage::new();
+        assert_eq!(img.load(Addr(0)), 0);
+        assert_eq!(img.load(Addr(0xdead * 8)), 0);
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut img = PmImage::new();
+        img.store(Addr(8), 11);
+        img.store(Addr(16), 22);
+        assert_eq!(img.load(Addr(8)), 11);
+        assert_eq!(img.load(Addr(16)), 22);
+        assert_eq!(img.load(Addr(0)), 0);
+    }
+
+    #[test]
+    fn words_in_same_line_are_independent() {
+        let mut img = PmImage::new();
+        for w in 0..WORDS_PER_LINE {
+            img.store(LineAddr(3).word(w), w as u64 + 1);
+        }
+        for w in 0..WORDS_PER_LINE {
+            assert_eq!(img.load(LineAddr(3).word(w)), w as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn absorb_line_copies_whole_line() {
+        let mut src = PmImage::new();
+        src.store(Addr(64), 1);
+        src.store(Addr(72), 2);
+        let mut dst = PmImage::new();
+        dst.store(Addr(64), 99); // will be overwritten by absorb
+        dst.absorb_line(LineAddr(1), &src);
+        assert_eq!(dst.load(Addr(64)), 1);
+        assert_eq!(dst.load(Addr(72)), 2);
+    }
+
+    #[test]
+    fn absorb_missing_line_zeroes_destination() {
+        let src = PmImage::new();
+        let mut dst = PmImage::new();
+        dst.store(Addr(64), 5);
+        dst.absorb_line(LineAddr(1), &src);
+        assert_eq!(dst.load(Addr(64)), 0);
+    }
+
+    #[test]
+    fn line_count_tracks_distinct_lines() {
+        let mut img = PmImage::new();
+        img.store(Addr(0), 1);
+        img.store(Addr(8), 2);
+        img.store(Addr(64), 3);
+        assert_eq!(img.line_count(), 2);
+    }
+
+    #[test]
+    fn set_line_words_all_zero_removes_line() {
+        let mut img = PmImage::new();
+        img.store(Addr(0), 1);
+        img.set_line_words(LineAddr(0), [0; WORDS_PER_LINE]);
+        assert_eq!(img.line_count(), 0);
+        assert_eq!(img.load(Addr(0)), 0);
+    }
+}

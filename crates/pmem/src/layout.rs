@@ -1,0 +1,343 @@
+//! Address-space layout: persistent log regions, persistent heap, volatile DRAM.
+
+use crate::addr::{Addr, CACHE_LINE_BYTES, WORD_BYTES};
+
+/// What a [`Region`] is used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// A per-thread circular undo-log buffer (persistent).
+    Log,
+    /// Persistent runtime metadata: lock words and happens-before state
+    /// (the paper keeps locks in PM so SPA orders their persists).
+    Meta,
+    /// The persistent heap holding recoverable data structures.
+    Heap,
+    /// Volatile DRAM (lost on crash).
+    Volatile,
+}
+
+/// A contiguous address range with a purpose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte of the region.
+    pub base: Addr,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// Purpose of the region.
+    pub kind: RegionKind,
+}
+
+impl Region {
+    /// Returns `true` if `addr` falls inside this region.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.raw() >= self.base.raw() && addr.raw() < self.base.raw() + self.bytes
+    }
+
+    /// Returns a bump allocator over this region.
+    pub fn bump(&self) -> Bump {
+        Bump {
+            next: self.base,
+            end: Addr(self.base.raw() + self.bytes),
+        }
+    }
+}
+
+/// Static layout of the simulated physical address space.
+///
+/// The persistent range starts at [`PmLayout::PM_BASE`] and holds, in order,
+/// one undo-log region per hardware thread followed by the persistent heap.
+/// The volatile range starts at [`PmLayout::VOLATILE_BASE`]; anything there
+/// is lost on a crash. Address zero is never part of any region, so
+/// [`Addr::NULL`] is usable as a sentinel.
+///
+/// # Example
+///
+/// ```
+/// use sw_pmem::PmLayout;
+///
+/// let layout = PmLayout::new(8, 4096);
+/// assert!(layout.is_persistent(layout.heap_base()));
+/// assert!(!layout.is_persistent(layout.volatile_region().base));
+/// assert!(layout.log_region(0).contains(layout.log_region(0).base));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PmLayout {
+    threads: usize,
+    log_entries_per_thread: u64,
+    heap_bytes: u64,
+}
+
+impl PmLayout {
+    /// Base of the persistent address range.
+    pub const PM_BASE: u64 = 0x1000_0000;
+    /// Base of the volatile address range.
+    pub const VOLATILE_BASE: u64 = 0x4000_0000_0000;
+    /// Default persistent heap size (1 GiB of simulated PM).
+    pub const DEFAULT_HEAP_BYTES: u64 = 1 << 30;
+    /// Default volatile region size (1 GiB of simulated DRAM).
+    pub const VOLATILE_BYTES: u64 = 1 << 30;
+    /// Size of the persistent metadata region (4096 lock words).
+    pub const META_BYTES: u64 = 4096 * WORD_BYTES;
+
+    /// Creates a layout for `threads` hardware threads, each with a circular
+    /// log of `log_entries_per_thread` 64-byte entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or `log_entries_per_thread` is zero.
+    pub fn new(threads: usize, log_entries_per_thread: u64) -> Self {
+        assert!(threads > 0, "layout needs at least one thread");
+        assert!(log_entries_per_thread > 0, "log needs at least one entry");
+        Self {
+            threads,
+            log_entries_per_thread,
+            heap_bytes: Self::DEFAULT_HEAP_BYTES,
+        }
+    }
+
+    /// Number of hardware threads the layout provisions logs for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Log capacity, in 64-byte entries, of each per-thread log region.
+    pub fn log_entries_per_thread(&self) -> u64 {
+        self.log_entries_per_thread
+    }
+
+    fn log_bytes(&self) -> u64 {
+        self.log_entries_per_thread * CACHE_LINE_BYTES
+    }
+
+    /// The undo-log region of thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= self.threads()`.
+    pub fn log_region(&self, tid: usize) -> Region {
+        assert!(tid < self.threads, "thread {tid} out of range");
+        Region {
+            base: Addr(Self::PM_BASE + tid as u64 * self.log_bytes()),
+            bytes: self.log_bytes(),
+            kind: RegionKind::Log,
+        }
+    }
+
+    /// The persistent metadata region (lock words, happens-before state),
+    /// between the logs and the heap.
+    pub fn meta_region(&self) -> Region {
+        Region {
+            base: Addr(Self::PM_BASE + self.threads as u64 * self.log_bytes()),
+            bytes: Self::META_BYTES,
+            kind: RegionKind::Meta,
+        }
+    }
+
+    /// The persistent address of lock word `lock_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock_id` does not fit in the metadata region.
+    pub fn lock_addr(&self, lock_id: u32) -> Addr {
+        let a = self.meta_region().base.offset_words(lock_id as u64);
+        assert!(
+            self.meta_region().contains(a),
+            "lock id {lock_id} out of range"
+        );
+        a
+    }
+
+    /// The persistent heap region (shared by all threads).
+    pub fn heap_region(&self) -> Region {
+        let meta = self.meta_region();
+        Region {
+            base: Addr(meta.base.raw() + meta.bytes),
+            bytes: self.heap_bytes,
+            kind: RegionKind::Heap,
+        }
+    }
+
+    /// First byte of the persistent heap.
+    pub fn heap_base(&self) -> Addr {
+        self.heap_region().base
+    }
+
+    /// The volatile DRAM region.
+    pub fn volatile_region(&self) -> Region {
+        Region {
+            base: Addr(Self::VOLATILE_BASE),
+            bytes: Self::VOLATILE_BYTES,
+            kind: RegionKind::Volatile,
+        }
+    }
+
+    /// Returns `true` if `addr` lies in the persistent range (logs or heap).
+    pub fn is_persistent(&self, addr: Addr) -> bool {
+        let end = self.heap_region().base.raw() + self.heap_region().bytes;
+        addr.raw() >= Self::PM_BASE && addr.raw() < end
+    }
+}
+
+impl Default for PmLayout {
+    /// Eight threads with 4096-entry logs, matching the paper's evaluation
+    /// setup (8-core machine, per-thread circular log buffers).
+    fn default() -> Self {
+        Self::new(8, 4096)
+    }
+}
+
+/// A bump allocator over a [`Region`].
+///
+/// Used by workloads to carve persistent data structures out of the heap and
+/// by the logging runtime for overflow log space.
+#[derive(Debug, Clone)]
+pub struct Bump {
+    next: Addr,
+    end: Addr,
+}
+
+impl Bump {
+    /// Allocates `words` machine words, word-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is exhausted.
+    pub fn alloc_words(&mut self, words: u64) -> Addr {
+        let a = self.next;
+        let next = a.offset_words(words);
+        assert!(next.raw() <= self.end.raw(), "region exhausted");
+        self.next = next;
+        a
+    }
+
+    /// Allocates `lines` whole cache lines, line-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is exhausted.
+    pub fn alloc_lines(&mut self, lines: u64) -> Addr {
+        let aligned = self.next.raw().next_multiple_of(CACHE_LINE_BYTES);
+        let end = aligned + lines * CACHE_LINE_BYTES;
+        assert!(end <= self.end.raw(), "region exhausted");
+        self.next = Addr(end);
+        Addr(aligned)
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> u64 {
+        self.end.raw() - self.next.raw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_regions_are_disjoint_and_ordered() {
+        let l = PmLayout::new(4, 128);
+        for t in 0..4 {
+            let r = l.log_region(t);
+            assert_eq!(r.kind, RegionKind::Log);
+            assert_eq!(r.bytes, 128 * 64);
+            if t > 0 {
+                let prev = l.log_region(t - 1);
+                assert_eq!(prev.base.raw() + prev.bytes, r.base.raw());
+            }
+        }
+    }
+
+    #[test]
+    fn meta_follows_logs_and_heap_follows_meta() {
+        let l = PmLayout::new(2, 16);
+        let last = l.log_region(1);
+        assert_eq!(l.meta_region().base.raw(), last.base.raw() + last.bytes);
+        assert_eq!(
+            l.heap_base().raw(),
+            l.meta_region().base.raw() + l.meta_region().bytes
+        );
+    }
+
+    #[test]
+    fn lock_addresses_are_persistent_and_distinct() {
+        let l = PmLayout::default();
+        assert!(l.is_persistent(l.lock_addr(0)));
+        assert!(l.is_persistent(l.lock_addr(4095)));
+        assert_ne!(l.lock_addr(0), l.lock_addr(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lock_id_out_of_range_panics() {
+        let l = PmLayout::default();
+        l.lock_addr(4096);
+    }
+
+    #[test]
+    fn persistence_classification() {
+        let l = PmLayout::default();
+        assert!(l.is_persistent(l.log_region(0).base));
+        assert!(l.is_persistent(l.heap_base()));
+        assert!(!l.is_persistent(Addr(0)));
+        assert!(!l.is_persistent(l.volatile_region().base));
+    }
+
+    #[test]
+    fn region_contains() {
+        let r = Region {
+            base: Addr(100),
+            bytes: 50,
+            kind: RegionKind::Heap,
+        };
+        assert!(r.contains(Addr(100)));
+        assert!(r.contains(Addr(149)));
+        assert!(!r.contains(Addr(150)));
+        assert!(!r.contains(Addr(99)));
+    }
+
+    #[test]
+    fn bump_allocates_sequentially() {
+        let r = Region {
+            base: Addr(64),
+            bytes: 256,
+            kind: RegionKind::Heap,
+        };
+        let mut b = r.bump();
+        assert_eq!(b.alloc_words(2), Addr(64));
+        assert_eq!(b.alloc_words(1), Addr(80));
+        assert_eq!(b.remaining(), 256 - 24);
+    }
+
+    #[test]
+    fn bump_line_alloc_aligns() {
+        let r = Region {
+            base: Addr(64),
+            bytes: 512,
+            kind: RegionKind::Heap,
+        };
+        let mut b = r.bump();
+        b.alloc_words(1);
+        let line = b.alloc_lines(1);
+        assert_eq!(line.raw() % 64, 0);
+        assert_eq!(line, Addr(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "region exhausted")]
+    fn bump_exhaustion_panics() {
+        let r = Region {
+            base: Addr(64),
+            bytes: 8,
+            kind: RegionKind::Heap,
+        };
+        let mut b = r.bump();
+        b.alloc_words(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn log_region_out_of_range_panics() {
+        let l = PmLayout::new(2, 16);
+        l.log_region(2);
+    }
+}

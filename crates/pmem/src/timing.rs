@@ -1,0 +1,66 @@
+//! Latency constants of the modelled PM device and memory system.
+//!
+//! These values come from the paper's Table I, which configures gem5
+//! according to the Optane DC characterization study (Izraelevitz et al.,
+//! 2019). The simulated core runs at 2 GHz, so one cycle is 0.5 ns; the
+//! constants below are expressed in *cycles* for direct use by the timing
+//! simulator in `sw-sim`.
+
+/// Core clock frequency in Hz (2 GHz).
+pub const CORE_FREQ_HZ: u64 = 2_000_000_000;
+
+/// Converts nanoseconds to core cycles at 2 GHz.
+pub const fn ns_to_cycles(ns: u64) -> u64 {
+    ns * (CORE_FREQ_HZ / 1_000_000_000)
+}
+
+/// PM read latency: 346 ns.
+pub const PM_READ_NS: u64 = 346;
+/// Latency for a write (CLWB payload) to reach the ADR-protected PM
+/// controller and be acknowledged: 96 ns.
+pub const PM_WRITE_TO_CONTROLLER_NS: u64 = 96;
+/// Latency for the controller to drain a write to the PM media: 500 ns.
+pub const PM_WRITE_TO_MEDIA_NS: u64 = 500;
+
+/// L1 instruction-cache hit latency: 1 ns.
+pub const L1I_HIT_NS: u64 = 1;
+/// L1 data-cache hit latency: 2 ns.
+pub const L1D_HIT_NS: u64 = 2;
+/// L2 hit latency: 16 ns.
+pub const L2_HIT_NS: u64 = 16;
+
+/// DRAM access latency (row-buffer hit average), used for volatile data.
+pub const DRAM_ACCESS_NS: u64 = 50;
+
+/// PM read latency in cycles.
+pub const PM_READ_CYCLES: u64 = ns_to_cycles(PM_READ_NS);
+/// PM write-to-controller acknowledgement latency in cycles.
+pub const PM_WRITE_TO_CONTROLLER_CYCLES: u64 = ns_to_cycles(PM_WRITE_TO_CONTROLLER_NS);
+/// PM write-to-media latency in cycles.
+pub const PM_WRITE_TO_MEDIA_CYCLES: u64 = ns_to_cycles(PM_WRITE_TO_MEDIA_NS);
+/// L1D hit latency in cycles.
+pub const L1D_HIT_CYCLES: u64 = ns_to_cycles(L1D_HIT_NS);
+/// L2 hit latency in cycles.
+pub const L2_HIT_CYCLES: u64 = ns_to_cycles(L2_HIT_NS);
+/// DRAM access latency in cycles.
+pub const DRAM_ACCESS_CYCLES: u64 = ns_to_cycles(DRAM_ACCESS_NS);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_ghz_conversion() {
+        assert_eq!(ns_to_cycles(1), 2);
+        assert_eq!(ns_to_cycles(500), 1000);
+    }
+
+    #[test]
+    fn table_i_constants() {
+        assert_eq!(PM_READ_CYCLES, 692);
+        assert_eq!(PM_WRITE_TO_CONTROLLER_CYCLES, 192);
+        assert_eq!(PM_WRITE_TO_MEDIA_CYCLES, 1000);
+        assert_eq!(L1D_HIT_CYCLES, 4);
+        assert_eq!(L2_HIT_CYCLES, 32);
+    }
+}

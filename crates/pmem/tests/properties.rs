@@ -1,0 +1,102 @@
+//! Property-based tests for the PM substrate.
+
+use proptest::prelude::*;
+use sw_pmem::{Addr, Memory, PmImage, PmLayout, WORDS_PER_LINE};
+
+fn heap_addr(layout: &PmLayout, word: u64) -> Addr {
+    layout.heap_base().offset_words(word)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Visible reads always return the last store.
+    #[test]
+    fn load_returns_last_store(ops in prop::collection::vec((0u64..32, 1u64..1000), 1..60)) {
+        let layout = PmLayout::default();
+        let mut mem = Memory::new(layout.clone());
+        let mut shadow = std::collections::HashMap::new();
+        for (w, v) in ops {
+            mem.store(heap_addr(&layout, w), v);
+            shadow.insert(w, v);
+        }
+        for (w, v) in shadow {
+            prop_assert_eq!(mem.load(heap_addr(&layout, w)), v);
+        }
+    }
+
+    /// After persisting everything, a crash preserves all stores; without
+    /// persisting, a crash loses them all.
+    #[test]
+    fn crash_semantics(ops in prop::collection::vec((0u64..32, 1u64..1000), 1..40)) {
+        let layout = PmLayout::default();
+        let mut mem = Memory::new(layout.clone());
+        for (w, v) in &ops {
+            mem.store(heap_addr(&layout, *w), *v);
+        }
+        let lost = mem.crash();
+        for (w, _) in &ops {
+            prop_assert_eq!(lost.load(heap_addr(&layout, *w)), 0);
+        }
+        mem.persist_all();
+        let kept = mem.crash();
+        for (w, v) in &ops {
+            let expect = ops.iter().rev().find(|(x, _)| x == w).expect("present").1;
+            let _ = v;
+            prop_assert_eq!(kept.load(heap_addr(&layout, *w)), expect);
+        }
+    }
+
+    /// Persisting a line drains all words of that line and nothing else.
+    #[test]
+    fn persist_is_line_granular(words in prop::collection::vec(0u64..(2 * WORDS_PER_LINE as u64), 1..20)) {
+        let layout = PmLayout::default();
+        let mut mem = Memory::new(layout.clone());
+        for &w in &words {
+            mem.store(heap_addr(&layout, w), w + 1);
+        }
+        // Persist only the first heap line.
+        mem.persist(layout.heap_base());
+        let crashed = mem.crash();
+        for &w in &words {
+            let expect = if w < WORDS_PER_LINE as u64 { w + 1 } else { 0 };
+            prop_assert_eq!(crashed.load(heap_addr(&layout, w)), expect);
+        }
+    }
+
+    /// Image absorb round-trips arbitrary line contents.
+    #[test]
+    fn image_absorb_roundtrip(vals in prop::collection::vec(0u64..u64::MAX, WORDS_PER_LINE)) {
+        let layout = PmLayout::default();
+        let line = layout.heap_base().line();
+        let mut src = PmImage::new();
+        for (i, v) in vals.iter().enumerate() {
+            src.store(line.word(i), *v);
+        }
+        let mut dst = PmImage::new();
+        dst.absorb_line(line, &src);
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(dst.load(line.word(i)), *v);
+        }
+    }
+
+    /// The layout never hands out overlapping regions.
+    #[test]
+    fn layout_regions_are_disjoint(threads in 1usize..16, entries in 1u64..512) {
+        let layout = PmLayout::new(threads, entries);
+        let mut regions = Vec::new();
+        for t in 0..threads {
+            regions.push(layout.log_region(t));
+        }
+        regions.push(layout.meta_region());
+        regions.push(layout.heap_region());
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                let a_end = a.base.raw() + a.bytes;
+                let b_end = b.base.raw() + b.bytes;
+                prop_assert!(a_end <= b.base.raw() || b_end <= a.base.raw(),
+                    "regions overlap: {a:?} {b:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! L1 data cache model (set-associative, write-back, write-allocate) and
+//! the coherence directory.
+
+use std::collections::HashMap;
+
+use sw_pmem::LineAddr;
+
+/// One L1 way.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    line: LineAddr,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Result of installing a line into the L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The line evicted to make room.
+    pub line: LineAddr,
+    /// Whether it held dirty data (needs a writeback).
+    pub dirty: bool,
+}
+
+/// A private, set-associative, write-back L1 data cache.
+#[derive(Debug, Clone)]
+pub struct L1Cache {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    clock: u64,
+}
+
+impl L1Cache {
+    /// Creates an empty cache with `sets` sets of `ways` ways.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0);
+        Self {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            clock: 0,
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.sets.len() - 1)
+    }
+
+    /// Returns `true` if `line` is present.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        self.sets[idx].iter().any(|w| w.line == line)
+    }
+
+    /// Returns `true` if `line` is present and dirty.
+    pub fn is_dirty(&self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        self.sets[idx].iter().any(|w| w.line == line && w.dirty)
+    }
+
+    /// Touches `line` for LRU and optionally marks it dirty. Returns `true`
+    /// on hit.
+    pub fn access(&mut self, line: LineAddr, write: bool) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(line);
+        if let Some(w) = self.sets[idx].iter_mut().find(|w| w.line == line) {
+            w.lru = clock;
+            w.dirty |= write;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Installs `line` (after a miss), evicting the LRU way if the set is
+    /// full. Returns the eviction, if any.
+    pub fn install(&mut self, line: LineAddr, dirty: bool) -> Option<Eviction> {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.ways;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(w) = set.iter_mut().find(|w| w.line == line) {
+            // Already present (racing install): just update.
+            w.lru = clock;
+            w.dirty |= dirty;
+            return None;
+        }
+        let evicted = if set.len() == ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
+                .expect("set is full");
+            let w = set.swap_remove(victim);
+            Some(Eviction {
+                line: w.line,
+                dirty: w.dirty,
+            })
+        } else {
+            None
+        };
+        set.push(Way {
+            line,
+            dirty,
+            lru: clock,
+        });
+        evicted
+    }
+
+    /// Marks `line` clean (a CLWB flushed it; a clean copy is retained).
+    pub fn mark_clean(&mut self, line: LineAddr) {
+        let idx = self.set_index(line);
+        if let Some(w) = self.sets[idx].iter_mut().find(|w| w.line == line) {
+            w.dirty = false;
+        }
+    }
+
+    /// Removes `line` (coherence invalidation). Returns whether it was
+    /// dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        if let Some(pos) = self.sets[idx].iter().position(|w| w.line == line) {
+            self.sets[idx].swap_remove(pos).dirty
+        } else {
+            false
+        }
+    }
+}
+
+/// Tracks, per line, which core (if any) holds it dirty. Used to route
+/// coherence steals; clean sharing needs no bookkeeping in this model
+/// because clean copies can be dropped silently.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    dirty_owner: HashMap<LineAddr, usize>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The core currently holding `line` dirty, if any.
+    pub fn dirty_owner(&self, line: LineAddr) -> Option<usize> {
+        self.dirty_owner.get(&line).copied()
+    }
+
+    /// Records that `core` holds `line` dirty.
+    pub fn set_dirty_owner(&mut self, line: LineAddr, core: usize) {
+        self.dirty_owner.insert(line, core);
+    }
+
+    /// Records that no core holds `line` dirty (flush, writeback, or
+    /// invalidation).
+    pub fn clear_dirty_owner(&mut self, line: LineAddr) {
+        self.dirty_owner.remove(&line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr(n)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = L1Cache::new(4, 2);
+        assert!(!c.access(l(1), false));
+        c.install(l(1), false);
+        assert!(c.access(l(1), false));
+    }
+
+    #[test]
+    fn write_marks_dirty() {
+        let mut c = L1Cache::new(4, 2);
+        c.install(l(1), false);
+        assert!(!c.is_dirty(l(1)));
+        c.access(l(1), true);
+        assert!(c.is_dirty(l(1)));
+        c.mark_clean(l(1));
+        assert!(!c.is_dirty(l(1)));
+        assert!(c.contains(l(1)), "CLWB retains a clean copy");
+    }
+
+    #[test]
+    fn lru_eviction_in_set() {
+        let mut c = L1Cache::new(1, 2);
+        c.install(l(1), false);
+        c.install(l(2), true);
+        c.access(l(1), false); // make line 2 the LRU
+        let ev = c.install(l(3), false).expect("set full");
+        assert_eq!(ev.line, l(2));
+        assert!(ev.dirty);
+        assert!(c.contains(l(1)));
+        assert!(!c.contains(l(2)));
+    }
+
+    #[test]
+    fn lines_map_to_distinct_sets() {
+        let mut c = L1Cache::new(2, 1);
+        c.install(l(0), false);
+        c.install(l(1), false); // different set: no eviction
+        assert!(c.contains(l(0)));
+        assert!(c.contains(l(1)));
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = L1Cache::new(4, 2);
+        c.install(l(1), true);
+        assert!(c.invalidate(l(1)));
+        assert!(!c.contains(l(1)));
+        assert!(!c.invalidate(l(1)));
+    }
+
+    #[test]
+    fn reinstall_merges_dirty_bit() {
+        let mut c = L1Cache::new(4, 2);
+        c.install(l(1), false);
+        assert!(c.install(l(1), true).is_none());
+        assert!(c.is_dirty(l(1)));
+    }
+
+    #[test]
+    fn directory_tracks_dirty_owner() {
+        let mut d = Directory::new();
+        assert_eq!(d.dirty_owner(l(1)), None);
+        d.set_dirty_owner(l(1), 3);
+        assert_eq!(d.dirty_owner(l(1)), Some(3));
+        d.clear_dirty_owner(l(1));
+        assert_eq!(d.dirty_owner(l(1)), None);
+    }
+}

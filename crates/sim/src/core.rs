@@ -1,0 +1,196 @@
+//! Per-core state: issue pipeline, store queue, persist queue, write-back
+//! buffer, and the design-specific persist engines.
+
+use std::collections::VecDeque;
+
+use sw_model::isa::IsaTrace;
+use sw_pmem::LineAddr;
+
+use crate::cache::L1Cache;
+use crate::config::SimConfig;
+use crate::persist::{FlushEngine, Sbu};
+use crate::stats::CoreStats;
+
+/// An entry in the store queue. The no-persist-queue design routes persist
+/// primitives through the store queue, so they appear here too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqOp {
+    /// A retiring store to `line`.
+    Store(LineAddr),
+    /// A CLWB flowing through the store queue (no-persist-queue design).
+    Clwb(LineAddr),
+    /// A persist barrier in the store queue (no-persist-queue design).
+    Pb,
+    /// A `NewStrand` in the store queue (no-persist-queue design).
+    Ns,
+}
+
+/// An entry in the persist queue (full StrandWeaver design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PqOp {
+    /// A CLWB awaiting issue to the strand buffer unit.
+    Clwb(LineAddr),
+    /// A persist barrier.
+    Pb,
+    /// A `NewStrand`.
+    Ns,
+}
+
+/// A memory access in flight (load issue or store retirement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingAccess {
+    /// The line being accessed.
+    pub line: LineAddr,
+    /// Whether the access writes.
+    pub write: bool,
+    /// Completion cycle once known; `None` while a coherence steal is in
+    /// flight.
+    pub ready_at: Option<u64>,
+}
+
+/// A write-back of a dirty persistent line, gated on the strand buffer
+/// unit draining past the tail indexes recorded at initiation (Section IV,
+/// "Managing cache writebacks").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Writeback {
+    /// Line being written back.
+    pub line: LineAddr,
+    /// Strand-buffer drain targets recorded when the write-back began
+    /// (`None` when the design has no strand buffers).
+    pub targets: Option<Vec<u64>>,
+}
+
+/// One core of the simulated machine.
+#[derive(Debug)]
+pub struct Core {
+    /// The dynamic instruction trace to replay.
+    pub trace: IsaTrace,
+    /// Next trace index to issue.
+    pub pc: usize,
+    /// The core cannot issue before this cycle (compute / load latency).
+    pub busy_until: u64,
+    /// In-flight load (at most one; loads block the pipeline).
+    pub load_pending: Option<PendingAccess>,
+    /// In-flight store retirement (head of the store queue).
+    pub store_pending: Option<PendingAccess>,
+    /// A completion fence (SFENCE / JoinStrand / dfence) whose condition is
+    /// not yet met. Memory-ordering instructions (stores, CLWBs, fences,
+    /// lock operations) stall behind it; compute and loads proceed, as on
+    /// an out-of-order core where these fences order only stores.
+    pub pending_fence: Option<sw_model::isa::FenceKind>,
+    /// Store queue.
+    pub sq: VecDeque<SqOp>,
+    /// Persist queue (StrandWeaver design only; empty otherwise).
+    pub pq: VecDeque<PqOp>,
+    /// Strand buffer unit (StrandWeaver / no-persist-queue / HOPS).
+    pub sbu: Option<Sbu>,
+    /// Outstanding-flush engine (Intel / non-atomic).
+    pub flush: Option<FlushEngine>,
+    /// Write-back buffer.
+    pub wb: Vec<Writeback>,
+    /// Private L1 data cache.
+    pub l1: L1Cache,
+    /// Counters.
+    pub stats: CoreStats,
+    /// Set once the trace has fully issued and all queues drained.
+    pub done: bool,
+}
+
+impl Core {
+    /// Creates a core for `trace` under `cfg`; the persist engines are
+    /// attached by the machine according to the hardware design.
+    pub fn new(cfg: &SimConfig, trace: IsaTrace) -> Self {
+        Self {
+            trace,
+            pc: 0,
+            busy_until: 0,
+            load_pending: None,
+            store_pending: None,
+            pending_fence: None,
+            sq: VecDeque::new(),
+            pq: VecDeque::new(),
+            sbu: None,
+            flush: None,
+            wb: Vec::new(),
+            l1: L1Cache::new(cfg.l1_sets, cfg.l1_ways),
+            stats: CoreStats::default(),
+            done: false,
+        }
+    }
+
+    /// `true` if any store in the store queue targets `line` (used to hold
+    /// CLWBs until elder same-line stores retire).
+    pub fn sq_has_store_to(&self, line: LineAddr) -> bool {
+        self.store_pending
+            .is_some_and(|p| p.write && p.line == line)
+            || self
+                .sq
+                .iter()
+                .any(|op| matches!(op, SqOp::Store(l) if *l == line))
+    }
+
+    /// `true` when every persist-side structure has drained.
+    pub fn persists_drained(&self) -> bool {
+        self.pq.is_empty()
+            && self.sbu.as_ref().is_none_or(Sbu::is_empty)
+            && self.flush.as_ref().is_none_or(FlushEngine::is_empty)
+    }
+
+    /// `true` when the store queue (including the in-flight head) is empty.
+    pub fn stores_drained(&self) -> bool {
+        self.sq.is_empty() && self.store_pending.is_none()
+    }
+
+    /// `true` when the core has issued its whole trace and drained
+    /// everything.
+    pub fn fully_drained(&self) -> bool {
+        self.pc >= self.trace.len()
+            && self.stores_drained()
+            && self.persists_drained()
+            && self.load_pending.is_none()
+            && self.pending_fence.is_none()
+            && self.wb.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_model::isa::IsaOp;
+    use sw_pmem::Addr;
+
+    #[test]
+    fn fresh_core_is_drained_but_not_done() {
+        let cfg = SimConfig::table_i();
+        let core = Core::new(&cfg, vec![IsaOp::Compute(5)]);
+        assert!(!core.fully_drained(), "trace not yet issued");
+        assert!(core.persists_drained());
+        assert!(core.stores_drained());
+    }
+
+    #[test]
+    fn sq_store_lookup_sees_pending_head() {
+        let cfg = SimConfig::table_i();
+        let mut core = Core::new(&cfg, vec![]);
+        let line = Addr(0x1000_0000).line();
+        assert!(!core.sq_has_store_to(line));
+        core.sq.push_back(SqOp::Store(line));
+        assert!(core.sq_has_store_to(line));
+        core.sq.pop_front();
+        core.store_pending = Some(PendingAccess {
+            line,
+            write: true,
+            ready_at: Some(10),
+        });
+        assert!(core.sq_has_store_to(line));
+    }
+
+    #[test]
+    fn clwb_in_sq_does_not_count_as_store() {
+        let cfg = SimConfig::table_i();
+        let mut core = Core::new(&cfg, vec![]);
+        let line = LineAddr(5);
+        core.sq.push_back(SqOp::Clwb(line));
+        assert!(!core.sq_has_store_to(line));
+    }
+}

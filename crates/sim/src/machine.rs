@@ -1,0 +1,1033 @@
+//! The cycle-stepped multicore machine.
+//!
+//! The machine replays one ISA trace per core under a chosen hardware
+//! design and reports cycle counts and stall breakdowns. Each cycle:
+//!
+//! 1. the PM controller drains its ADR write queue;
+//! 2. coherence steals whose snoop-buffer drain condition is met resolve;
+//! 3. every core's back-end runs — flush engines and strand buffers issue
+//!    and retire CLWBs, the persist queue feeds the strand buffer unit,
+//!    the store queue retires stores, and write-backs drain;
+//! 4. every core's front-end issues at most one trace operation, honoring
+//!    the design's fence semantics and queue capacities.
+//!
+//! Deadlock freedom follows the paper's argument: CLWBs wait for elder
+//! same-line stores *before* entering the strand buffer unit (at the
+//! persist-queue head), never inside it, so strand buffers always drain,
+//! which unblocks snoop stalls, which unblocks store retirement.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use sw_model::isa::{FenceKind, IsaOp, IsaTrace, LockId};
+use sw_model::HwDesign;
+use sw_pmem::{LineAddr, PmLayout};
+
+use crate::cache::Directory;
+use crate::config::SimConfig;
+use crate::core::{Core, PendingAccess, PqOp, SqOp, Writeback};
+use crate::memctrl::{DramController, PmController};
+use crate::persist::{ClwbState, FlushEngine, Sbu};
+use crate::stats::SimStats;
+
+/// How many persist-queue entries may move to the strand buffer unit per
+/// cycle.
+const PQ_ISSUE_WIDTH: usize = 4;
+/// How many store-queue bookkeeping entries (CLWB/PB/NS) may drain per
+/// cycle in the no-persist-queue design.
+const SQ_DRAIN_WIDTH: usize = 4;
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<usize>,
+    waiters: VecDeque<usize>,
+}
+
+#[derive(Debug)]
+struct Steal {
+    line: LineAddr,
+    owner: usize,
+    requester: usize,
+    write: bool,
+    /// Strand-buffer drain targets recorded at the owner when the steal
+    /// arrived (the snoop-buffer tail indexes of Section IV).
+    targets: Option<Vec<u64>>,
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: SimConfig,
+    design: HwDesign,
+    layout: PmLayout,
+    cycle: u64,
+    cores: Vec<Core>,
+    pm: PmController,
+    dram: DramController,
+    /// Lines present somewhere in the (effectively unbounded) shared L2.
+    l2: HashSet<LineAddr>,
+    dir: Directory,
+    locks: HashMap<LockId, LockState>,
+    steals: Vec<Steal>,
+}
+
+impl Machine {
+    /// Builds a machine for `design` and one trace per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more traces than configured cores are supplied.
+    pub fn new(cfg: SimConfig, design: HwDesign, layout: PmLayout, traces: Vec<IsaTrace>) -> Self {
+        assert!(traces.len() <= cfg.cores, "more traces than cores");
+        let mut cores: Vec<Core> = traces.into_iter().map(|t| Core::new(&cfg, t)).collect();
+        while cores.len() < cfg.cores {
+            cores.push(Core::new(&cfg, Vec::new()));
+        }
+        for core in &mut cores {
+            match design {
+                HwDesign::StrandWeaver | HwDesign::NoPersistQueue => {
+                    core.sbu = Some(Sbu::new(cfg.strand_buffers, cfg.strand_buffer_entries));
+                }
+                HwDesign::Hops => {
+                    core.sbu = Some(Sbu::new(1, cfg.hops_buffer_entries));
+                }
+                HwDesign::IntelX86 => {
+                    core.flush = Some(FlushEngine::new(cfg.intel_flush_slots));
+                }
+                HwDesign::NonAtomic => {
+                    // The non-atomic upper bound buffers CLWBs without any
+                    // ordering; give it the persist queue's capacity so it
+                    // is limited by the device, not by MSHRs.
+                    core.flush = Some(FlushEngine::new(cfg.persist_queue_entries));
+                }
+            }
+        }
+        let pm = PmController::new(
+            cfg.pm_write_queue,
+            cfg.pm_write_ack_cycles,
+            cfg.pm_drain_interval,
+            cfg.pm_read_cycles,
+            cfg.pm_read_interval,
+        );
+        let dram = DramController::new(cfg.dram_cycles);
+        Self {
+            cfg,
+            design,
+            layout,
+            cycle: 0,
+            cores,
+            pm,
+            dram,
+            l2: HashSet::new(),
+            dir: Directory::new(),
+            locks: HashMap::new(),
+            steals: Vec::new(),
+        }
+    }
+
+    /// Preloads lines into the shared L2 (e.g. the lines a setup phase
+    /// wrote), so a steady-state timing run does not pay cold-device
+    /// latencies for data that would be cache-resident after warmup.
+    pub fn preload_l2<I: IntoIterator<Item = LineAddr>>(&mut self, lines: I) {
+        self.l2.extend(lines);
+    }
+
+    /// Runs to completion and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured cycle bound is exceeded (indicates a
+    /// modelling deadlock — a bug).
+    pub fn run(mut self) -> SimStats {
+        while !self.cores.iter().all(|c| c.done) {
+            self.tick();
+            assert!(
+                self.cycle < self.cfg.max_cycles,
+                "simulation exceeded cycle bound"
+            );
+        }
+        let cycles = self
+            .cores
+            .iter()
+            .map(|c| c.stats.done_cycle)
+            .max()
+            .unwrap_or(0);
+        SimStats {
+            cycles,
+            cores: self.cores.into_iter().map(|c| c.stats).collect(),
+            pm_write_order: self.pm.write_order,
+        }
+    }
+
+    fn is_persistent_line(&self, line: LineAddr) -> bool {
+        self.layout.is_persistent(line.base())
+    }
+
+    fn tick(&mut self) {
+        self.pm.tick(self.cycle);
+        self.process_steals();
+        for i in 0..self.cores.len() {
+            self.backend(i);
+        }
+        for i in 0..self.cores.len() {
+            self.frontend(i);
+        }
+        for i in 0..self.cores.len() {
+            if !self.cores[i].done
+                && self.cores[i].fully_drained()
+                && self.cycle >= self.cores[i].busy_until
+            {
+                self.cores[i].done = true;
+                self.cores[i].stats.done_cycle = self.cycle;
+            }
+        }
+        self.cycle += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Coherence.
+    // ------------------------------------------------------------------
+
+    /// Begins a fetch of `line` for core `i`. Returns the completion cycle,
+    /// or `None` if a coherence steal is in flight (the caller's pending
+    /// access resolves later).
+    fn start_fetch(&mut self, i: usize, line: LineAddr, write: bool) -> Option<u64> {
+        if let Some(owner) = self.dir.dirty_owner(line) {
+            if owner != i {
+                let targets = self.cores[owner].sbu.as_ref().map(Sbu::drain_targets);
+                self.steals.push(Steal {
+                    line,
+                    owner,
+                    requester: i,
+                    write,
+                    targets,
+                });
+                return None;
+            }
+        }
+        let latency = if self.l2.contains(&line) {
+            self.cfg.l2_hit_cycles
+        } else {
+            self.l2.insert(line);
+            if self.is_persistent_line(line) {
+                // Cold write-allocations stream from the controller (see
+                // DESIGN.md): reads pay the device latency, stores do not.
+                if write {
+                    self.cfg.l2_hit_cycles
+                } else {
+                    self.pm.read(self.cycle) - self.cycle
+                }
+            } else {
+                self.dram.access(self.cycle) - self.cycle
+            }
+        };
+        self.install(i, line, write);
+        Some(self.cycle + latency)
+    }
+
+    /// Installs `line` in core `i`'s L1 and handles the eviction.
+    fn install(&mut self, i: usize, line: LineAddr, dirty: bool) {
+        if dirty && self.is_persistent_line(line) {
+            self.dir.set_dirty_owner(line, i);
+        }
+        if let Some(ev) = self.cores[i].l1.install(line, dirty) {
+            if ev.dirty {
+                self.dir.clear_dirty_owner(ev.line);
+                if self.is_persistent_line(ev.line) {
+                    let targets = self.cores[i].sbu.as_ref().map(Sbu::drain_targets);
+                    self.cores[i].wb.push(Writeback {
+                        line: ev.line,
+                        targets,
+                    });
+                }
+                // Volatile dirty evictions drain to DRAM for free.
+            }
+        }
+    }
+
+    fn process_steals(&mut self) {
+        let mut remaining = Vec::new();
+        let steals = std::mem::take(&mut self.steals);
+        for s in steals {
+            let drained = match (&s.targets, self.cores[s.owner].sbu.as_ref()) {
+                (Some(t), Some(sbu)) => sbu.drained_past(t),
+                _ => true,
+            };
+            if !drained {
+                remaining.push(s);
+                continue;
+            }
+            let was_dirty = self.cores[s.owner].l1.invalidate(s.line);
+            self.dir.clear_dirty_owner(s.line);
+            self.l2.insert(s.line);
+            self.install(s.requester, s.line, was_dirty || s.write);
+            let ready = self.cycle + self.cfg.coherence_transfer_cycles + self.cfg.l1_hit_cycles;
+            let core = &mut self.cores[s.requester];
+            let matches_pending = |p: &PendingAccess| p.line == s.line && p.ready_at.is_none();
+            if core.load_pending.as_ref().is_some_and(matches_pending) {
+                core.load_pending.as_mut().expect("checked").ready_at = Some(ready);
+            } else if core.store_pending.as_ref().is_some_and(matches_pending) {
+                core.store_pending.as_mut().expect("checked").ready_at = Some(ready);
+            }
+        }
+        self.steals = remaining;
+    }
+
+    // ------------------------------------------------------------------
+    // Back-end: persist engines, store queue, write-backs.
+    // ------------------------------------------------------------------
+
+    /// Performs the flush action of a CLWB for `line` on core `i`: L1
+    /// lookup; dirty lines go to the PM controller, others complete after
+    /// the lookup. Returns the completion cycle, or `None` on controller
+    /// back-pressure.
+    fn flush_access(&mut self, i: usize, line: LineAddr) -> Option<u64> {
+        let lookup_done = self.cycle + self.cfg.l1_hit_cycles;
+        if self.cores[i].l1.is_dirty(line) && self.is_persistent_line(line) {
+            let ack = self.pm.try_write(line, lookup_done)?;
+            self.cores[i].l1.mark_clean(line);
+            self.dir.clear_dirty_owner(line);
+            Some(ack)
+        } else {
+            // Clean, absent, or volatile: nothing to persist.
+            self.cores[i].l1.mark_clean(line);
+            Some(lookup_done)
+        }
+    }
+
+    fn backend(&mut self, i: usize) {
+        self.backend_flush_engine(i);
+        self.backend_sbu(i);
+        if self.design == HwDesign::StrandWeaver {
+            self.backend_pq(i);
+        }
+        self.backend_sq(i);
+        self.backend_wb(i);
+    }
+
+    /// Intel / non-atomic: issue waiting flush slots, retire completed
+    /// ones. Slots wait for elder same-line stores to retire first.
+    fn backend_flush_engine(&mut self, i: usize) {
+        if self.cores[i].flush.is_none() {
+            return;
+        }
+        let n = self.cores[i].flush.as_ref().expect("checked").len();
+        for s in 0..n {
+            let (line, waiting) = {
+                let slot = self.cores[i].flush.as_ref().expect("checked").slots()[s];
+                (slot.line, slot.state == ClwbState::Waiting)
+            };
+            if !waiting || self.cores[i].sq_has_store_to(line) {
+                continue;
+            }
+            if let Some(done_at) = self.flush_access(i, line) {
+                self.cores[i].flush.as_mut().expect("checked").slots_mut()[s].state =
+                    ClwbState::Pending { done_at };
+            }
+        }
+        let cycle = self.cycle;
+        self.cores[i]
+            .flush
+            .as_mut()
+            .expect("checked")
+            .tick_retire(cycle);
+    }
+
+    /// Strand buffers (StrandWeaver, no-persist-queue, HOPS): issue the
+    /// ready CLWBs, advance completions, retire in order.
+    fn backend_sbu(&mut self, i: usize) {
+        if self.cores[i].sbu.is_none() {
+            return;
+        }
+        let issuable = self.cores[i].sbu.as_ref().expect("checked").issuable();
+        for (b, e, line) in issuable {
+            // Note: no store-queue gate here — that check happened before
+            // insertion, preserving the paper's deadlock-freedom argument.
+            if let Some(done_at) = self.flush_access(i, line) {
+                self.cores[i]
+                    .sbu
+                    .as_mut()
+                    .expect("checked")
+                    .mark_pending(b, e, done_at);
+            }
+        }
+        let cycle = self.cycle;
+        self.cores[i]
+            .sbu
+            .as_mut()
+            .expect("checked")
+            .tick_retire(cycle);
+    }
+
+    /// StrandWeaver: move persist-queue entries to the strand buffer unit
+    /// in order.
+    fn backend_pq(&mut self, i: usize) {
+        for _ in 0..PQ_ISSUE_WIDTH {
+            let Some(&op) = self.cores[i].pq.front() else {
+                break;
+            };
+            match op {
+                PqOp::Clwb(line) => {
+                    let has_space = self.cores[i]
+                        .sbu
+                        .as_ref()
+                        .expect("strandweaver has sbu")
+                        .has_space();
+                    if !has_space || self.cores[i].sq_has_store_to(line) {
+                        break;
+                    }
+                    self.cores[i].sbu.as_mut().expect("checked").push_clwb(line);
+                }
+                PqOp::Pb => {
+                    if !self.cores[i].sbu.as_ref().expect("checked").has_space() {
+                        break;
+                    }
+                    self.cores[i].sbu.as_mut().expect("checked").push_pb();
+                }
+                PqOp::Ns => self.cores[i].sbu.as_mut().expect("checked").new_strand(),
+            }
+            self.cores[i].pq.pop_front();
+        }
+    }
+
+    /// Store queue: complete the in-flight head, start the next entry.
+    fn backend_sq(&mut self, i: usize) {
+        if let Some(p) = self.cores[i].store_pending {
+            match p.ready_at {
+                Some(t) if t <= self.cycle => self.cores[i].store_pending = None,
+                _ => return, // still retiring (or waiting on a steal)
+            }
+        }
+        for _ in 0..SQ_DRAIN_WIDTH {
+            let Some(&op) = self.cores[i].sq.front() else {
+                break;
+            };
+            match op {
+                SqOp::Store(line) => {
+                    self.cores[i].sq.pop_front();
+                    if self.cores[i].l1.access(line, true) {
+                        if self.is_persistent_line(line) {
+                            self.dir.set_dirty_owner(line, i);
+                        }
+                        // Pipelined hit: one store per cycle.
+                        self.cores[i].store_pending = Some(PendingAccess {
+                            line,
+                            write: true,
+                            ready_at: Some(self.cycle + 1),
+                        });
+                    } else {
+                        let ready_at = self.start_fetch(i, line, true);
+                        self.cores[i].store_pending = Some(PendingAccess {
+                            line,
+                            write: true,
+                            ready_at,
+                        });
+                    }
+                    break; // one store in flight at a time
+                }
+                SqOp::Clwb(line) => {
+                    // No-persist-queue design: head-of-line CLWB blocks the
+                    // stores behind it until the strand buffer has space.
+                    if self.cores[i]
+                        .store_pending
+                        .as_ref()
+                        .is_some_and(|p| p.line == line)
+                    {
+                        break;
+                    }
+                    let sbu = self.cores[i].sbu.as_ref().expect("no-pq design has sbu");
+                    if !sbu.has_space() {
+                        break;
+                    }
+                    self.cores[i].sbu.as_mut().expect("checked").push_clwb(line);
+                    self.cores[i].sq.pop_front();
+                }
+                SqOp::Pb => {
+                    let sbu = self.cores[i].sbu.as_ref().expect("no-pq design has sbu");
+                    if !sbu.has_space() {
+                        break;
+                    }
+                    self.cores[i].sbu.as_mut().expect("checked").push_pb();
+                    self.cores[i].sq.pop_front();
+                }
+                SqOp::Ns => {
+                    self.cores[i]
+                        .sbu
+                        .as_mut()
+                        .expect("no-pq design has sbu")
+                        .new_strand();
+                    self.cores[i].sq.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Write-back buffer: entries drain to the PM controller once the
+    /// strand buffers have drained past the recorded tail indexes.
+    fn backend_wb(&mut self, i: usize) {
+        let mut k = 0;
+        while k < self.cores[i].wb.len() {
+            let ready = match (&self.cores[i].wb[k].targets, self.cores[i].sbu.as_ref()) {
+                (Some(t), Some(sbu)) => sbu.drained_past(t),
+                _ => true,
+            };
+            if !ready {
+                k += 1;
+                continue;
+            }
+            let line = self.cores[i].wb[k].line;
+            if self.is_persistent_line(line) && self.pm.try_write(line, self.cycle).is_none() {
+                k += 1;
+                continue; // controller back-pressure; retry
+            }
+            self.cores[i].wb.swap_remove(k);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Front-end: issue.
+    // ------------------------------------------------------------------
+
+    /// `true` once the waiting condition of a completion fence is met.
+    fn fence_condition_met(&self, i: usize, kind: FenceKind) -> bool {
+        match kind {
+            // SFENCE: prior CLWBs must complete.
+            FenceKind::Sfence => self.cores[i]
+                .flush
+                .as_ref()
+                .is_none_or(FlushEngine::is_empty),
+            // JoinStrand: prior CLWBs and stores must complete.
+            FenceKind::JoinStrand => {
+                self.cores[i].stores_drained() && self.cores[i].persists_drained()
+            }
+            // dfence: the persist buffer must drain.
+            FenceKind::Dfence => self.cores[i].sbu.as_ref().is_none_or(Sbu::is_empty),
+            _ => true,
+        }
+    }
+
+    fn frontend(&mut self, i: usize) {
+        // Resolve a finished blocking load.
+        if let Some(p) = self.cores[i].load_pending {
+            match p.ready_at {
+                Some(t) if t <= self.cycle => self.cores[i].load_pending = None,
+                _ => {
+                    self.cores[i].stats.mem_busy += 1;
+                    return;
+                }
+            }
+        }
+        // Resolve a completion fence whose condition is now met.
+        if let Some(kind) = self.cores[i].pending_fence {
+            if self.fence_condition_met(i, kind) {
+                self.cores[i].pending_fence = None;
+            }
+        }
+        if self.cycle < self.cores[i].busy_until {
+            return;
+        }
+        let Some(&op) = self.cores[i].trace.get(self.cores[i].pc) else {
+            return;
+        };
+        // A pending completion fence blocks memory-ordering instructions;
+        // compute and loads flow past it (an OoO core keeps executing —
+        // SFENCE and JoinStrand order stores and flushes, not ALU work).
+        let ordered_class = matches!(
+            op,
+            IsaOp::Store(_) | IsaOp::Clwb(_) | IsaOp::Fence(_) | IsaOp::Lock(_) | IsaOp::Unlock(_)
+        );
+        if ordered_class && self.cores[i].pending_fence.is_some() {
+            self.cores[i].stats.stall_fence += 1;
+            return;
+        }
+        match op {
+            IsaOp::Compute(n) => {
+                self.cores[i].busy_until = self.cycle + 1 + n as u64;
+                self.advance(i);
+            }
+            IsaOp::Load(addr) => {
+                let line = addr.line();
+                self.cores[i].stats.loads += 1;
+                if self.cores[i].sq_has_store_to(line) {
+                    // Store-to-load forwarding.
+                    self.cores[i].busy_until = self.cycle + 1;
+                } else if self.cores[i].l1.access(line, false) {
+                    self.cores[i].busy_until = self.cycle + self.cfg.l1_hit_cycles;
+                    self.cores[i].stats.mem_busy += self.cfg.l1_hit_cycles;
+                } else {
+                    let ready_at = self.start_fetch(i, line, false);
+                    self.cores[i].load_pending = Some(PendingAccess {
+                        line,
+                        write: false,
+                        ready_at,
+                    });
+                }
+                self.advance(i);
+            }
+            IsaOp::Store(addr) => {
+                if self.cores[i].sq.len() >= self.cfg.store_queue_entries {
+                    self.cores[i].stats.stall_sq_full += 1;
+                    return;
+                }
+                self.cores[i].sq.push_back(SqOp::Store(addr.line()));
+                self.cores[i].stats.stores += 1;
+                self.advance(i);
+            }
+            IsaOp::Clwb(addr) => {
+                if !self.issue_clwb(i, addr.line()) {
+                    return;
+                }
+                self.cores[i].stats.clwbs += 1;
+                self.advance(i);
+            }
+            IsaOp::Fence(kind) => {
+                if !self.issue_fence(i, kind) {
+                    return;
+                }
+                self.cores[i].stats.fences += 1;
+                self.advance(i);
+            }
+            IsaOp::Lock(l) => {
+                if !self.try_acquire(l, i) {
+                    self.cores[i].stats.stall_lock += 1;
+                    return;
+                }
+                self.cores[i].busy_until = self.cycle + 1;
+                self.advance(i);
+            }
+            IsaOp::Unlock(l) => {
+                let st = self.locks.entry(l).or_default();
+                debug_assert_eq!(st.holder, Some(i), "unlock by non-holder");
+                st.holder = None;
+                self.advance(i);
+            }
+        }
+    }
+
+    fn advance(&mut self, i: usize) {
+        self.cores[i].pc += 1;
+        self.cores[i].stats.ops += 1;
+    }
+
+    /// Attempts to issue a CLWB; returns `false` (and records the stall) if
+    /// the design's structure is full.
+    fn issue_clwb(&mut self, i: usize, line: LineAddr) -> bool {
+        match self.design {
+            HwDesign::StrandWeaver => {
+                if self.cores[i].pq.len() >= self.cfg.persist_queue_entries {
+                    self.cores[i].stats.stall_pq_full += 1;
+                    return false;
+                }
+                self.cores[i].pq.push_back(PqOp::Clwb(line));
+                true
+            }
+            HwDesign::NoPersistQueue => {
+                if self.cores[i].sq.len() >= self.cfg.store_queue_entries {
+                    self.cores[i].stats.stall_sq_full += 1;
+                    return false;
+                }
+                self.cores[i].sq.push_back(SqOp::Clwb(line));
+                true
+            }
+            HwDesign::Hops => {
+                // HOPS inserts into the persist buffer at issue; the elder
+                // same-line store must have retired (checked here, before
+                // insertion, to preserve deadlock freedom).
+                if self.cores[i].sq_has_store_to(line) {
+                    self.cores[i].stats.stall_pq_full += 1;
+                    return false;
+                }
+                if !self.cores[i].sbu.as_ref().expect("hops sbu").has_space() {
+                    self.cores[i].stats.stall_pq_full += 1;
+                    return false;
+                }
+                self.cores[i].sbu.as_mut().expect("checked").push_clwb(line);
+                true
+            }
+            HwDesign::IntelX86 | HwDesign::NonAtomic => {
+                if !self.cores[i]
+                    .flush
+                    .as_ref()
+                    .expect("flush engine")
+                    .has_space()
+                {
+                    self.cores[i].stats.stall_pq_full += 1;
+                    return false;
+                }
+                self.cores[i].flush.as_mut().expect("checked").push(line);
+                true
+            }
+        }
+    }
+
+    /// Attempts to execute a fence; returns `false` (and records the stall)
+    /// while its condition is unmet.
+    fn issue_fence(&mut self, i: usize, kind: FenceKind) -> bool {
+        match (self.design, kind) {
+            (HwDesign::StrandWeaver, FenceKind::PersistBarrier | FenceKind::NewStrand) => {
+                if self.cores[i].pq.len() >= self.cfg.persist_queue_entries {
+                    self.cores[i].stats.stall_pq_full += 1;
+                    return false;
+                }
+                let op = if kind == FenceKind::PersistBarrier {
+                    PqOp::Pb
+                } else {
+                    PqOp::Ns
+                };
+                self.cores[i].pq.push_back(op);
+                true
+            }
+            (HwDesign::NoPersistQueue, FenceKind::PersistBarrier | FenceKind::NewStrand) => {
+                if self.cores[i].sq.len() >= self.cfg.store_queue_entries {
+                    self.cores[i].stats.stall_sq_full += 1;
+                    return false;
+                }
+                let op = if kind == FenceKind::PersistBarrier {
+                    SqOp::Pb
+                } else {
+                    SqOp::Ns
+                };
+                self.cores[i].sq.push_back(op);
+                true
+            }
+            (HwDesign::StrandWeaver | HwDesign::NoPersistQueue, FenceKind::JoinStrand)
+            | (HwDesign::IntelX86 | HwDesign::NonAtomic, FenceKind::Sfence)
+            | (HwDesign::Hops, FenceKind::Dfence) => {
+                // Completion fences become *pending*: subsequent stores,
+                // flushes, fences, and lock operations wait for the
+                // condition, while compute and loads continue.
+                if !self.fence_condition_met(i, kind) {
+                    self.cores[i].pending_fence = Some(kind);
+                }
+                true
+            }
+            (HwDesign::Hops, FenceKind::Ofence) => {
+                // Lightweight: an epoch marker in the persist buffer.
+                if !self.cores[i].sbu.as_ref().expect("hops sbu").has_space() {
+                    self.cores[i].stats.stall_pq_full += 1;
+                    return false;
+                }
+                self.cores[i].sbu.as_mut().expect("checked").push_pb();
+                true
+            }
+            // A fence the design does not define is a no-op (traces are
+            // lowered per design, so this only happens in hand-written
+            // tests).
+            _ => true,
+        }
+    }
+
+    fn try_acquire(&mut self, l: LockId, i: usize) -> bool {
+        let st = self.locks.entry(l).or_default();
+        let first_in_line = st.waiters.front().is_none_or(|&w| w == i);
+        if st.holder.is_none() && first_in_line {
+            if st.waiters.front() == Some(&i) {
+                st.waiters.pop_front();
+            }
+            st.holder = Some(i);
+            true
+        } else {
+            if st.holder != Some(i) && !st.waiters.contains(&i) {
+                st.waiters.push_back(i);
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_pmem::Addr;
+
+    fn layout() -> PmLayout {
+        PmLayout::new(2, 64)
+    }
+
+    fn cfg(cores: usize) -> SimConfig {
+        SimConfig::table_i().with_cores(cores)
+    }
+
+    fn run(design: HwDesign, traces: Vec<IsaTrace>) -> SimStats {
+        let n = traces.len();
+        Machine::new(cfg(n), design, layout(), traces).run()
+    }
+
+    fn heap(k: u64) -> Addr {
+        layout().heap_base().offset_words(8 * k)
+    }
+
+    /// `n` log/update pairs lowered the way `sw-lang` lowers them for each
+    /// design, with distinct log and data lines per pair.
+    fn pair_trace(design: HwDesign, n: u64) -> IsaTrace {
+        let mut t = Vec::new();
+        for k in 0..n {
+            let log = heap(1000 + 8 * k);
+            let data = heap(8 * k);
+            t.push(IsaOp::Store(log));
+            t.push(IsaOp::Clwb(log));
+            match design {
+                HwDesign::IntelX86 => t.push(IsaOp::Fence(FenceKind::Sfence)),
+                HwDesign::Hops => t.push(IsaOp::Fence(FenceKind::Ofence)),
+                HwDesign::StrandWeaver | HwDesign::NoPersistQueue => {
+                    t.push(IsaOp::Fence(FenceKind::PersistBarrier))
+                }
+                HwDesign::NonAtomic => {}
+            }
+            t.push(IsaOp::Store(data));
+            t.push(IsaOp::Clwb(data));
+            match design {
+                HwDesign::IntelX86 => t.push(IsaOp::Fence(FenceKind::Sfence)),
+                HwDesign::Hops => t.push(IsaOp::Fence(FenceKind::Ofence)),
+                HwDesign::StrandWeaver | HwDesign::NoPersistQueue => {
+                    t.push(IsaOp::Fence(FenceKind::NewStrand))
+                }
+                HwDesign::NonAtomic => {}
+            }
+        }
+        match design {
+            HwDesign::IntelX86 => t.push(IsaOp::Fence(FenceKind::Sfence)),
+            HwDesign::Hops => t.push(IsaOp::Fence(FenceKind::Dfence)),
+            HwDesign::StrandWeaver | HwDesign::NoPersistQueue => {
+                t.push(IsaOp::Fence(FenceKind::JoinStrand))
+            }
+            HwDesign::NonAtomic => {}
+        }
+        t
+    }
+
+    #[test]
+    fn empty_machine_finishes() {
+        let stats = run(HwDesign::StrandWeaver, vec![vec![]]);
+        assert_eq!(stats.cores[0].ops, 0);
+    }
+
+    #[test]
+    fn compute_trace_takes_expected_cycles() {
+        let stats = run(HwDesign::StrandWeaver, vec![vec![IsaOp::Compute(100)]]);
+        assert!(
+            stats.cycles >= 100 && stats.cycles < 110,
+            "cycles = {}",
+            stats.cycles
+        );
+    }
+
+    #[test]
+    fn single_persist_completes_after_controller_ack() {
+        let a = heap(0);
+        let t = vec![
+            IsaOp::Store(a),
+            IsaOp::Clwb(a),
+            IsaOp::Fence(FenceKind::JoinStrand),
+        ];
+        let stats = run(HwDesign::StrandWeaver, vec![t]);
+        assert_eq!(stats.total_clwbs(), 1);
+        assert!(
+            stats.cycles >= SimConfig::table_i().pm_write_ack_cycles,
+            "JoinStrand must wait out the controller acknowledgement; cycles = {}",
+            stats.cycles
+        );
+    }
+
+    #[test]
+    fn sfence_stalls_until_flush_completes() {
+        let a = heap(0);
+        let b = heap(8);
+        let t = vec![
+            IsaOp::Store(a),
+            IsaOp::Clwb(a),
+            IsaOp::Fence(FenceKind::Sfence),
+            IsaOp::Store(b),
+            IsaOp::Clwb(b),
+            IsaOp::Fence(FenceKind::Sfence),
+        ];
+        let stats = run(HwDesign::IntelX86, vec![t]);
+        assert!(stats.cycles >= 2 * SimConfig::table_i().pm_write_ack_cycles);
+        assert!(stats.cores[0].stall_fence > 100);
+    }
+
+    #[test]
+    fn figure4_running_example() {
+        // CLWB(A); PB; CLWB(B); NS; CLWB(C); JS; CLWB(D) — C drains
+        // concurrently with A; B waits for A; D waits for all.
+        let (a, b, c, d) = (heap(0), heap(8), heap(16), heap(24));
+        let mut t = Vec::new();
+        for &x in &[a, b, c, d] {
+            t.push(IsaOp::Store(x));
+        }
+        t.extend([
+            IsaOp::Clwb(a),
+            IsaOp::Fence(FenceKind::PersistBarrier),
+            IsaOp::Clwb(b),
+            IsaOp::Fence(FenceKind::NewStrand),
+            IsaOp::Clwb(c),
+            IsaOp::Fence(FenceKind::JoinStrand),
+            IsaOp::Clwb(d),
+            IsaOp::Fence(FenceKind::JoinStrand),
+        ]);
+        let stats = run(HwDesign::StrandWeaver, vec![t]);
+        assert_eq!(stats.total_clwbs(), 4);
+        // A and C overlap; B is serialized after A; D after everything:
+        // roughly 3 acks of latency, definitely less than 4 serial acks.
+        let ack = SimConfig::table_i().pm_write_ack_cycles;
+        assert!(stats.cycles >= 3 * ack, "cycles = {}", stats.cycles);
+        assert!(stats.cycles < 4 * ack + 200, "cycles = {}", stats.cycles);
+    }
+
+    #[test]
+    fn design_performance_ordering_on_pair_workload() {
+        let n = 64;
+        let cycles: Vec<(HwDesign, u64)> = HwDesign::ALL
+            .iter()
+            .map(|&d| (d, run(d, vec![pair_trace(d, n)]).cycles))
+            .collect();
+        let get = |d: HwDesign| cycles.iter().find(|(x, _)| *x == d).expect("present").1;
+        let intel = get(HwDesign::IntelX86);
+        let hops = get(HwDesign::Hops);
+        let nopq = get(HwDesign::NoPersistQueue);
+        let sw = get(HwDesign::StrandWeaver);
+        let non_atomic = get(HwDesign::NonAtomic);
+        assert!(sw < hops, "strands beat epochs: sw={sw} hops={hops}");
+        assert!(
+            hops < intel,
+            "delegated ordering beats core stalls: hops={hops} intel={intel}"
+        );
+        assert!(
+            non_atomic <= sw,
+            "no ordering is the lower bound: na={non_atomic} sw={sw}"
+        );
+        assert!(
+            nopq <= intel,
+            "intermediate design still beats intel: nopq={nopq}"
+        );
+        // On this store-light microtrace the persist queue's advantage over
+        // the store-queue path is marginal (it shows up under store-heavy
+        // workloads — see the bench harness); allow a small tolerance.
+        assert!(sw <= nopq + nopq / 50, "sw={sw} nopq={nopq}");
+    }
+
+    #[test]
+    fn strandweaver_outperformance_is_substantial() {
+        let n = 64;
+        let intel = run(HwDesign::IntelX86, vec![pair_trace(HwDesign::IntelX86, n)]).cycles;
+        let sw = run(
+            HwDesign::StrandWeaver,
+            vec![pair_trace(HwDesign::StrandWeaver, n)],
+        )
+        .cycles;
+        let speedup = intel as f64 / sw as f64;
+        assert!(
+            speedup > 1.2,
+            "expected a material speedup, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn lock_contention_serializes() {
+        let mk = || {
+            vec![
+                IsaOp::Lock(LockId(0)),
+                IsaOp::Compute(500),
+                IsaOp::Unlock(LockId(0)),
+            ]
+        };
+        let stats = run(HwDesign::StrandWeaver, vec![mk(), mk()]);
+        assert!(
+            stats.cycles >= 1000,
+            "critical sections serialized; cycles = {}",
+            stats.cycles
+        );
+        assert!(stats.lock_stall_cycles() >= 400);
+    }
+
+    #[test]
+    fn uncontended_locks_are_cheap() {
+        let t = vec![IsaOp::Lock(LockId(1)), IsaOp::Unlock(LockId(1))];
+        let stats = run(HwDesign::StrandWeaver, vec![t]);
+        assert!(stats.cycles < 20);
+        assert_eq!(stats.lock_stall_cycles(), 0);
+    }
+
+    #[test]
+    fn cross_core_conflicts_run_to_completion() {
+        // Two cores hammer the same lines with stores and CLWBs under
+        // strand primitives: exercises steals, snoop waits, and the
+        // deadlock-freedom argument.
+        let mk = |seed: u64| {
+            let mut t = Vec::new();
+            for k in 0..40u64 {
+                let x = heap((seed + k) % 8);
+                t.push(IsaOp::Store(x));
+                t.push(IsaOp::Clwb(x));
+                t.push(IsaOp::Fence(FenceKind::PersistBarrier));
+                if k % 4 == 0 {
+                    t.push(IsaOp::Fence(FenceKind::NewStrand));
+                }
+            }
+            t.push(IsaOp::Fence(FenceKind::JoinStrand));
+            t
+        };
+        let stats = run(HwDesign::StrandWeaver, vec![mk(0), mk(3)]);
+        assert_eq!(stats.total_clwbs(), 80);
+    }
+
+    #[test]
+    fn hops_ofence_does_not_stall_core() {
+        let a = heap(0);
+        let t = vec![
+            IsaOp::Store(a),
+            IsaOp::Clwb(a),
+            IsaOp::Fence(FenceKind::Ofence),
+            IsaOp::Compute(10),
+        ];
+        let stats = run(HwDesign::Hops, vec![t]);
+        assert_eq!(stats.cores[0].stall_fence, 0, "ofence is lightweight");
+    }
+
+    #[test]
+    fn pm_loads_pay_device_latency() {
+        let a = heap(0);
+        let stats = run(HwDesign::StrandWeaver, vec![vec![IsaOp::Load(a)]]);
+        assert!(
+            stats.cycles >= SimConfig::table_i().pm_read_cycles,
+            "cold PM load: cycles = {}",
+            stats.cycles
+        );
+        let warm = run(
+            HwDesign::StrandWeaver,
+            vec![vec![IsaOp::Load(a), IsaOp::Load(a), IsaOp::Load(a)]],
+        );
+        // Second and third loads hit L1.
+        assert!(warm.cycles < stats.cycles + 20);
+    }
+
+    #[test]
+    fn volatile_accesses_use_dram() {
+        let v = layout().volatile_region().base;
+        let stats = run(HwDesign::StrandWeaver, vec![vec![IsaOp::Load(v)]]);
+        let t = SimConfig::table_i();
+        assert!(stats.cycles >= t.dram_cycles && stats.cycles < t.pm_read_cycles);
+    }
+
+    #[test]
+    fn store_queue_backpressure_counts_stalls() {
+        // More stores than SQ entries to lines that miss: the SQ fills.
+        let mut t = Vec::new();
+        for k in 0..200u64 {
+            t.push(IsaOp::Store(heap(8 * k)));
+        }
+        let stats = run(HwDesign::StrandWeaver, vec![t]);
+        assert!(stats.cores[0].stall_sq_full > 0);
+    }
+
+    #[test]
+    fn ckc_reflects_write_intensity() {
+        let d = HwDesign::NonAtomic;
+        let dense = run(d, vec![pair_trace(d, 64)]);
+        let mut sparse_trace = pair_trace(d, 64);
+        for _ in 0..64 {
+            sparse_trace.push(IsaOp::Compute(500));
+        }
+        let sparse = run(d, vec![sparse_trace]);
+        assert!(dense.ckc() > sparse.ckc());
+    }
+}

@@ -1,0 +1,220 @@
+//! Simulation statistics: cycles, stall breakdowns, CKC.
+
+/// Why a core could not issue in a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Blocked by fence semantics (SFENCE completion wait, `JoinStrand`
+    /// drain, HOPS `dfence`).
+    Fence,
+    /// Store queue full.
+    StoreQueueFull,
+    /// Persist queue (or HOPS persist buffer / Intel flush slots) full.
+    PersistQueueFull,
+    /// Waiting for a contended lock.
+    Lock,
+}
+
+/// Per-core counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Trace operations completed.
+    pub ops: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// CLWBs issued.
+    pub clwbs: u64,
+    /// Fences executed.
+    pub fences: u64,
+    /// Cycles stalled on fence semantics.
+    pub stall_fence: u64,
+    /// Cycles stalled on a full store queue.
+    pub stall_sq_full: u64,
+    /// Cycles stalled on a full persist queue / buffer.
+    pub stall_pq_full: u64,
+    /// Cycles stalled waiting for locks.
+    pub stall_lock: u64,
+    /// Cycles busy on memory accesses (loads, including misses).
+    pub mem_busy: u64,
+    /// Cycle at which the core finished (trace done and queues drained).
+    pub done_cycle: u64,
+}
+
+impl CoreStats {
+    /// Cycles stalled because hardware enforced persist ordering — the
+    /// quantity plotted in the paper's Figure 8 (fence stalls plus queue
+    /// back-pressure).
+    pub fn persist_stall_cycles(&self) -> u64 {
+        self.stall_fence + self.stall_sq_full + self.stall_pq_full
+    }
+}
+
+/// Whole-machine results of one simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total cycles until the last core drained.
+    pub cycles: u64,
+    /// Per-core counters.
+    pub cores: Vec<CoreStats>,
+    /// Cache lines in the order their writes were accepted by the ADR PM
+    /// controller — the durable persist order the machine produced.
+    pub pm_write_order: Vec<sw_pmem::LineAddr>,
+}
+
+impl SimStats {
+    /// Total CLWBs across cores.
+    pub fn total_clwbs(&self) -> u64 {
+        self.cores.iter().map(|c| c.clwbs).sum()
+    }
+
+    /// CLWBs per thousand cycles — the paper's Table II write-intensity
+    /// metric (measured on the non-atomic design).
+    pub fn ckc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_clwbs() as f64 * 1000.0 / self.cycles as f64
+        }
+    }
+
+    /// Total persist-ordering stall cycles across cores (Figure 8).
+    pub fn persist_stall_cycles(&self) -> u64 {
+        self.cores.iter().map(|c| c.persist_stall_cycles()).sum()
+    }
+
+    /// Total lock-wait cycles across cores.
+    pub fn lock_stall_cycles(&self) -> u64 {
+        self.cores.iter().map(|c| c.stall_lock).sum()
+    }
+
+    /// Speedup of this run relative to a baseline run of the same work.
+    pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// A gem5-style multi-line textual report of the run.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "sim.cycles                 {:>12}", self.cycles);
+        let _ = writeln!(
+            s,
+            "sim.pm_writes              {:>12}",
+            self.pm_write_order.len()
+        );
+        let total = |f: fn(&CoreStats) -> u64| self.cores.iter().map(f).sum::<u64>();
+        let _ = writeln!(s, "total.ops                  {:>12}", total(|c| c.ops));
+        let _ = writeln!(s, "total.loads                {:>12}", total(|c| c.loads));
+        let _ = writeln!(s, "total.stores               {:>12}", total(|c| c.stores));
+        let _ = writeln!(s, "total.clwbs                {:>12}", total(|c| c.clwbs));
+        let _ = writeln!(s, "total.fences               {:>12}", total(|c| c.fences));
+        let _ = writeln!(
+            s,
+            "total.stall_fence          {:>12}",
+            total(|c| c.stall_fence)
+        );
+        let _ = writeln!(
+            s,
+            "total.stall_sq_full        {:>12}",
+            total(|c| c.stall_sq_full)
+        );
+        let _ = writeln!(
+            s,
+            "total.stall_pq_full        {:>12}",
+            total(|c| c.stall_pq_full)
+        );
+        let _ = writeln!(
+            s,
+            "total.stall_lock           {:>12}",
+            total(|c| c.stall_lock)
+        );
+        let _ = writeln!(
+            s,
+            "total.mem_busy             {:>12}",
+            total(|c| c.mem_busy)
+        );
+        let _ = writeln!(s, "derived.ckc                {:>12.3}", self.ckc());
+        for (i, c) in self.cores.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "core{i}.done_cycle={} ops={} persist_stalls={} lock_stalls={}",
+                c.done_cycle,
+                c.ops,
+                c.persist_stall_cycles(),
+                c.stall_lock
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ckc_computation() {
+        let mut s = SimStats {
+            cycles: 2000,
+            cores: vec![CoreStats::default(); 2],
+            pm_write_order: vec![],
+        };
+        s.cores[0].clwbs = 6;
+        s.cores[1].clwbs = 4;
+        assert!((s.ckc() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ckc_of_empty_run_is_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.ckc(), 0.0);
+    }
+
+    #[test]
+    fn persist_stall_aggregation() {
+        let c = CoreStats {
+            stall_fence: 10,
+            stall_sq_full: 5,
+            stall_pq_full: 3,
+            stall_lock: 100, // not a persist stall
+            ..CoreStats::default()
+        };
+        assert_eq!(c.persist_stall_cycles(), 18);
+    }
+
+    #[test]
+    fn speedup() {
+        let a = SimStats {
+            cycles: 1000,
+            cores: vec![],
+            pm_write_order: vec![],
+        };
+        let b = SimStats {
+            cycles: 2000,
+            cores: vec![],
+            pm_write_order: vec![],
+        };
+        assert!((a.speedup_over(&b) - 2.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod report_tests {
+    use super::*;
+
+    #[test]
+    fn report_includes_totals_and_cores() {
+        let mut s = SimStats {
+            cycles: 100,
+            cores: vec![CoreStats::default(); 2],
+            pm_write_order: vec![],
+        };
+        s.cores[0].clwbs = 3;
+        let r = s.report();
+        assert!(r.contains("sim.cycles"));
+        assert!(r.contains("total.clwbs                           3"));
+        assert!(r.contains("core0."));
+        assert!(r.contains("core1."));
+    }
+}

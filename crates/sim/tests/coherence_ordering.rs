@@ -1,0 +1,153 @@
+//! Directed tests for the Section IV ordering rules that guard persists
+//! against cache writebacks and coherence steals.
+
+use sw_model::isa::{FenceKind, IsaOp};
+use sw_model::HwDesign;
+use sw_pmem::{LineAddr, PmLayout};
+use sw_sim::{Machine, SimConfig};
+
+fn layout() -> PmLayout {
+    PmLayout::new(2, 64)
+}
+
+fn tiny_l1(cfg: SimConfig) -> SimConfig {
+    let mut c = cfg;
+    c.l1_sets = 1;
+    c.l1_ways = 1;
+    c
+}
+
+fn pos(order: &[LineAddr], line: LineAddr) -> usize {
+    order
+        .iter()
+        .position(|&l| l == line)
+        .expect("line persisted")
+}
+
+/// Section IV, "Managing cache writebacks": a store following a persist
+/// barrier may be evicted from the L1 before the pre-barrier CLWB
+/// completes; the write-back buffer must hold it until the strand buffers
+/// drain past the recorded tail index.
+#[test]
+fn writeback_waits_for_strand_buffer_drain() {
+    let l = layout();
+    let heap = l.heap_base();
+    let a = heap; // will be CLWB'd
+    let b = heap.offset_words(8 * 8); // same L1 set (1 set): store evicts A? B evicts…
+    let c = heap.offset_words(16 * 8);
+    // Store A; CLWB A (slow: waits for controller ack); PB; store B (same
+    // set, evicts nothing yet)… store C evicts B (dirty) while A's flush is
+    // still pending: B's writeback must not reach the controller before A.
+    let trace = vec![
+        IsaOp::Store(a),
+        IsaOp::Clwb(a),
+        IsaOp::Fence(FenceKind::PersistBarrier),
+        IsaOp::Store(b),
+        IsaOp::Store(c), // evicts B in a 1-way L1
+        IsaOp::Fence(FenceKind::JoinStrand),
+        IsaOp::Clwb(c),
+        IsaOp::Fence(FenceKind::JoinStrand),
+    ];
+    let cfg = tiny_l1(SimConfig::table_i().with_cores(1));
+    let stats = Machine::new(cfg, HwDesign::StrandWeaver, l, vec![trace]).run();
+    let order = &stats.pm_write_order;
+    assert!(
+        pos(order, a.line()) < pos(order, b.line()),
+        "write-back of B overtook the pending CLWB of A: {order:?}"
+    );
+}
+
+/// Section IV, "Enabling inter-thread persist order": a read-exclusive
+/// steal of a dirty line stalls until the owner's strand buffers drain to
+/// the recorded tail index, so the stolen line cannot persist (via the
+/// thief) before the owner's in-flight CLWBs.
+#[test]
+fn snoop_stall_orders_stolen_line_after_pending_clwbs() {
+    let l = layout();
+    let heap = l.heap_base();
+    let a = heap;
+    let shared = heap.offset_words(8 * 8);
+    // Core 0: store A; CLWB A; PB; store shared (dirty, after barrier).
+    let t0 = vec![
+        IsaOp::Store(a),
+        IsaOp::Clwb(a),
+        IsaOp::Fence(FenceKind::PersistBarrier),
+        IsaOp::Store(shared),
+        IsaOp::Compute(4000), // keep the core alive while the steal happens
+        IsaOp::Fence(FenceKind::JoinStrand),
+    ];
+    // Core 1 steals `shared` (write), then persists it immediately.
+    let t1 = vec![
+        IsaOp::Compute(60), // let core 0 get ahead
+        IsaOp::Store(shared),
+        IsaOp::Clwb(shared),
+        IsaOp::Fence(FenceKind::JoinStrand),
+    ];
+    let stats = Machine::new(
+        SimConfig::table_i().with_cores(2),
+        HwDesign::StrandWeaver,
+        l,
+        vec![t0, t1],
+    )
+    .run();
+    let order = &stats.pm_write_order;
+    assert!(
+        pos(order, a.line()) < pos(order, shared.line()),
+        "stolen dirty line persisted before the owner's pending CLWB: {order:?}"
+    );
+}
+
+/// Volatile lines never reach the PM controller, whatever the design.
+#[test]
+fn volatile_lines_never_persist() {
+    let l = layout();
+    let v = l.volatile_region().base;
+    for design in HwDesign::ALL {
+        let trace = vec![IsaOp::Store(v), IsaOp::Clwb(v)];
+        let stats = Machine::new(
+            SimConfig::table_i().with_cores(1),
+            design,
+            l.clone(),
+            vec![trace],
+        )
+        .run();
+        assert!(
+            stats.pm_write_order.is_empty(),
+            "{design:?} persisted a DRAM line"
+        );
+    }
+}
+
+/// Evicting a clean line generates no PM write.
+#[test]
+fn clean_evictions_are_silent() {
+    let l = layout();
+    let heap = l.heap_base();
+    let trace = vec![
+        IsaOp::Load(heap),
+        IsaOp::Load(heap.offset_words(8 * 8)), // evicts the clean first line
+        IsaOp::Load(heap.offset_words(16 * 8)),
+    ];
+    let cfg = tiny_l1(SimConfig::table_i().with_cores(1));
+    let stats = Machine::new(cfg, HwDesign::StrandWeaver, l, vec![trace]).run();
+    assert!(stats.pm_write_order.is_empty());
+}
+
+/// Dirty evictions of PM lines do reach the controller even without CLWBs.
+#[test]
+fn dirty_evictions_eventually_persist() {
+    let l = layout();
+    let heap = l.heap_base();
+    let trace = vec![
+        IsaOp::Store(heap),
+        IsaOp::Store(heap.offset_words(8 * 8)), // evicts line 0 (dirty)
+        IsaOp::Store(heap.offset_words(16 * 8)), // evicts line 1 (dirty)
+    ];
+    let cfg = tiny_l1(SimConfig::table_i().with_cores(1));
+    let stats = Machine::new(cfg, HwDesign::StrandWeaver, l, vec![trace]).run();
+    assert!(
+        stats.pm_write_order.len() >= 2,
+        "two dirty evictions must write back: {:?}",
+        stats.pm_write_order
+    );
+}

@@ -1,0 +1,265 @@
+//! End-to-end experiment runner: workload → runtime lowering → ISA traces
+//! → timing simulation, plus crash-consistency campaigns.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use sw_lang::harness::{check_replay_consistency, crash_and_recover};
+use sw_lang::{HwDesign, LangModel, LogStrategy};
+use sw_sim::{Machine, SimConfig, SimStats};
+use sw_workloads::driver::{drive, DriverParams};
+use sw_workloads::BenchmarkId;
+
+/// Configuration of one experiment cell (a benchmark under a language
+/// model on a hardware design).
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Benchmark to run.
+    pub bench: BenchmarkId,
+    /// Language-level persistency model.
+    pub lang: LangModel,
+    /// Hardware design.
+    pub design: HwDesign,
+    /// Write-ahead-logging strategy.
+    pub strategy: LogStrategy,
+    /// Threads (= cores).
+    pub threads: usize,
+    /// Total failure-atomic regions.
+    pub total_regions: usize,
+    /// Operations per region (Figure 10 axis).
+    pub ops_per_region: usize,
+    /// RNG seed (shared by the workload generator so every design replays
+    /// the same logical work).
+    pub seed: u64,
+    /// Machine configuration.
+    pub sim: SimConfig,
+}
+
+impl Experiment {
+    /// A cell with the paper's machine (Table I) and default scale.
+    pub fn new(bench: BenchmarkId, lang: LangModel, design: HwDesign) -> Self {
+        Self {
+            bench,
+            lang,
+            design,
+            strategy: LogStrategy::Undo,
+            threads: 8,
+            total_regions: 240,
+            ops_per_region: 4,
+            seed: 1234,
+            sim: SimConfig::table_i(),
+        }
+    }
+
+    /// Sets the region count.
+    pub fn total_regions(mut self, n: usize) -> Self {
+        self.total_regions = n;
+        self
+    }
+
+    /// Sets the thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Sets operations per region.
+    pub fn ops_per_region(mut self, n: usize) -> Self {
+        self.ops_per_region = n;
+        self
+    }
+
+    /// Sets the strand-buffer-unit shape (Figure 9 axis).
+    pub fn strand_buffers(mut self, buffers: usize, entries: usize) -> Self {
+        self.sim = self.sim.with_strand_buffers(buffers, entries);
+        self
+    }
+
+    /// Switches to redo logging (the Section VII extension).
+    pub fn redo(mut self) -> Self {
+        self.strategy = LogStrategy::Redo;
+        self
+    }
+
+    /// Runs the timing simulation and returns machine statistics.
+    pub fn run_timing(&self) -> SimStats {
+        let mut workload = self.bench.instantiate();
+        let mut params = DriverParams::new(self.design, self.lang)
+            .threads(self.threads)
+            .total_regions(self.total_regions)
+            .ops_per_region(self.ops_per_region)
+            .seed(self.seed)
+            .timing_only()
+            .clean_shutdown();
+        params.strategy = self.strategy;
+        let out = drive(workload.as_mut(), &params);
+        let layout = out.layout.clone();
+        let warm: Vec<sw_pmem::LineAddr> = out.baseline.written_lines().collect();
+        let traces = out.ctx.into_traces();
+        let mut machine = Machine::new(
+            self.sim.clone().with_cores(self.threads),
+            self.design,
+            layout,
+            traces,
+        );
+        machine.preload_l2(warm);
+        machine.run()
+    }
+
+    /// Runs a crash-consistency campaign: execute the workload, then sample
+    /// `rounds` formally-allowed crash states, recover each, and check both
+    /// replay consistency and the workload's structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found (expected for
+    /// [`HwDesign::NonAtomic`]).
+    pub fn run_crash_campaign(&self, rounds: usize) -> Result<(), String> {
+        let mut workload = self.bench.instantiate();
+        let mut params = DriverParams::new(self.design, self.lang)
+            .threads(self.threads)
+            .total_regions(self.total_regions)
+            .ops_per_region(self.ops_per_region)
+            .seed(self.seed);
+        params.strategy = self.strategy;
+        let out = drive(workload.as_mut(), &params);
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xc0ffee);
+        for round in 0..rounds {
+            let outcome = crash_and_recover(&out.ctx, &out.baseline, self.design, &mut rng);
+            // The replay check needs globally consistent commit cuts, which
+            // eager TXN commits and the coordinated batched commits both
+            // provide.
+            check_replay_consistency(&outcome, &out.baseline, &out.regions)
+                .map_err(|e| format!("round {round}: {e}"))?;
+            workload
+                .check(&outcome.image)
+                .map_err(|e| format!("round {round}: structural check: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs one benchmark × language model across all five hardware designs
+/// with identical logical work, returning `(design, stats)` pairs in the
+/// paper's presentation order. The Figure 7 generator calls this per cell.
+pub fn design_sweep(
+    bench: BenchmarkId,
+    lang: LangModel,
+    scale: &Experiment,
+) -> Vec<(HwDesign, SimStats)> {
+    HwDesign::ALL
+        .iter()
+        .map(|&design| {
+            let e = Experiment {
+                bench,
+                lang,
+                design,
+                ..scale.clone()
+            };
+            (design, e.run_timing())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(bench: BenchmarkId, lang: LangModel, design: HwDesign) -> Experiment {
+        Experiment::new(bench, lang, design)
+            .threads(2)
+            .total_regions(24)
+    }
+
+    #[test]
+    fn timing_run_produces_cycles_and_clwbs() {
+        let stats = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver).run_timing();
+        assert!(stats.cycles > 0);
+        assert!(stats.total_clwbs() > 0);
+        assert!(!stats.pm_write_order.is_empty());
+    }
+
+    #[test]
+    fn strandweaver_beats_intel_on_queue() {
+        let sw = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver).run_timing();
+        let intel = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::IntelX86).run_timing();
+        assert!(
+            intel.cycles > sw.cycles,
+            "intel {} should be slower than strandweaver {}",
+            intel.cycles,
+            sw.cycles
+        );
+    }
+
+    #[test]
+    fn crash_campaign_passes_for_recoverable_designs() {
+        for design in [HwDesign::StrandWeaver, HwDesign::IntelX86] {
+            small(BenchmarkId::Queue, LangModel::Txn, design)
+                .run_crash_campaign(15)
+                .unwrap_or_else(|e| panic!("{design}: {e}"));
+        }
+    }
+
+    #[test]
+    fn crash_campaign_catches_non_atomic() {
+        let e = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::NonAtomic).total_regions(40);
+        assert!(
+            e.run_crash_campaign(150).is_err(),
+            "non-atomic must eventually corrupt"
+        );
+    }
+
+    #[test]
+    fn design_sweep_covers_all_designs() {
+        let scale = small(
+            BenchmarkId::ArraySwap,
+            LangModel::Sfr,
+            HwDesign::StrandWeaver,
+        );
+        let results = design_sweep(BenchmarkId::ArraySwap, LangModel::Sfr, &scale);
+        assert_eq!(results.len(), HwDesign::ALL.len());
+        assert!(results.iter().all(|(_, s)| s.cycles > 0));
+    }
+}
+
+#[cfg(test)]
+mod redo_experiment_tests {
+    use super::*;
+
+    #[test]
+    fn redo_workloads_run_and_recover() {
+        for bench in [
+            BenchmarkId::Queue,
+            BenchmarkId::Hashmap,
+            BenchmarkId::RbTree,
+        ] {
+            let mut e = Experiment::new(bench, LangModel::Txn, HwDesign::StrandWeaver)
+                .threads(2)
+                .total_regions(20)
+                .redo();
+            e.ops_per_region = 2;
+            e.run_crash_campaign(10)
+                .unwrap_or_else(|err| panic!("{bench}: {err}"));
+        }
+    }
+
+    #[test]
+    fn redo_beats_undo_under_strands() {
+        // The Section VII claim: per-region drains disappear under redo, so
+        // redo should be at least as fast as undo on StrandWeaver hardware.
+        let mk = |redo: bool| {
+            let e = Experiment::new(BenchmarkId::Hashmap, LangModel::Txn, HwDesign::StrandWeaver)
+                .threads(2)
+                .total_regions(40);
+            if redo { e.redo() } else { e }.run_timing()
+        };
+        let undo = mk(false);
+        let redo = mk(true);
+        assert!(
+            redo.cycles <= undo.cycles,
+            "redo {} should not be slower than undo {}",
+            redo.cycles,
+            undo.cycles
+        );
+    }
+}

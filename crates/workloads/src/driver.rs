@@ -1,0 +1,234 @@
+//! Multi-threaded workload driver.
+//!
+//! The driver interleaves the logical threads at failure-atomic-region
+//! granularity (a legal TSO witness, since regions are lock-serialized),
+//! runs the coordinated batched-commit protocol for the SFR/ATLAS models,
+//! and returns the recorded execution, ISA traces, baseline image, and
+//! per-region write sets.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use sw_lang::harness;
+use sw_lang::{
+    coordinated_commit, FuncCtx, HwDesign, LangModel, LogStrategy, RegionRecord, RuntimeConfig,
+    ThreadRuntime,
+};
+use sw_pmem::{PmImage, PmLayout};
+
+use crate::Workload;
+
+/// Driver parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverParams {
+    /// Hardware persistency design to lower onto.
+    pub design: HwDesign,
+    /// Language-level persistency model.
+    pub lang: LangModel,
+    /// Write-ahead-logging strategy (undo is the paper's design; redo is
+    /// the Section VII extension).
+    pub strategy: LogStrategy,
+    /// Logical threads (cores).
+    pub threads: usize,
+    /// Total failure-atomic regions across all threads.
+    pub total_regions: usize,
+    /// Logical operations per region (the Figure 10 axis).
+    pub ops_per_region: usize,
+    /// Log entries per thread.
+    pub log_entries: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record the formal-model program (needed for crash sampling; disable
+    /// for large timing runs).
+    pub record_program: bool,
+    /// Record per-region write sets (crash-consistency checking).
+    pub record_regions: bool,
+    /// Commit every thread's batched log when any log reaches this many
+    /// live entries.
+    pub coordination_threshold: u64,
+    /// Commit all outstanding entries at the end of the run.
+    pub clean_shutdown: bool,
+}
+
+impl DriverParams {
+    /// Defaults: 8 threads, 400 regions of 1 op, recording on.
+    pub fn new(design: HwDesign, lang: LangModel) -> Self {
+        Self {
+            design,
+            lang,
+            strategy: LogStrategy::Undo,
+            threads: 8,
+            total_regions: 400,
+            ops_per_region: 1,
+            log_entries: 4096,
+            seed: 42,
+            record_program: true,
+            record_regions: true,
+            coordination_threshold: 512,
+            clean_shutdown: false,
+        }
+    }
+
+    /// Sets the thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the total region count.
+    pub fn total_regions(mut self, n: usize) -> Self {
+        self.total_regions = n;
+        self
+    }
+
+    /// Sets the operations per region.
+    pub fn ops_per_region(mut self, n: usize) -> Self {
+        self.ops_per_region = n.max(1);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables formal-program recording (timing-only runs).
+    pub fn timing_only(mut self) -> Self {
+        self.record_program = false;
+        self.record_regions = false;
+        self
+    }
+
+    /// Enables a clean shutdown (final commits) at the end of the run.
+    pub fn clean_shutdown(mut self) -> Self {
+        self.clean_shutdown = true;
+        self
+    }
+
+    /// Switches to redo logging (the Section VII extension).
+    pub fn redo(mut self) -> Self {
+        self.strategy = LogStrategy::Redo;
+        self
+    }
+}
+
+/// Everything a run produced.
+#[derive(Debug)]
+pub struct DriverOutput {
+    /// The executed context: memory, formal execution, ISA traces, stats.
+    pub ctx: FuncCtx,
+    /// Persisted image at the end of setup (phase baseline).
+    pub baseline: PmImage,
+    /// Per-region write sets (empty unless requested).
+    pub regions: Vec<RegionRecord>,
+    /// The layout used.
+    pub layout: PmLayout,
+}
+
+/// Runs `workload` under `params`.
+pub fn drive(workload: &mut dyn Workload, params: &DriverParams) -> DriverOutput {
+    let layout = PmLayout::new(params.threads, params.log_entries);
+    let mut ctx = FuncCtx::new(layout.clone(), params.threads);
+    ctx.set_record_program(false);
+    workload.setup(&mut ctx);
+    let baseline = harness::baseline(&mut ctx);
+    // Timing runs measure the steady-state operation phase: setup's ISA
+    // trace is discarded, and the simulator is pre-warmed with the
+    // baseline's lines (see `Machine::preload_l2`).
+    ctx.reset_traces();
+    ctx.set_record_program(params.record_program);
+
+    let mut rts: Vec<ThreadRuntime> = (0..params.threads)
+        .map(|t| {
+            let mut cfg = RuntimeConfig::new(params.design, params.lang);
+            cfg.strategy = params.strategy;
+            cfg.record_regions = params.record_regions;
+            // Self-commit only as a last-resort safety valve; batched
+            // commits are coordinated by the driver.
+            cfg.commit_threshold = Some(params.log_entries.saturating_sub(64));
+            ThreadRuntime::new(&layout, t, cfg)
+        })
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    for r in 0..params.total_regions {
+        // Round-robin with a random start per round keeps the interleaving
+        // fair without starving any thread.
+        let t = (r + rng.gen_range(0..params.threads)) % params.threads;
+        workload.run_region(&mut ctx, &mut rts[t], &mut rng, params.ops_per_region);
+        if params.strategy == LogStrategy::Undo
+            && params.lang != LangModel::Txn
+            && rts
+                .iter()
+                .any(|rt| rt.live_log_entries() >= params.coordination_threshold)
+        {
+            coordinated_commit(&mut ctx, &mut rts);
+        }
+    }
+    if params.clean_shutdown {
+        match (params.strategy, params.lang) {
+            (LogStrategy::Undo, LangModel::Sfr | LangModel::Atlas) => {
+                coordinated_commit(&mut ctx, &mut rts)
+            }
+            _ => {
+                for rt in &mut rts {
+                    rt.shutdown(&mut ctx);
+                }
+            }
+        }
+    }
+    let regions = rts
+        .into_iter()
+        .flat_map(ThreadRuntime::into_records)
+        .collect();
+    DriverOutput {
+        ctx,
+        baseline,
+        regions,
+        layout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BenchmarkId;
+
+    #[test]
+    fn driver_produces_traces_and_regions() {
+        let mut w = BenchmarkId::Queue.instantiate();
+        let p = DriverParams::new(HwDesign::StrandWeaver, LangModel::Txn)
+            .threads(2)
+            .total_regions(10);
+        let out = drive(w.as_mut(), &p);
+        assert_eq!(out.regions.len(), 10);
+        assert_eq!(out.ctx.traces().len(), 2);
+        assert!(out.ctx.traces().iter().all(|t| !t.is_empty()));
+        assert!(out.ctx.stats().clwbs > 0);
+    }
+
+    #[test]
+    fn timing_only_skips_program_recording() {
+        let mut w = BenchmarkId::Queue.instantiate();
+        let p = DriverParams::new(HwDesign::IntelX86, LangModel::Sfr)
+            .threads(2)
+            .total_regions(6)
+            .timing_only();
+        let out = drive(w.as_mut(), &p);
+        assert!(out.regions.is_empty());
+    }
+
+    #[test]
+    fn batched_models_coordinate_commits() {
+        let mut w = BenchmarkId::Queue.instantiate();
+        let mut p = DriverParams::new(HwDesign::StrandWeaver, LangModel::Sfr)
+            .threads(2)
+            .total_regions(40);
+        p.coordination_threshold = 8;
+        let out = drive(w.as_mut(), &p);
+        // A coordination ran: the global-cut word was published.
+        let cut_addr = out.layout.lock_addr(sw_lang::GLOBAL_CUT_LOCK);
+        assert!(out.ctx.mem().load(cut_addr) > 0);
+    }
+}

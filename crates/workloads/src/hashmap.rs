@@ -1,0 +1,231 @@
+//! Persistent chained hash map (Table II: "Read/update to hashmap").
+//!
+//! Fixed bucket array, nodes allocated from a PM pool and linked at chain
+//! heads. Each node pairs a value with a version; the invariant checked
+//! after recovery is `value == key * 1000 + version` (a torn update would
+//! break the pair), plus chain well-formedness.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use sw_lang::{FuncCtx, ThreadRuntime};
+use sw_model::isa::LockId;
+use sw_pmem::{Addr, Bump, PmImage};
+
+use crate::Workload;
+
+/// Bucket count.
+const BUCKETS: u64 = 128;
+/// Key space.
+const KEYS: u64 = 512;
+/// Bucket locks (buckets hash onto these).
+const BUCKET_LOCKS: u32 = 32;
+/// First lock id used by this workload.
+const LOCK_BASE: u32 = 100;
+/// Application work per operation, in cycles.
+const OP_COMPUTE: u32 = 600;
+/// Node-pool lines pre-touched at setup (bounds the insert count).
+const POOL_LINES: u64 = 4096;
+
+/// Node field offsets in words: key, value, version, next.
+const F_KEY: u64 = 0;
+const F_VALUE: u64 = 1;
+const F_VERSION: u64 = 2;
+const F_NEXT: u64 = 3;
+
+fn expected_value(key: u64, version: u64) -> u64 {
+    key * 1000 + version
+}
+
+/// See the module documentation.
+#[derive(Debug)]
+pub struct HashmapWorkload {
+    buckets: Addr,
+    pool: Option<Bump>,
+    pool_start: Addr,
+}
+
+impl Default for HashmapWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HashmapWorkload {
+    /// Creates an uninitialized workload; call [`Workload::setup`].
+    pub fn new() -> Self {
+        Self {
+            buckets: Addr::NULL,
+            pool: None,
+            pool_start: Addr::NULL,
+        }
+    }
+
+    fn bucket_of(key: u64) -> u64 {
+        // Cheap integer mix so consecutive keys spread across buckets.
+        (key.wrapping_mul(0x9e37_79b9)) % BUCKETS
+    }
+
+    fn bucket_addr(&self, b: u64) -> Addr {
+        self.buckets.offset_words(b)
+    }
+
+    fn lock_of(b: u64) -> LockId {
+        LockId(LOCK_BASE + (b % BUCKET_LOCKS as u64) as u32)
+    }
+}
+
+impl Workload for HashmapWorkload {
+    fn name(&self) -> &'static str {
+        "hashmap"
+    }
+
+    fn setup(&mut self, ctx: &mut FuncCtx) {
+        let mut bump = ctx.mem().layout().heap_region().bump();
+        self.buckets = bump.alloc_lines(BUCKETS / 8);
+        self.pool_start = bump.alloc_lines(0);
+        // Pre-touch the node pool so steady-state inserts hit warm lines.
+        for i in 0..POOL_LINES {
+            ctx.store(0, self.pool_start.offset_words(i * 8), 0);
+        }
+        self.pool = Some(bump);
+    }
+
+    fn run_region(
+        &mut self,
+        ctx: &mut FuncCtx,
+        rt: &mut ThreadRuntime,
+        rng: &mut SmallRng,
+        ops: usize,
+    ) {
+        let tid = rt.tid();
+        let keys: Vec<u64> = (0..ops).map(|_| rng.gen_range(0..KEYS)).collect();
+        let mut locks: Vec<LockId> = keys
+            .iter()
+            .map(|&k| Self::lock_of(Self::bucket_of(k)))
+            .collect();
+        locks.sort_unstable_by_key(|l| l.0);
+        locks.dedup();
+        rt.region_begin(ctx, &locks);
+        for key in keys {
+            let b = Self::bucket_of(key);
+            // Walk the chain.
+            let mut node = rt.load(ctx, self.bucket_addr(b));
+            let mut found = Addr::NULL;
+            while node != 0 {
+                let n = Addr(node);
+                if rt.load(ctx, n.offset_words(F_KEY)) == key {
+                    found = n;
+                    break;
+                }
+                node = rt.load(ctx, n.offset_words(F_NEXT));
+            }
+            if found.is_null() {
+                // Insert: initialize a fresh node, link at the head.
+                let n = self.pool.as_mut().expect("setup ran").alloc_lines(1);
+                rt.store(ctx, n.offset_words(F_KEY), key);
+                rt.store(ctx, n.offset_words(F_VALUE), expected_value(key, 1));
+                rt.store(ctx, n.offset_words(F_VERSION), 1);
+                let head = rt.load(ctx, self.bucket_addr(b));
+                rt.store(ctx, n.offset_words(F_NEXT), head);
+                rt.store(ctx, self.bucket_addr(b), n.raw());
+            } else {
+                // Update: bump version, rewrite the paired value.
+                let v = rt.load(ctx, found.offset_words(F_VERSION)) + 1;
+                rt.store(ctx, found.offset_words(F_VERSION), v);
+                rt.store(ctx, found.offset_words(F_VALUE), expected_value(key, v));
+            }
+            ctx.compute(tid, OP_COMPUTE);
+        }
+        rt.region_end(ctx);
+    }
+
+    fn check(&self, img: &PmImage) -> Result<(), String> {
+        // Valid node addresses lie in the heap beyond the bucket array.
+        let pool_end = self.pool_start.raw() + (1 << 30);
+        for b in 0..BUCKETS {
+            let mut node = img.load(self.bucket_addr(b));
+            let mut seen = std::collections::HashSet::new();
+            let mut hops = 0u64;
+            while node != 0 {
+                hops += 1;
+                if hops > KEYS + 1 {
+                    return Err(format!("bucket {b}: chain too long (cycle?)"));
+                }
+                if node < self.pool_start.raw() || node >= pool_end || !node.is_multiple_of(64) {
+                    return Err(format!("bucket {b}: bad node pointer {node:#x}"));
+                }
+                let n = Addr(node);
+                let key = img.load(n.offset_words(F_KEY));
+                let value = img.load(n.offset_words(F_VALUE));
+                let version = img.load(n.offset_words(F_VERSION));
+                if Self::bucket_of(key) != b {
+                    return Err(format!("bucket {b}: node key {key} hashes elsewhere"));
+                }
+                if !seen.insert(key) {
+                    return Err(format!("bucket {b}: duplicate key {key}"));
+                }
+                if version == 0 || value != expected_value(key, version) {
+                    return Err(format!(
+                        "key {key}: value {value} inconsistent with version {version}"
+                    ));
+                }
+                node = img.load(n.offset_words(F_NEXT));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{drive, DriverParams};
+    use sw_lang::{HwDesign, LangModel};
+
+    fn run_clean(lang: LangModel) -> (HashmapWorkload, PmImage) {
+        let mut w = HashmapWorkload::new();
+        let p = DriverParams::new(HwDesign::StrandWeaver, lang)
+            .threads(4)
+            .total_regions(60)
+            .clean_shutdown();
+        let out = drive(&mut w, &p);
+        let mut snap = out.ctx.mem().clone();
+        snap.persist_all();
+        let img = snap.persisted_image().clone();
+        (w, img)
+    }
+
+    #[test]
+    fn clean_run_has_consistent_chains() {
+        for lang in LangModel::ALL {
+            let (w, img) = run_clean(lang);
+            w.check(&img).unwrap();
+        }
+    }
+
+    #[test]
+    fn check_detects_torn_value_version_pair() {
+        let (w, mut img) = run_clean(LangModel::Txn);
+        // Find some bucket head and corrupt its version.
+        let node = (0..BUCKETS)
+            .map(|b| img.load(w.bucket_addr(b)))
+            .find(|&n| n != 0)
+            .expect("at least one insert");
+        img.store(Addr(node).offset_words(F_VERSION), 9999);
+        assert!(w.check(&img).is_err());
+    }
+
+    #[test]
+    fn bucket_mixing_spreads_keys() {
+        let mut counts = vec![0u32; BUCKETS as usize];
+        for k in 0..KEYS {
+            counts[HashmapWorkload::bucket_of(k) as usize] += 1;
+        }
+        let max = counts.iter().max().copied().unwrap_or(0);
+        assert!(
+            max <= 3 * (KEYS / BUCKETS) as u32,
+            "poor key spread: max bucket {max}"
+        );
+    }
+}

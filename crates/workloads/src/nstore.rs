@@ -1,0 +1,216 @@
+//! N-Store key-value store with a YCSB-style load generator (Table II:
+//! rd-heavy 90/10, balanced 50/50, wr-heavy 10/90).
+//!
+//! A flat record table keyed by record id; each record pairs a version
+//! with a value derived from `(key, version)`. The generator draws keys
+//! from a skewed (approximately Zipfian) distribution, as YCSB does.
+//! Invariant: every record's value matches its version.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use sw_lang::{FuncCtx, ThreadRuntime};
+use sw_model::isa::LockId;
+use sw_pmem::{Addr, PmImage};
+
+use crate::Workload;
+
+/// Record count (preloaded at setup).
+const RECORDS: u64 = 2048;
+/// Partition locks.
+const PARTITIONS: u32 = 64;
+/// First lock id used by this workload.
+const LOCK_BASE: u32 = 300;
+/// Application work per read, in cycles.
+const READ_COMPUTE: u32 = 100;
+/// Application work per update, in cycles.
+const WRITE_COMPUTE: u32 = 150;
+
+const F_VERSION: u64 = 0;
+const F_VALUE: u64 = 1;
+
+fn expected_value(key: u64, version: u64) -> u64 {
+    key.wrapping_mul(7777) ^ version
+}
+
+/// See the module documentation.
+#[derive(Debug)]
+pub struct NStoreWorkload {
+    read_pct: u32,
+    table: Addr,
+}
+
+impl NStoreWorkload {
+    /// Creates a workload issuing `read_pct`% reads (the paper uses 90, 50,
+    /// and 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_pct > 100`.
+    pub fn new(read_pct: u32) -> Self {
+        assert!(read_pct <= 100);
+        Self {
+            read_pct,
+            table: Addr::NULL,
+        }
+    }
+
+    fn record(&self, key: u64) -> Addr {
+        // One cache line per record avoids false line sharing.
+        Addr(self.table.raw() + key * 64)
+    }
+
+    fn lock_of(key: u64) -> LockId {
+        LockId(LOCK_BASE + (key % PARTITIONS as u64) as u32)
+    }
+
+    /// Skewed key draw: squaring a uniform sample concentrates mass on low
+    /// keys, approximating the YCSB Zipfian chooser.
+    fn pick_key(rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        ((u * u) * RECORDS as f64) as u64 % RECORDS
+    }
+}
+
+impl Workload for NStoreWorkload {
+    fn name(&self) -> &'static str {
+        match self.read_pct {
+            90 => "nstore-rd",
+            50 => "nstore-bal",
+            _ => "nstore-wr",
+        }
+    }
+
+    fn setup(&mut self, ctx: &mut FuncCtx) {
+        let mut bump = ctx.mem().layout().heap_region().bump();
+        self.table = bump.alloc_lines(RECORDS);
+        for key in 0..RECORDS {
+            ctx.store(0, self.record(key).offset_words(F_VERSION), 1);
+            ctx.store(
+                0,
+                self.record(key).offset_words(F_VALUE),
+                expected_value(key, 1),
+            );
+        }
+    }
+
+    fn run_region(
+        &mut self,
+        ctx: &mut FuncCtx,
+        rt: &mut ThreadRuntime,
+        rng: &mut SmallRng,
+        ops: usize,
+    ) {
+        let tid = rt.tid();
+        let plan: Vec<(u64, bool)> = (0..ops)
+            .map(|_| (Self::pick_key(rng), rng.gen_range(0..100) < self.read_pct))
+            .collect();
+        let mut locks: Vec<LockId> = plan.iter().map(|&(k, _)| Self::lock_of(k)).collect();
+        locks.sort_unstable_by_key(|l| l.0);
+        locks.dedup();
+        rt.region_begin(ctx, &locks);
+        for (key, is_read) in plan {
+            let rec = self.record(key);
+            if is_read {
+                let version = rt.load(ctx, rec.offset_words(F_VERSION));
+                let value = rt.load(ctx, rec.offset_words(F_VALUE));
+                debug_assert_eq!(value, expected_value(key, version));
+                ctx.compute(tid, READ_COMPUTE);
+            } else {
+                let version = rt.load(ctx, rec.offset_words(F_VERSION)) + 1;
+                rt.store(ctx, rec.offset_words(F_VERSION), version);
+                rt.store(ctx, rec.offset_words(F_VALUE), expected_value(key, version));
+                ctx.compute(tid, WRITE_COMPUTE);
+            }
+        }
+        rt.region_end(ctx);
+    }
+
+    fn check(&self, img: &PmImage) -> Result<(), String> {
+        for key in 0..RECORDS {
+            let rec = self.record(key);
+            let version = img.load(rec.offset_words(F_VERSION));
+            let value = img.load(rec.offset_words(F_VALUE));
+            if version == 0 {
+                return Err(format!("record {key}: version lost"));
+            }
+            if value != expected_value(key, version) {
+                return Err(format!(
+                    "record {key}: value {value} inconsistent with version {version}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{drive, DriverParams};
+    use sw_lang::{HwDesign, LangModel};
+
+    #[test]
+    fn clean_runs_pass_for_all_mixes() {
+        for pct in [90, 50, 10] {
+            let mut w = NStoreWorkload::new(pct);
+            let p = DriverParams::new(HwDesign::StrandWeaver, LangModel::Txn)
+                .threads(2)
+                .total_regions(40)
+                .clean_shutdown();
+            let out = drive(&mut w, &p);
+            let mut snap = out.ctx.mem().clone();
+            snap.persist_all();
+            w.check(snap.persisted_image()).unwrap();
+        }
+    }
+
+    #[test]
+    fn write_mix_controls_clwb_volume() {
+        let run = |pct| {
+            let mut w = NStoreWorkload::new(pct);
+            let p = DriverParams::new(HwDesign::StrandWeaver, LangModel::Txn)
+                .threads(2)
+                .total_regions(60)
+                .seed(5)
+                .timing_only();
+            drive(&mut w, &p).ctx.stats().clwbs
+        };
+        let rd = run(90);
+        let wr = run(10);
+        assert!(
+            wr > rd + rd / 2,
+            "write-heavy must flush much more: rd-heavy {rd}, wr-heavy {wr}"
+        );
+    }
+
+    #[test]
+    fn skewed_keys_prefer_low_ids() {
+        let mut rng = rand::SeedableRng::seed_from_u64(9);
+        let draws: Vec<u64> = (0..4000)
+            .map(|_| NStoreWorkload::pick_key(&mut rng))
+            .collect();
+        let low = draws.iter().filter(|&&k| k < RECORDS / 4).count();
+        assert!(
+            low > draws.len() / 3,
+            "zipf-ish skew missing: {low} low draws"
+        );
+    }
+
+    #[test]
+    fn check_detects_lost_update() {
+        let mut w = NStoreWorkload::new(10);
+        let p = DriverParams::new(HwDesign::StrandWeaver, LangModel::Txn)
+            .threads(1)
+            .total_regions(5)
+            .clean_shutdown();
+        let out = drive(&mut w, &p);
+        let mut snap = out.ctx.mem().clone();
+        snap.persist_all();
+        let mut img = snap.persisted_image().clone();
+        let rec = w.record(0);
+        let v = img.load(rec.offset_words(F_VERSION));
+        img.store(rec.offset_words(F_VERSION), v + 1); // version without value
+        assert!(w.check(&img).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! TPC-C New-Order transactions (Table II: "New Order trans. from TPCC").
+//!
+//! A reduced New-Order: each transaction picks a district and 5–15 items,
+//! increments the district's order counter, writes an order record and one
+//! order line per item, and decrements the stock of each item. Districts
+//! and stock partitions are guarded by separate locks, so every
+//! transaction acquires several locks — the paper points to this high
+//! lock-acquisition overhead as the reason TPCC sees the smallest speedup.
+//!
+//! Invariant: for every item, the stock consumed equals the quantities on
+//! the order lines of committed orders.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use sw_lang::{FuncCtx, ThreadRuntime};
+use sw_model::isa::LockId;
+use sw_pmem::{Addr, PmImage};
+
+use crate::Workload;
+
+/// Districts.
+const DISTRICTS: u64 = 8;
+/// Items.
+const ITEMS: u64 = 256;
+/// Stock partitions (one lock each).
+const STOCK_PARTITIONS: u64 = 8;
+/// Orders provisioned per district.
+const MAX_ORDERS: u64 = 512;
+/// Maximum order lines per order.
+const MAX_LINES: u64 = 15;
+/// Initial stock per item (large enough to never underflow).
+const INITIAL_STOCK: u64 = 1 << 40;
+/// District lock ids.
+const DISTRICT_LOCK_BASE: u32 = 400;
+/// Stock partition lock ids.
+const STOCK_LOCK_BASE: u32 = 500;
+/// Application work per transaction, in cycles.
+const TXN_COMPUTE: u32 = 36000;
+
+/// See the module documentation.
+#[derive(Debug, Default)]
+pub struct TpccWorkload {
+    districts: Addr,
+    stock: Addr,
+    orders: Addr,
+    order_lines: Addr,
+}
+
+impl TpccWorkload {
+    /// Creates an uninitialized workload; call [`Workload::setup`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn next_o_id(&self, d: u64) -> Addr {
+        Addr(self.districts.raw() + d * 64)
+    }
+
+    fn stock_qty(&self, item: u64) -> Addr {
+        Addr(self.stock.raw() + item * 64)
+    }
+
+    /// Order record: word 0 = line count, word 1 = valid flag.
+    fn order(&self, d: u64, o: u64) -> Addr {
+        Addr(self.orders.raw() + (d * MAX_ORDERS + o) * 64)
+    }
+
+    /// Order line: word 0 = item + 1, word 1 = quantity.
+    fn order_line(&self, d: u64, o: u64, l: u64) -> Addr {
+        Addr(self.order_lines.raw() + ((d * MAX_ORDERS + o) * MAX_LINES + l) * 64)
+    }
+}
+
+impl Workload for TpccWorkload {
+    fn name(&self) -> &'static str {
+        "tpcc"
+    }
+
+    fn setup(&mut self, ctx: &mut FuncCtx) {
+        let mut bump = ctx.mem().layout().heap_region().bump();
+        self.districts = bump.alloc_lines(DISTRICTS);
+        self.stock = bump.alloc_lines(ITEMS);
+        self.orders = bump.alloc_lines(DISTRICTS * MAX_ORDERS);
+        self.order_lines = bump.alloc_lines(DISTRICTS * MAX_ORDERS * MAX_LINES);
+        for item in 0..ITEMS {
+            ctx.store(0, self.stock_qty(item), INITIAL_STOCK);
+        }
+        // Pre-touch districts, order slots, and order lines so steady-state
+        // transactions run against warm lines.
+        for d in 0..DISTRICTS {
+            ctx.store(0, self.next_o_id(d), 0);
+            for o in 0..MAX_ORDERS {
+                ctx.store(0, self.order(d, o), 0);
+                for l in 0..MAX_LINES {
+                    ctx.store(0, self.order_line(d, o, l), 0);
+                }
+            }
+        }
+    }
+
+    fn run_region(
+        &mut self,
+        ctx: &mut FuncCtx,
+        rt: &mut ThreadRuntime,
+        rng: &mut SmallRng,
+        ops: usize,
+    ) {
+        let tid = rt.tid();
+        // One New-Order transaction per region (`ops` scales the item
+        // count; Figure 10 applies to the microbenchmarks).
+        let d = rng.gen_range(0..DISTRICTS);
+        let n_items = rng.gen_range(5..=MAX_LINES).min(5 + ops as u64 * 2).max(5);
+        let mut items: Vec<u64> = Vec::with_capacity(n_items as usize);
+        while items.len() < n_items as usize {
+            let it = rng.gen_range(0..ITEMS);
+            if !items.contains(&it) {
+                items.push(it);
+            }
+        }
+        let mut locks = vec![LockId(DISTRICT_LOCK_BASE + d as u32)];
+        locks.extend(
+            items
+                .iter()
+                .map(|it| LockId(STOCK_LOCK_BASE + (it % STOCK_PARTITIONS) as u32)),
+        );
+        locks.sort_unstable_by_key(|l| l.0);
+        locks.dedup();
+
+        rt.region_begin(ctx, &locks);
+        let o = rt.load(ctx, self.next_o_id(d));
+        assert!(o < MAX_ORDERS, "tpcc exceeded provisioned orders");
+        for (l, &item) in items.iter().enumerate() {
+            let qty = rng.gen_range(1..=5u64);
+            let sq = rt.load(ctx, self.stock_qty(item));
+            rt.store(ctx, self.stock_qty(item), sq - qty);
+            let ol = self.order_line(d, o, l as u64);
+            rt.store(ctx, ol, item + 1);
+            rt.store(ctx, ol.offset_words(1), qty);
+        }
+        rt.store(ctx, self.order(d, o), items.len() as u64);
+        rt.store(ctx, self.order(d, o).offset_words(1), 1);
+        rt.store(ctx, self.next_o_id(d), o + 1);
+        ctx.compute(tid, TXN_COMPUTE);
+        rt.region_end(ctx);
+    }
+
+    fn check(&self, img: &PmImage) -> Result<(), String> {
+        let mut consumed = vec![0u64; ITEMS as usize];
+        for d in 0..DISTRICTS {
+            let k = img.load(self.next_o_id(d));
+            if k > MAX_ORDERS {
+                return Err(format!("district {d}: order counter {k} out of bounds"));
+            }
+            for o in 0..k {
+                let n_lines = img.load(self.order(d, o));
+                let valid = img.load(self.order(d, o).offset_words(1));
+                if valid != 1 {
+                    return Err(format!("district {d} order {o}: committed but invalid"));
+                }
+                if n_lines == 0 || n_lines > MAX_LINES {
+                    return Err(format!("district {d} order {o}: bad line count {n_lines}"));
+                }
+                for l in 0..n_lines {
+                    let ol = self.order_line(d, o, l);
+                    let item = img.load(ol);
+                    let qty = img.load(ol.offset_words(1));
+                    if item == 0 || item > ITEMS || qty == 0 || qty > 5 {
+                        return Err(format!(
+                            "district {d} order {o} line {l}: bad item {item} / qty {qty}"
+                        ));
+                    }
+                    consumed[(item - 1) as usize] += qty;
+                }
+            }
+        }
+        for item in 0..ITEMS {
+            let stock = img.load(self.stock_qty(item));
+            if INITIAL_STOCK - stock != consumed[item as usize] {
+                return Err(format!(
+                    "item {item}: stock consumed {} but order lines account for {}",
+                    INITIAL_STOCK - stock,
+                    consumed[item as usize]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{drive, DriverParams};
+    use sw_lang::{HwDesign, LangModel};
+
+    #[test]
+    fn clean_run_balances_stock_and_order_lines() {
+        let mut w = TpccWorkload::new();
+        let p = DriverParams::new(HwDesign::StrandWeaver, LangModel::Atlas)
+            .threads(4)
+            .total_regions(40)
+            .clean_shutdown();
+        let out = drive(&mut w, &p);
+        let mut snap = out.ctx.mem().clone();
+        snap.persist_all();
+        w.check(snap.persisted_image()).unwrap();
+    }
+
+    #[test]
+    fn transactions_take_multiple_locks() {
+        let mut w = TpccWorkload::new();
+        let p = DriverParams::new(HwDesign::StrandWeaver, LangModel::Atlas)
+            .threads(2)
+            .total_regions(10)
+            .timing_only();
+        let out = drive(&mut w, &p);
+        let stats = out.ctx.stats();
+        assert!(
+            stats.locks >= 10 * 3,
+            "each New-Order must acquire several locks, saw {}",
+            stats.locks
+        );
+    }
+
+    #[test]
+    fn check_detects_stock_mismatch() {
+        let mut w = TpccWorkload::new();
+        let p = DriverParams::new(HwDesign::StrandWeaver, LangModel::Txn)
+            .threads(1)
+            .total_regions(4)
+            .clean_shutdown();
+        let out = drive(&mut w, &p);
+        let mut snap = out.ctx.mem().clone();
+        snap.persist_all();
+        let mut img = snap.persisted_image().clone();
+        let s = img.load(w.stock_qty(0));
+        img.store(w.stock_qty(0), s - 1); // consumption without an order line
+        assert!(w.check(&img).is_err());
+    }
+}

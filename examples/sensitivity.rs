@@ -1,0 +1,27 @@
+//! Sweep the strand-buffer-unit shape (the Figure 9 axis) on one
+//! benchmark and print the speedup curve.
+//!
+//! Run with: `cargo run --release --example sensitivity`
+
+use strandweaver::experiment::Experiment;
+use strandweaver::{BenchmarkId, HwDesign, LangModel};
+
+fn main() {
+    let bench = BenchmarkId::Hashmap;
+    let intel = Experiment::new(bench, LangModel::Sfr, HwDesign::IntelX86)
+        .threads(4)
+        .total_regions(80)
+        .run_timing();
+    println!("{bench} under SFR, speedup over Intel x86 by (buffers, entries/buffer):");
+    for (b, e) in [(1, 1), (2, 2), (4, 2), (2, 4), (4, 4), (8, 8)] {
+        let stats = Experiment::new(bench, LangModel::Sfr, HwDesign::StrandWeaver)
+            .threads(4)
+            .total_regions(80)
+            .strand_buffers(b, e)
+            .run_timing();
+        println!(
+            "  ({b},{e}): {:.2}x",
+            intel.cycles as f64 / stats.cycles as f64
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Root package of the StrandWeaver reproduction workspace.
+//!
+//! This crate exists to host the cross-crate integration tests (`tests/`)
+//! and runnable examples (`examples/`); the library surface is in the
+//! [`strandweaver`] facade crate and the `sw-*` member crates.
+
+pub use strandweaver;

@@ -1,0 +1,120 @@
+//! Integration: crash-consistency campaigns for every workload × language
+//! model on the recoverable designs, plus the non-atomic counterexample.
+
+use strandweaver::experiment::Experiment;
+use strandweaver::{BenchmarkId, HwDesign, LangModel};
+
+fn campaign(bench: BenchmarkId, lang: LangModel, design: HwDesign, regions: usize, rounds: usize) {
+    Experiment::new(bench, lang, design)
+        .threads(2)
+        .total_regions(regions)
+        .ops_per_region(2)
+        .run_crash_campaign(rounds)
+        .unwrap_or_else(|e| panic!("{bench} {lang} {design}: {e}"));
+}
+
+#[test]
+fn queue_survives_crashes_under_all_models_and_designs() {
+    for lang in LangModel::ALL {
+        for design in [
+            HwDesign::StrandWeaver,
+            HwDesign::NoPersistQueue,
+            HwDesign::IntelX86,
+            HwDesign::Hops,
+        ] {
+            campaign(BenchmarkId::Queue, lang, design, 16, 8);
+        }
+    }
+}
+
+#[test]
+fn hashmap_survives_crashes() {
+    for lang in LangModel::ALL {
+        campaign(BenchmarkId::Hashmap, lang, HwDesign::StrandWeaver, 16, 8);
+    }
+    campaign(
+        BenchmarkId::Hashmap,
+        LangModel::Txn,
+        HwDesign::IntelX86,
+        16,
+        8,
+    );
+}
+
+#[test]
+fn array_swap_survives_crashes() {
+    campaign(
+        BenchmarkId::ArraySwap,
+        LangModel::Txn,
+        HwDesign::StrandWeaver,
+        16,
+        8,
+    );
+    campaign(
+        BenchmarkId::ArraySwap,
+        LangModel::Sfr,
+        HwDesign::StrandWeaver,
+        16,
+        8,
+    );
+}
+
+#[test]
+fn rbtree_survives_crashes() {
+    campaign(
+        BenchmarkId::RbTree,
+        LangModel::Txn,
+        HwDesign::StrandWeaver,
+        20,
+        10,
+    );
+    campaign(
+        BenchmarkId::RbTree,
+        LangModel::Atlas,
+        HwDesign::StrandWeaver,
+        20,
+        6,
+    );
+}
+
+#[test]
+fn tpcc_survives_crashes() {
+    campaign(
+        BenchmarkId::Tpcc,
+        LangModel::Txn,
+        HwDesign::StrandWeaver,
+        12,
+        6,
+    );
+    campaign(BenchmarkId::Tpcc, LangModel::Sfr, HwDesign::Hops, 12, 6);
+}
+
+#[test]
+fn nstore_survives_crashes() {
+    campaign(
+        BenchmarkId::NStoreWr,
+        LangModel::Txn,
+        HwDesign::StrandWeaver,
+        16,
+        8,
+    );
+    campaign(
+        BenchmarkId::NStoreBal,
+        LangModel::Sfr,
+        HwDesign::StrandWeaver,
+        16,
+        8,
+    );
+}
+
+#[test]
+fn non_atomic_design_corrupts_eventually() {
+    let e = Experiment::new(BenchmarkId::Queue, LangModel::Txn, HwDesign::NonAtomic)
+        .threads(2)
+        .total_regions(40)
+        .ops_per_region(2);
+    assert!(
+        e.run_crash_campaign(200).is_err(),
+        "removing the pairwise log ordering must break recovery"
+    );
+}

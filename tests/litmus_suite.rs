@@ -1,0 +1,54 @@
+//! Integration: the Figure 2 litmus suite across memory models.
+
+use strandweaver::model::litmus;
+use strandweaver::MemoryModel;
+
+#[test]
+fn figure2_suite_holds_under_strand_persistency() {
+    for l in litmus::all() {
+        l.check(MemoryModel::StrandWeaver).unwrap();
+    }
+}
+
+#[test]
+fn non_atomic_model_violates_intra_strand_ordering() {
+    let out = litmus::fig2_ab().run(MemoryModel::NonAtomic);
+    assert!(
+        !out.violations.is_empty(),
+        "no ordering => forbidden states reachable"
+    );
+}
+
+#[test]
+fn strict_persistency_is_strictly_stronger() {
+    // Every forbidden state stays forbidden under strict persistency, but
+    // some relaxed-only states disappear.
+    for l in litmus::all() {
+        let strict = l.run(MemoryModel::Strict);
+        assert!(
+            strict.violations.is_empty(),
+            "{}: strict broke an ordering",
+            l.name
+        );
+        let strand = l.run(MemoryModel::StrandWeaver);
+        assert!(
+            strict.reachable.is_subset(&strand.reachable),
+            "{}: strict reached a state strands cannot",
+            l.name
+        );
+    }
+}
+
+#[test]
+fn epoch_models_allow_no_more_than_strand_on_strand_programs() {
+    // A program using only strand primitives is maximally relaxed under
+    // the strand model; epoch models ignore those primitives and only SPA
+    // orders persists... so their reachable sets can only be larger or
+    // equal where the strand model adds constraints via PB/JS.
+    let l = litmus::fig2_cd();
+    let strand = l.run(MemoryModel::StrandWeaver);
+    let intel = l.run(MemoryModel::IntelX86);
+    // Intel ignores NS/JS: no JoinStrand ordering, so the forbidden states
+    // of the strand model become reachable.
+    assert!(intel.reachable.is_superset(&strand.reachable));
+}

@@ -1,0 +1,56 @@
+//! Large-scale stress tests, ignored by default (minutes each in debug).
+//! Run with: `cargo test --release --test stress -- --ignored`
+
+use strandweaver::experiment::Experiment;
+use strandweaver::{BenchmarkId, HwDesign, LangModel};
+
+/// Full-scale crash campaign on every benchmark under the paper's machine.
+#[test]
+#[ignore = "multi-minute stress run; use --ignored"]
+fn full_scale_crash_matrix() {
+    for bench in BenchmarkId::ALL {
+        for lang in LangModel::ALL {
+            Experiment::new(bench, lang, HwDesign::StrandWeaver)
+                .threads(8)
+                .total_regions(120)
+                .ops_per_region(2)
+                .run_crash_campaign(25)
+                .unwrap_or_else(|e| panic!("{bench} {lang}: {e}"));
+        }
+    }
+}
+
+/// Full-scale redo crash campaign.
+#[test]
+#[ignore = "multi-minute stress run; use --ignored"]
+fn full_scale_redo_crash_matrix() {
+    for bench in BenchmarkId::ALL {
+        Experiment::new(bench, LangModel::Txn, HwDesign::StrandWeaver)
+            .threads(8)
+            .total_regions(120)
+            .ops_per_region(2)
+            .redo()
+            .run_crash_campaign(25)
+            .unwrap_or_else(|e| panic!("{bench}: {e}"));
+    }
+}
+
+/// Every design completes a large mixed run without deadlock and with the
+/// expected performance ordering.
+#[test]
+#[ignore = "multi-minute stress run; use --ignored"]
+fn full_scale_design_ordering() {
+    let run = |design| {
+        Experiment::new(BenchmarkId::NStoreWr, LangModel::Sfr, design)
+            .threads(8)
+            .total_regions(480)
+            .run_timing()
+            .cycles
+    };
+    let intel = run(HwDesign::IntelX86);
+    let hops = run(HwDesign::Hops);
+    let sw = run(HwDesign::StrandWeaver);
+    let na = run(HwDesign::NonAtomic);
+    assert!(sw < hops && hops < intel, "sw={sw} hops={hops} intel={intel}");
+    assert!(na <= sw + sw / 10, "na={na} sw={sw}");
+}
