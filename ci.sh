@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, workspace) =="
+cargo build --release --workspace
+
+echo "== test (workspace) =="
+cargo test --workspace -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt (check) =="
+cargo fmt --all -- --check
+
+echo "ci: all gates passed"

@@ -1,0 +1,45 @@
+//! Overhead check for the `sw-trace` wiring: a timing run with no trace
+//! sink installed (the default) must cost no more than the same run with a
+//! [`NullSink`] — the disabled path is two `Option` discriminant checks per
+//! instrument site, so it should be at or below the NullSink variant, which
+//! additionally constructs and discards every event.
+//!
+//! Run with `cargo bench -p sw-bench --bench trace_overhead`. The assert
+//! uses a generous tolerance so scheduler noise on loaded machines does not
+//! produce false failures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strandweaver::experiment::Experiment;
+use strandweaver::trace::NullSink;
+use strandweaver::{BenchmarkId, HwDesign, LangModel};
+
+fn cell() -> Experiment {
+    Experiment::new(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver)
+        .threads(2)
+        .total_regions(16)
+}
+
+fn bench_disabled_vs_null_sink(c: &mut Criterion) {
+    c.bench_function("run_timing_sink_disabled", |b| {
+        b.iter(|| cell().run_timing())
+    });
+    c.bench_function("run_timing_null_sink", |b| {
+        b.iter(|| cell().run_timing_with_sink(Some(Box::new(NullSink))))
+    });
+    let disabled = c
+        .median_of("run_timing_sink_disabled")
+        .expect("disabled variant ran");
+    let null = c
+        .median_of("run_timing_null_sink")
+        .expect("null-sink variant ran");
+    let ratio = disabled.as_secs_f64() / null.as_secs_f64();
+    println!("disabled/null-sink time ratio: {ratio:.3}");
+    assert!(
+        ratio < 1.25,
+        "disabled tracing should add no measurable cost over NullSink \
+         (disabled {disabled:?} vs null {null:?}, ratio {ratio:.3})"
+    );
+}
+
+criterion_group!(benches, bench_disabled_vs_null_sink);
+criterion_main!(benches);

@@ -2,11 +2,18 @@
 //!
 //! ```text
 //! swctl run   <benchmark> [--lang txn|sfr|atlas] [--design <d>] [--redo]
-//!             [--threads N] [--regions N] [--ops N]
+//!             [--threads N] [--regions N] [--ops N] [--sq N] [--pq N]
+//!             [--stats] [--json]
 //! swctl crash <benchmark> [--rounds N] [--design <d>] [--lang ...] [--redo]
-//! swctl litmus
-//! swctl table1|table2|fig7|fig8|fig9|fig10|summary
+//! swctl trace <benchmark> [--out <file.json>] [--jsonl] [run flags]
+//! swctl litmus | fig1 | fig2 | table1
+//! swctl table2|fig7|fig8|fig9|fig10|summary [--json]
 //! ```
+//!
+//! `trace` writes a Chrome/Perfetto trace-event file (load it at
+//! `ui.perfetto.dev`); `--jsonl` switches to flat JSON-lines. `--json`
+//! emits machine-readable results instead of the formatted report.
+//! Unknown flags are an error on every subcommand.
 
 use strandweaver::experiment::Experiment;
 use strandweaver::{BenchmarkId, HwDesign, LangModel};
@@ -27,10 +34,11 @@ fn parse_lang(s: &str) -> Option<LangModel> {
 fn usage() -> ! {
     eprintln!(
         "usage: swctl <command>\n\
-         \n  run <benchmark>    simulate one cell (flags: --lang --design --redo --threads --regions --ops)\
+         \n  run <benchmark>    simulate one cell (flags: --lang --design --redo --threads --regions --ops --sq --pq --stats --json)\
          \n  crash <benchmark>  crash-consistency campaign (flags as above plus --rounds)\
+         \n  trace <benchmark>  simulate with event tracing, write a Perfetto timeline (--out FILE, --jsonl)\
          \n  litmus             run the Figure 2 litmus suite\
-         \n  table1|table2|fig1|fig2|fig7|fig8|fig9|fig10|summary  regenerate a table/figure\
+         \n  table1|table2|fig1|fig2|fig7|fig8|fig9|fig10|summary  regenerate a table/figure (--json where tabular)\
          \n\nbenchmarks: {}\ndesigns: {}\nlangs: {}",
         BenchmarkId::ALL.map(|b| b.label()).join(" "),
         HwDesign::ALL.map(|d| d.label()).join(" "),
@@ -48,6 +56,11 @@ struct Flags {
     ops: usize,
     rounds: usize,
     stats: bool,
+    json: bool,
+    jsonl: bool,
+    out: Option<String>,
+    sq: Option<usize>,
+    pq: Option<usize>,
 }
 
 fn parse_flags(args: &[String]) -> Flags {
@@ -61,6 +74,11 @@ fn parse_flags(args: &[String]) -> Flags {
         ops: scale.ops_per_region,
         rounds: 100,
         stats: false,
+        json: false,
+        jsonl: false,
+        out: None,
+        sq: None,
+        pq: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -77,11 +95,19 @@ fn parse_flags(args: &[String]) -> Flags {
             "--design" => f.design = parse_design(&next("--design")).unwrap_or_else(|| usage()),
             "--redo" => f.redo = true,
             "--stats" => f.stats = true,
+            "--json" => f.json = true,
+            "--jsonl" => f.jsonl = true,
+            "--out" => f.out = Some(next("--out")),
             "--threads" => f.threads = next("--threads").parse().unwrap_or_else(|_| usage()),
             "--regions" => f.regions = next("--regions").parse().unwrap_or_else(|_| usage()),
             "--ops" => f.ops = next("--ops").parse().unwrap_or_else(|_| usage()),
             "--rounds" => f.rounds = next("--rounds").parse().unwrap_or_else(|_| usage()),
-            _ => usage(),
+            "--sq" => f.sq = Some(next("--sq").parse().unwrap_or_else(|_| usage())),
+            "--pq" => f.pq = Some(next("--pq").parse().unwrap_or_else(|_| usage())),
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
         }
     }
     if f.threads == 0 || f.regions == 0 || f.ops == 0 {
@@ -92,15 +118,37 @@ fn parse_flags(args: &[String]) -> Flags {
 }
 
 fn experiment(bench: BenchmarkId, f: &Flags) -> Experiment {
-    let e = Experiment::new(bench, f.lang, f.design)
+    let mut e = Experiment::new(bench, f.lang, f.design)
         .threads(f.threads)
         .total_regions(f.regions)
         .ops_per_region(f.ops);
+    if let Some(sq) = f.sq {
+        e.sim.store_queue_entries = sq.max(1);
+    }
+    if let Some(pq) = f.pq {
+        e.sim.persist_queue_entries = pq.max(1);
+    }
     if f.redo {
         e.redo()
     } else {
         e
     }
+}
+
+/// Strict flag parser for the table/figure subcommands: `--json` where the
+/// output is tabular, nothing else. Anything unrecognized is an error.
+fn parse_figure_flags(args: &[String], json_ok: bool) -> bool {
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" if json_ok => json = true,
+            other => {
+                eprintln!("unknown flag for this subcommand: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    json
 }
 
 fn main() {
@@ -112,7 +160,15 @@ fn main() {
                 usage()
             };
             let f = parse_flags(&args[2..]);
-            let stats = experiment(bench, &f).run_timing();
+            let mut e = experiment(bench, &f);
+            if f.json {
+                e = e.with_metrics();
+            }
+            let stats = e.run_timing();
+            if f.json {
+                println!("{}", stats.to_json().render());
+                return;
+            }
             println!(
                 "{bench} lang={} design={} redo={}: {} cycles, {} clwbs, ckc {:.2}, \
                  persist stalls {}, lock stalls {}",
@@ -142,27 +198,102 @@ fn main() {
                 }
             }
         }
-        "litmus" | "fig2" => print!("{}", sw_bench::fig2_report()),
-        "fig1" => print!("{}", sw_bench::fig1_report()),
-        "table1" => print!("{}", sw_bench::table1()),
-        "table2" => {
-            let rows = sw_bench::table2(Scale::from_env());
-            print!("{}", sw_bench::table2_report(&rows));
+        "trace" => {
+            let Some(bench) = args.get(1).and_then(|s| parse_bench(s)) else {
+                usage()
+            };
+            let f = parse_flags(&args[2..]);
+            let rec = strandweaver::trace::RingRecorder::new(1 << 20);
+            let stats = experiment(bench, &f)
+                .traced(rec.clone())
+                .with_metrics()
+                .run_timing();
+            let path = f.out.as_deref().unwrap_or("trace.json");
+            let events = rec.events();
+            let body = if f.jsonl {
+                strandweaver::trace::jsonl(&events)
+            } else {
+                strandweaver::trace::chrome_trace(&events).render()
+            };
+            std::fs::write(path, body).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "{bench} lang={} design={}: {} cycles, {} events recorded ({} dropped) -> {path}",
+                f.lang,
+                f.design,
+                stats.cycles,
+                rec.recorded(),
+                rec.dropped(),
+            );
         }
-        "fig7" => print!(
-            "{}",
-            sw_bench::fig7_report(&sw_bench::full_sweep(Scale::from_env()))
-        ),
-        "fig8" => print!(
-            "{}",
-            sw_bench::fig8_report(&sw_bench::full_sweep(Scale::from_env()))
-        ),
-        "fig9" => print!("{}", sw_bench::fig9_report(Scale::from_env())),
-        "fig10" => print!("{}", sw_bench::fig10_report(Scale::from_env())),
-        "summary" => {
+        "litmus" | "fig2" => {
+            parse_figure_flags(&args[1..], false);
+            print!("{}", sw_bench::fig2_report());
+        }
+        "fig1" => {
+            parse_figure_flags(&args[1..], false);
+            print!("{}", sw_bench::fig1_report());
+        }
+        "table1" => {
+            parse_figure_flags(&args[1..], false);
+            print!("{}", sw_bench::table1());
+        }
+        "table2" => {
+            let json = parse_figure_flags(&args[1..], true);
+            let rows = sw_bench::table2(Scale::from_env());
+            if json {
+                println!("{}", sw_bench::table2_json(&rows).render());
+            } else {
+                print!("{}", sw_bench::table2_report(&rows));
+            }
+        }
+        "fig7" => {
+            let json = parse_figure_flags(&args[1..], true);
             let cells = sw_bench::full_sweep(Scale::from_env());
-            print!("{}", sw_bench::summary_report(&cells));
-            print!("{}", sw_bench::lang_sensitivity_report(&cells));
+            if json {
+                println!("{}", sw_bench::sweep_json(&cells).render());
+            } else {
+                print!("{}", sw_bench::fig7_report(&cells));
+            }
+        }
+        "fig8" => {
+            let json = parse_figure_flags(&args[1..], true);
+            let cells = sw_bench::full_sweep(Scale::from_env());
+            if json {
+                println!("{}", sw_bench::sweep_json(&cells).render());
+            } else {
+                print!("{}", sw_bench::fig8_report(&cells));
+            }
+        }
+        "fig9" => {
+            let json = parse_figure_flags(&args[1..], true);
+            let m = sw_bench::fig9_matrix(Scale::from_env());
+            if json {
+                println!("{}", m.to_json().render());
+            } else {
+                print!("{}", m.render());
+            }
+        }
+        "fig10" => {
+            let json = parse_figure_flags(&args[1..], true);
+            let m = sw_bench::fig10_matrix(Scale::from_env());
+            if json {
+                println!("{}", m.to_json().render());
+            } else {
+                print!("{}", m.render());
+            }
+        }
+        "summary" => {
+            let json = parse_figure_flags(&args[1..], true);
+            let cells = sw_bench::full_sweep(Scale::from_env());
+            if json {
+                println!("{}", sw_bench::summary_json(&cells).render());
+            } else {
+                print!("{}", sw_bench::summary_report(&cells));
+                print!("{}", sw_bench::lang_sensitivity_report(&cells));
+            }
         }
         _ => usage(),
     }

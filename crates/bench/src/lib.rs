@@ -19,6 +19,7 @@ use std::fmt::Write as _;
 use strandweaver::experiment::{design_sweep, Experiment};
 use strandweaver::model::litmus;
 use strandweaver::{BenchmarkId, HwDesign, LangModel, MemoryModel, SimConfig, SimStats};
+use sw_trace::Json;
 
 /// Run scale shared by all figures.
 #[derive(Debug, Clone, Copy)]
@@ -280,96 +281,176 @@ pub fn fig8_report(cells: &[SweepCell]) -> String {
 /// The Figure 9 strand-buffer-unit shapes `(buffers, entries per buffer)`.
 pub const FIG9_SHAPES: [(usize, usize); 5] = [(2, 2), (4, 2), (2, 4), (4, 4), (8, 8)];
 
-/// Figure 9: sensitivity to the strand-buffer-unit configuration, SFR
-/// implementation, speedup over Intel x86 (geometric mean across the
-/// microbenchmarks).
-pub fn fig9_report(scale: Scale) -> String {
-    let micro = [
-        BenchmarkId::Queue,
-        BenchmarkId::Hashmap,
-        BenchmarkId::ArraySwap,
-        BenchmarkId::RbTree,
-    ];
-    let mut s = String::new();
-    let _ = writeln!(
-        s,
-        "Figure 9 — Sensitivity to (strand buffers, entries per buffer), SFR"
-    );
-    let _ = write!(s, "  {:12}", "benchmark");
-    for (b, e) in FIG9_SHAPES {
-        let _ = write!(s, " {:>9}", format!("({b},{e})"));
-    }
-    let _ = writeln!(s);
-    let mut geo = vec![1.0f64; FIG9_SHAPES.len()];
-    for bench in micro {
-        let intel = scale
-            .experiment(bench, LangModel::Sfr, HwDesign::IntelX86)
-            .run_timing();
-        let _ = write!(s, "  {:12}", bench.label());
-        for (k, (b, e)) in FIG9_SHAPES.into_iter().enumerate() {
-            let stats = scale
-                .experiment(bench, LangModel::Sfr, HwDesign::StrandWeaver)
-                .strand_buffers(b, e)
-                .run_timing();
-            let speedup = intel.cycles as f64 / stats.cycles as f64;
-            geo[k] *= speedup;
-            let _ = write!(s, " {:>8.2}x", speedup);
-        }
-        let _ = writeln!(s);
-    }
-    let _ = write!(s, "  {:12}", "geomean");
-    for g in geo {
-        let _ = write!(s, " {:>8.2}x", g.powf(1.0 / micro.len() as f64));
-    }
-    let _ = writeln!(s);
-    s
+/// The four microbenchmarks swept by Figures 9 and 10.
+const MICROBENCHES: [BenchmarkId; 4] = [
+    BenchmarkId::Queue,
+    BenchmarkId::Hashmap,
+    BenchmarkId::ArraySwap,
+    BenchmarkId::RbTree,
+];
+
+/// A labelled numeric matrix — benchmark rows × configuration columns with
+/// a geometric-mean footer. Figures 9 and 10 share this shape; it renders
+/// as the figures' plain-text table or serializes for `--json`.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// Report heading.
+    pub title: String,
+    /// One label per column.
+    pub col_labels: Vec<String>,
+    /// `(row label, one value per column)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Geometric mean of each column across the rows.
+    pub geomean: Vec<f64>,
 }
 
-/// Figure 10: speedup over Intel x86 as operations per SFR vary.
-pub fn fig10_report(scale: Scale) -> String {
-    let ops_axis = [2usize, 4, 8, 16, 32];
-    let micro = [
-        BenchmarkId::Queue,
-        BenchmarkId::Hashmap,
-        BenchmarkId::ArraySwap,
-        BenchmarkId::RbTree,
-    ];
-    let mut s = String::new();
-    let _ = writeln!(
-        s,
-        "Figure 10 — Speedup vs. operations per failure-atomic SFR"
-    );
-    let _ = write!(s, "  {:12}", "benchmark");
-    for o in ops_axis {
-        let _ = write!(s, " {:>8}", format!("{o} ops"));
+impl MatrixReport {
+    fn from_rows(title: &str, col_labels: Vec<String>, rows: Vec<(String, Vec<f64>)>) -> Self {
+        let mut geomean = vec![1.0f64; col_labels.len()];
+        for (_, vals) in &rows {
+            for (g, v) in geomean.iter_mut().zip(vals) {
+                *g *= v;
+            }
+        }
+        let n = rows.len().max(1) as f64;
+        for g in &mut geomean {
+            *g = g.powf(1.0 / n);
+        }
+        Self {
+            title: title.to_string(),
+            col_labels,
+            rows,
+            geomean,
+        }
     }
-    let _ = writeln!(s);
-    let mut geo = vec![1.0f64; ops_axis.len()];
-    for bench in micro {
-        let _ = write!(s, "  {:12}", bench.label());
-        for (k, ops) in ops_axis.into_iter().enumerate() {
-            // Hold total logical work constant across the axis.
-            let regions = (scale.regions * scale.ops_per_region / ops).max(scale.threads);
-            let mk = |design| {
-                Experiment::new(bench, LangModel::Sfr, design)
-                    .threads(scale.threads)
-                    .total_regions(regions)
-                    .ops_per_region(ops)
-            };
-            let sw = mk(HwDesign::StrandWeaver).run_timing();
-            let intel = mk(HwDesign::IntelX86).run_timing();
-            let speedup = intel.cycles as f64 / sw.cycles as f64;
-            geo[k] *= speedup;
-            let _ = write!(s, " {:>7.2}x", speedup);
+
+    /// Plain-text table in the figures' house style.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.title);
+        let _ = write!(s, "  {:12}", "benchmark");
+        for c in &self.col_labels {
+            let _ = write!(s, " {c:>9}");
         }
         let _ = writeln!(s);
+        let mut row = |label: &str, vals: &[f64]| {
+            let _ = write!(s, "  {label:12}");
+            for v in vals {
+                let _ = write!(s, " {v:>8.2}x");
+            }
+            let _ = writeln!(s);
+        };
+        for (label, vals) in &self.rows {
+            row(label, vals);
+        }
+        row("geomean", &self.geomean);
+        s
     }
-    let _ = write!(s, "  {:12}", "geomean");
-    for g in geo {
-        let _ = write!(s, " {:>7.2}x", g.powf(1.0 / micro.len() as f64));
+
+    /// JSON object (`swctl fig9 --json`, `swctl fig10 --json`).
+    pub fn to_json(&self) -> Json {
+        let f64s = |xs: &[f64]| Json::Arr(xs.iter().map(|v| Json::F64(*v)).collect());
+        Json::obj([
+            ("title", Json::Str(self.title.clone())),
+            (
+                "columns",
+                Json::Arr(
+                    self.col_labels
+                        .iter()
+                        .map(|c| Json::Str(c.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(l, vals)| {
+                            Json::obj([("label", Json::Str(l.clone())), ("values", f64s(vals))])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("geomean", f64s(&self.geomean)),
+        ])
     }
-    let _ = writeln!(s);
-    s
+}
+
+/// Figure 9 data: sensitivity to the strand-buffer-unit configuration, SFR
+/// implementation, speedup over Intel x86 per microbenchmark.
+pub fn fig9_matrix(scale: Scale) -> MatrixReport {
+    let cols = FIG9_SHAPES
+        .into_iter()
+        .map(|(b, e)| format!("({b},{e})"))
+        .collect();
+    let rows = MICROBENCHES
+        .into_iter()
+        .map(|bench| {
+            let intel = scale
+                .experiment(bench, LangModel::Sfr, HwDesign::IntelX86)
+                .run_timing();
+            let vals = FIG9_SHAPES
+                .into_iter()
+                .map(|(b, e)| {
+                    let stats = scale
+                        .experiment(bench, LangModel::Sfr, HwDesign::StrandWeaver)
+                        .strand_buffers(b, e)
+                        .run_timing();
+                    intel.cycles as f64 / stats.cycles as f64
+                })
+                .collect();
+            (bench.label().to_string(), vals)
+        })
+        .collect();
+    MatrixReport::from_rows(
+        "Figure 9 — Sensitivity to (strand buffers, entries per buffer), SFR",
+        cols,
+        rows,
+    )
+}
+
+/// Figure 9 rendered as text.
+pub fn fig9_report(scale: Scale) -> String {
+    fig9_matrix(scale).render()
+}
+
+/// Figure 10 data: speedup over Intel x86 as operations per SFR vary.
+pub fn fig10_matrix(scale: Scale) -> MatrixReport {
+    let ops_axis = [2usize, 4, 8, 16, 32];
+    let cols = ops_axis.into_iter().map(|o| format!("{o} ops")).collect();
+    let rows = MICROBENCHES
+        .into_iter()
+        .map(|bench| {
+            let vals = ops_axis
+                .into_iter()
+                .map(|ops| {
+                    // Hold total logical work constant across the axis.
+                    let regions = (scale.regions * scale.ops_per_region / ops).max(scale.threads);
+                    let mk = |design| {
+                        Experiment::new(bench, LangModel::Sfr, design)
+                            .threads(scale.threads)
+                            .total_regions(regions)
+                            .ops_per_region(ops)
+                    };
+                    let sw = mk(HwDesign::StrandWeaver).run_timing();
+                    let intel = mk(HwDesign::IntelX86).run_timing();
+                    intel.cycles as f64 / sw.cycles as f64
+                })
+                .collect();
+            (bench.label().to_string(), vals)
+        })
+        .collect();
+    MatrixReport::from_rows(
+        "Figure 10 — Speedup vs. operations per failure-atomic SFR",
+        cols,
+        rows,
+    )
+}
+
+/// Figure 10 rendered as text.
+pub fn fig10_report(scale: Scale) -> String {
+    fig10_matrix(scale).render()
 }
 
 /// Figure 2: litmus outcomes under the strand persistency model.
@@ -474,6 +555,115 @@ pub fn summary_report(cells: &[SweepCell]) -> String {
         (geo(&below_na) - 1.0) * 100.0
     );
     s
+}
+
+/// Table II as JSON (`swctl table2 --json`).
+pub fn table2_json(rows: &[Table2Row]) -> Json {
+    Json::obj([(
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("benchmark", Json::Str(r.bench.label().to_string())),
+                        ("ckc", Json::F64(r.ckc)),
+                        ("paper_ckc", Json::F64(r.paper_ckc)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// The Figure 7/8 sweep as JSON: one object per cell with raw cycles and
+/// the derived speedup / stall-ratio metrics per design
+/// (`swctl fig7 --json`, `swctl fig8 --json`).
+pub fn sweep_json(cells: &[SweepCell]) -> Json {
+    Json::obj([(
+        "cells",
+        Json::Arr(
+            cells
+                .iter()
+                .map(|cell| {
+                    Json::obj([
+                        ("benchmark", Json::Str(cell.bench.label().to_string())),
+                        ("lang", Json::Str(cell.lang.label().to_string())),
+                        (
+                            "designs",
+                            Json::Arr(
+                                cell.designs
+                                    .iter()
+                                    .map(|(design, stats)| {
+                                        Json::obj([
+                                            ("design", Json::Str(design.label().to_string())),
+                                            ("cycles", Json::U64(stats.cycles)),
+                                            (
+                                                "persist_stall_cycles",
+                                                Json::U64(stats.persist_stall_cycles()),
+                                            ),
+                                            (
+                                                "speedup_over_intel",
+                                                Json::F64(cell.speedup(*design)),
+                                            ),
+                                            ("stall_ratio", Json::F64(cell.stall_ratio(*design))),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// The headline numbers as JSON (`swctl summary --json`).
+pub fn summary_json(cells: &[SweepCell]) -> Json {
+    let geo = |xs: &[f64]| xs.iter().product::<f64>().powf(1.0 / xs.len() as f64);
+    let max = |xs: &[f64]| xs.iter().cloned().fold(f64::MIN, f64::max);
+    let over_intel: Vec<f64> = cells
+        .iter()
+        .map(|c| c.speedup(HwDesign::StrandWeaver))
+        .collect();
+    let over_hops: Vec<f64> = cells
+        .iter()
+        .map(|c| c.cycles(HwDesign::Hops) as f64 / c.cycles(HwDesign::StrandWeaver) as f64)
+        .collect();
+    let below_na: Vec<f64> = cells
+        .iter()
+        .map(|c| c.cycles(HwDesign::StrandWeaver) as f64 / c.cycles(HwDesign::NonAtomic) as f64)
+        .collect();
+    let stall: Vec<f64> = cells
+        .iter()
+        .map(|c| c.stall_ratio(HwDesign::StrandWeaver))
+        .collect();
+    let per_lang = LangModel::ALL
+        .iter()
+        .map(|&lang| {
+            let xs: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.lang == lang)
+                .map(|c| c.speedup(HwDesign::StrandWeaver))
+                .collect();
+            Json::obj([
+                ("lang", Json::Str(lang.label().to_string())),
+                ("speedup_geomean", Json::F64(geo(&xs))),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("speedup_over_intel_geomean", Json::F64(geo(&over_intel))),
+        ("speedup_over_intel_max", Json::F64(max(&over_intel))),
+        ("speedup_over_hops_geomean", Json::F64(geo(&over_hops))),
+        ("speedup_over_hops_max", Json::F64(max(&over_hops))),
+        ("stall_ratio_vs_intel_geomean", Json::F64(geo(&stall))),
+        (
+            "slowdown_vs_non_atomic_pct",
+            Json::F64((geo(&below_na) - 1.0) * 100.0),
+        ),
+        ("per_lang", Json::Arr(per_lang)),
+    ])
 }
 
 /// Per-language-model speedup averages (Section VI-B "sensitivity to

@@ -1,0 +1,195 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The build environment for this workspace cannot reach crates.io, so this
+//! crate implements the subset of the criterion API the workspace's
+//! benchmarks use: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is simpler than upstream — a short warm-up, then a fixed
+//! number of timed batches, reporting the median per-iteration time — but
+//! the numbers are stable enough for the coarse comparisons the repo's
+//! benches assert on.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched setup output is sized (accepted for compatibility; the shim
+/// always runs one setup per timed call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Records one benchmark's samples.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    /// Target number of timed samples.
+    sample_count: usize,
+    /// Iterations folded into one sample (scaled so fast routines are not
+    /// dominated by timer resolution).
+    batch: u64,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            sample_count,
+            batch: 1,
+        }
+    }
+
+    /// Benchmarks `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up & batch sizing: aim for samples of at least ~200us.
+        let t0 = Instant::now();
+        black_box(routine());
+        let one = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_micros(200);
+        self.batch = (target.as_nanos() / one.as_nanos()).clamp(1, 100_000) as u64;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.batch as u32);
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.batch = 1;
+        for _ in 0..self.sample_count.max(10) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Median per-iteration time of the recorded samples.
+    pub fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s[s.len() / 2]
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_count: usize,
+    /// `(name, median)` pairs of every benchmark run so far.
+    pub results: Vec<(String, Duration)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_count = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        Self {
+            sample_count,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_count);
+        f(&mut b);
+        let med = b.median();
+        println!("bench: {name:<44} median {:>12.3} us", as_us(med));
+        self.results.push((name.to_string(), med));
+        self
+    }
+
+    /// Median of a previously run benchmark, if any.
+    pub fn median_of(&self, name: &str) -> Option<Duration> {
+        self.results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+    }
+}
+
+fn as_us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion {
+            sample_count: 3,
+            results: Vec::new(),
+        };
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.median_of("spin").is_some());
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher::new(5);
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u64; 16]
+            },
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(setups >= 5);
+        assert!(b.median() > Duration::ZERO || b.samples.len() >= 5);
+    }
+}

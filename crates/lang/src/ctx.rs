@@ -5,6 +5,7 @@
 use sw_model::isa::{FenceKind, IsaOp, IsaTrace, LockId};
 use sw_model::{Execution, OpKind, OpRef, Program, ThreadId};
 use sw_pmem::{Addr, Memory, PmLayout};
+use sw_trace::{CounterId, GaugeId, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceSink};
 
 /// Per-context instruction counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -46,6 +47,20 @@ pub struct FuncCtx {
     stats: CtxStats,
     record_program: bool,
     next_seq: u64,
+    /// Optional runtime-event sink (log appends/commits, recovery phases).
+    trace: Option<Box<dyn TraceSink>>,
+    metrics: Option<CtxMetrics>,
+}
+
+/// Metric IDs registered by [`FuncCtx::enable_metrics`].
+#[derive(Debug)]
+struct CtxMetrics {
+    reg: MetricsRegistry,
+    log_appends: CounterId,
+    log_commits: CounterId,
+    /// Per-thread live (uncommitted) log-entry gauge; `max` is the
+    /// log high-water mark of the run.
+    log_live: Vec<GaugeId>,
 }
 
 impl FuncCtx {
@@ -59,6 +74,65 @@ impl FuncCtx {
             stats: CtxStats::default(),
             record_program: true,
             next_seq: 1,
+            trace: None,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a trace sink; runtime observability events (log appends,
+    /// commits, recovery phases) are recorded into it, timestamped with
+    /// the context's logical clock.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Enables the runtime metrics registry: log append/commit counters
+    /// plus a per-thread live-entry gauge whose `max` is the log
+    /// high-water mark.
+    pub fn enable_metrics(&mut self) {
+        let mut reg = MetricsRegistry::new();
+        let log_appends = reg.counter("log.appends");
+        let log_commits = reg.counter("log.commits");
+        let log_live = (0..self.traces.len())
+            .map(|t| reg.gauge(&format!("thread{t}.log_live")))
+            .collect();
+        self.metrics = Some(CtxMetrics {
+            reg,
+            log_appends,
+            log_commits,
+            log_live,
+        });
+    }
+
+    /// Frozen metrics values (empty when metrics are disabled).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics
+            .as_ref()
+            .map(|m| m.reg.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Records a runtime observability event, stamped with the current
+    /// logical sequence number. One branch when no sink is attached.
+    pub fn trace_event(&mut self, event: TraceEvent) {
+        if let Some(m) = self.metrics.as_mut() {
+            match event {
+                TraceEvent::LogAppend { .. } => m.reg.inc(m.log_appends),
+                TraceEvent::LogCommit { .. } => m.reg.inc(m.log_commits),
+                _ => {}
+            }
+        }
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(self.next_seq - 1, event);
+        }
+    }
+
+    /// Notes thread `tid`'s live (uncommitted) log-entry count.
+    pub fn note_log_live(&mut self, tid: usize, live: u64) {
+        if let Some(m) = self.metrics.as_mut() {
+            if let Some(&g) = m.log_live.get(tid) {
+                m.reg.set(g, live);
+            }
         }
     }
 

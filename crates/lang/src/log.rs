@@ -277,6 +277,11 @@ impl UndoLog {
         self.tail = (self.tail + 1) % self.capacity;
         self.uncommitted += 1;
         self.last_seq = seq;
+        ctx.trace_event(sw_trace::TraceEvent::LogAppend {
+            thread: self.tid as u32,
+            seq,
+        });
+        ctx.note_log_live(self.tid, self.uncommitted);
         seq
     }
 
@@ -310,11 +315,13 @@ impl UndoLog {
         //    record (Figure 6a step 3). The fresh record at `c_slot` stays
         //    live so the cut remains durably visible.
         let mut slot = self.head;
+        let mut invalidated = 0u64;
         while slot != c_slot {
             let base = self.slot(slot);
             ctx.store(self.tid, base.offset_words(W_TYPE), 0);
             ctx.clwb(self.tid, base);
             slot = (slot + 1) % self.capacity;
+            invalidated += 1;
         }
         self.fence(ctx, design.drain_fence());
         // 4. Advance and flush the persistent head (Figure 6a step 4).
@@ -324,6 +331,12 @@ impl UndoLog {
         ctx.store(self.tid, self.header(), self.head);
         ctx.clwb(self.tid, self.header());
         self.fence(ctx, design.drain_fence());
+        ctx.trace_event(sw_trace::TraceEvent::LogCommit {
+            thread: self.tid as u32,
+            entries: invalidated,
+            cut,
+        });
+        ctx.note_log_live(self.tid, 0);
     }
 
     /// Durable-cut header word (word 1 of the header line): everything at
@@ -361,6 +374,12 @@ impl UndoLog {
         ctx.store(self.tid, self.header(), self.head);
         ctx.clwb(self.tid, self.header());
         self.fence(ctx, design.drain_fence());
+        ctx.trace_event(sw_trace::TraceEvent::LogCommit {
+            thread: self.tid as u32,
+            entries: count,
+            cut: self.last_seq,
+        });
+        ctx.note_log_live(self.tid, 0);
     }
 
     fn fence(&self, ctx: &mut FuncCtx, kind: Option<FenceKind>) {
@@ -541,6 +560,33 @@ mod tests {
         for i in 0..3 {
             log.append(&mut ctx, store_payload(0x2000_0000 + i * 64, 0));
         }
+    }
+
+    #[test]
+    fn log_operations_emit_trace_events_and_metrics() {
+        use sw_trace::{RingRecorder, TraceEvent};
+        let (mut ctx, mut log) = setup();
+        let rec = RingRecorder::new(64);
+        ctx.set_trace_sink(Box::new(rec.clone()));
+        ctx.enable_metrics();
+        log.append(&mut ctx, store_payload(0x2000_0000, 1));
+        log.append(&mut ctx, store_payload(0x2000_0040, 2));
+        log.commit_all(&mut ctx, HwDesign::StrandWeaver);
+        let events = rec.events();
+        let appends = events
+            .iter()
+            .filter(|e| e.event.kind() == "log_append")
+            .count();
+        assert_eq!(appends, 3, "two data entries plus the commit record");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::LogCommit { entries: 2, .. })));
+        let snap = ctx.metrics_snapshot();
+        assert_eq!(snap.counter("log.appends"), Some(3));
+        assert_eq!(snap.counter("log.commits"), Some(1));
+        let live = snap.gauge("thread0.log_live").expect("registered");
+        assert!(live.max >= 2, "high-water mark covers both appends");
+        assert_eq!(live.last, 0, "commit empties the live zone");
     }
 
     #[test]

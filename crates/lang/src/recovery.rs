@@ -20,6 +20,7 @@
 //! [`LogStrategy::Redo`]: crate::LogStrategy::Redo
 
 use sw_pmem::{PmImage, PmLayout};
+use sw_trace::{TraceEvent, TraceSink};
 
 use crate::log::{scan_log, DecodedEntry, EntryType};
 
@@ -49,6 +50,33 @@ impl RecoveryReport {
 /// Runs recovery over a crashed PM image, mutating it to the recovered
 /// state, and reports what was done.
 pub fn recover(img: &mut PmImage, layout: &PmLayout) -> RecoveryReport {
+    recover_inner(img, layout, None)
+}
+
+/// As [`recover`], but emitting `RecoveryBegin`/`RecoveryEnd` events into
+/// `sink` for the `scan`, `redo`, and `undo` phases. Timestamps are a
+/// phase-local tick counter (recovery runs outside simulated time).
+pub fn recover_traced(
+    img: &mut PmImage,
+    layout: &PmLayout,
+    sink: &mut dyn TraceSink,
+) -> RecoveryReport {
+    recover_inner(img, layout, Some(sink))
+}
+
+fn note(sink: &mut Option<&mut dyn TraceSink>, t: &mut u64, event: TraceEvent) {
+    if let Some(s) = sink.as_deref_mut() {
+        s.record(*t, event);
+        *t += 1;
+    }
+}
+
+fn recover_inner(
+    img: &mut PmImage,
+    layout: &PmLayout,
+    mut sink: Option<&mut dyn TraceSink>,
+) -> RecoveryReport {
+    let mut t = 0u64;
     let mut cuts = vec![0u64; layout.threads()];
     let mut survivors: Vec<DecodedEntry> = Vec::new();
     let mut discarded = 0usize;
@@ -57,6 +85,12 @@ pub fn recover(img: &mut PmImage, layout: &PmLayout) -> RecoveryReport {
     // dedicated PM word; it covers every thread.
     let global_cut = img.load(layout.lock_addr(crate::runtime::GLOBAL_CUT_LOCK));
 
+    note(
+        &mut sink,
+        &mut t,
+        TraceEvent::RecoveryBegin { phase: "scan" },
+    );
+    let mut scanned = 0u64;
     let mut replayable: Vec<DecodedEntry> = Vec::new();
     for (tid, cut_slot) in cuts.iter_mut().enumerate() {
         let region = layout.log_region(tid);
@@ -75,6 +109,7 @@ pub fn recover(img: &mut PmImage, layout: &PmLayout) -> RecoveryReport {
             .max(global_cut)
             .max(header_cut);
         *cut_slot = cut;
+        scanned += entries.len() as u64;
         for e in entries {
             if e.etype == EntryType::Commit {
                 continue;
@@ -97,14 +132,41 @@ pub fn recover(img: &mut PmImage, layout: &PmLayout) -> RecoveryReport {
         }
     }
 
+    note(
+        &mut sink,
+        &mut t,
+        TraceEvent::RecoveryEnd {
+            phase: "scan",
+            items: scanned,
+        },
+    );
+
     // Replay committed redo entries forward, in creation order.
+    note(
+        &mut sink,
+        &mut t,
+        TraceEvent::RecoveryBegin { phase: "redo" },
+    );
     replayable.sort_unstable_by_key(|e| e.seq);
     let replayed_redo = replayable.len();
     for e in &replayable {
         img.store(e.addr, e.value);
     }
+    note(
+        &mut sink,
+        &mut t,
+        TraceEvent::RecoveryEnd {
+            phase: "redo",
+            items: replayed_redo as u64,
+        },
+    );
 
     // Roll back in reverse order of creation, across all threads.
+    note(
+        &mut sink,
+        &mut t,
+        TraceEvent::RecoveryBegin { phase: "undo" },
+    );
     survivors.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
     let mut rolled_back = 0usize;
     let mut sync_entries = 0usize;
@@ -118,6 +180,14 @@ pub fn recover(img: &mut PmImage, layout: &PmLayout) -> RecoveryReport {
             _ => sync_entries += 1,
         }
     }
+    note(
+        &mut sink,
+        &mut t,
+        TraceEvent::RecoveryEnd {
+            phase: "undo",
+            items: rolled_back as u64,
+        },
+    );
 
     RecoveryReport {
         per_thread_cut: cuts,
@@ -219,6 +289,37 @@ mod tests {
         let mut img = ctx.mem().persisted_image().clone();
         let report = recover(&mut img, &layout);
         assert!(report.per_thread_cut[0] > 0);
+    }
+
+    #[test]
+    fn traced_recovery_emits_phase_events() {
+        let (mut ctx, layout) = run_one_region(HwDesign::StrandWeaver, LangModel::Sfr, false);
+        ctx.mem_mut().persist_all();
+        let mut img = ctx.mem().persisted_image().clone();
+        let mut rec = sw_trace::RingRecorder::new(64);
+        let report = recover_traced(&mut img, &layout, &mut rec);
+        assert_eq!(report.rolled_back_stores, 2);
+        let events = rec.events();
+        let begins = events
+            .iter()
+            .filter(|e| e.event.kind() == "recovery_begin")
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.event.kind() == "recovery_end")
+            .count();
+        assert_eq!(begins, 3, "scan, redo, undo each open a phase");
+        assert_eq!(ends, 3, "every phase closes");
+        assert!(
+            events.iter().any(|e| matches!(
+                e.event,
+                TraceEvent::RecoveryEnd {
+                    phase: "undo",
+                    items: 2
+                }
+            )),
+            "undo phase reports the two rolled-back stores"
+        );
     }
 
     #[test]

@@ -104,6 +104,21 @@ impl Sbu {
         self.ongoing = (self.ongoing + 1) % self.buffers.len();
     }
 
+    /// Index of the ongoing (append-target) buffer.
+    pub fn ongoing_index(&self) -> usize {
+        self.ongoing
+    }
+
+    /// Occupancy of buffer `b`.
+    pub fn buffer_len(&self, b: usize) -> usize {
+        self.buffers[b].len()
+    }
+
+    /// Per-buffer occupancies, in buffer order.
+    pub fn occupancies(&self) -> Vec<usize> {
+        self.buffers.iter().map(VecDeque::len).collect()
+    }
+
     /// `true` when every buffer is empty.
     pub fn is_empty(&self) -> bool {
         self.buffers.iter().all(VecDeque::is_empty)

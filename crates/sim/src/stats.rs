@@ -1,5 +1,7 @@
 //! Simulation statistics: cycles, stall breakdowns, CKC.
 
+use sw_trace::{Json, MetricsSnapshot, StallKind};
+
 /// Why a core could not issue in a given cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StallCause {
@@ -12,6 +14,26 @@ pub enum StallCause {
     PersistQueueFull,
     /// Waiting for a contended lock.
     Lock,
+}
+
+impl StallCause {
+    /// All causes, in reporting order.
+    pub const ALL: [StallCause; 4] = [
+        StallCause::Fence,
+        StallCause::StoreQueueFull,
+        StallCause::PersistQueueFull,
+        StallCause::Lock,
+    ];
+
+    /// The equivalent `sw-trace` event vocabulary value.
+    pub fn kind(self) -> StallKind {
+        match self {
+            StallCause::Fence => StallKind::Fence,
+            StallCause::StoreQueueFull => StallKind::StoreQueueFull,
+            StallCause::PersistQueueFull => StallKind::PersistQueueFull,
+            StallCause::Lock => StallKind::Lock,
+        }
+    }
 }
 
 /// Per-core counters.
@@ -48,6 +70,33 @@ impl CoreStats {
     pub fn persist_stall_cycles(&self) -> u64 {
         self.stall_fence + self.stall_sq_full + self.stall_pq_full
     }
+
+    /// The stall counter for `cause`.
+    pub fn stall_cycles(&self, cause: StallCause) -> u64 {
+        match cause {
+            StallCause::Fence => self.stall_fence,
+            StallCause::StoreQueueFull => self.stall_sq_full,
+            StallCause::PersistQueueFull => self.stall_pq_full,
+            StallCause::Lock => self.stall_lock,
+        }
+    }
+
+    /// JSON object with every counter.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ops", Json::U64(self.ops)),
+            ("loads", Json::U64(self.loads)),
+            ("stores", Json::U64(self.stores)),
+            ("clwbs", Json::U64(self.clwbs)),
+            ("fences", Json::U64(self.fences)),
+            ("stall_fence", Json::U64(self.stall_fence)),
+            ("stall_sq_full", Json::U64(self.stall_sq_full)),
+            ("stall_pq_full", Json::U64(self.stall_pq_full)),
+            ("stall_lock", Json::U64(self.stall_lock)),
+            ("mem_busy", Json::U64(self.mem_busy)),
+            ("done_cycle", Json::U64(self.done_cycle)),
+        ])
+    }
 }
 
 /// Whole-machine results of one simulation.
@@ -60,6 +109,9 @@ pub struct SimStats {
     /// Cache lines in the order their writes were accepted by the ADR PM
     /// controller — the durable persist order the machine produced.
     pub pm_write_order: Vec<sw_pmem::LineAddr>,
+    /// Frozen metrics-registry values (empty unless the machine ran with
+    /// `Machine::enable_metrics`).
+    pub metrics: MetricsSnapshot,
 }
 
 impl SimStats {
@@ -91,6 +143,27 @@ impl SimStats {
     /// Speedup of this run relative to a baseline run of the same work.
     pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
         baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// Serializes the whole run — totals, per-core counters, and the
+    /// metrics-registry snapshot — as a JSON object (`swctl run --json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", Json::U64(self.cycles)),
+            ("pm_writes", Json::U64(self.pm_write_order.len() as u64)),
+            ("total_clwbs", Json::U64(self.total_clwbs())),
+            ("ckc", Json::F64(self.ckc())),
+            (
+                "persist_stall_cycles",
+                Json::U64(self.persist_stall_cycles()),
+            ),
+            ("lock_stall_cycles", Json::U64(self.lock_stall_cycles())),
+            (
+                "cores",
+                Json::Arr(self.cores.iter().map(CoreStats::to_json).collect()),
+            ),
+            ("metrics", self.metrics.to_json()),
+        ])
     }
 
     /// A gem5-style multi-line textual report of the run.
@@ -158,7 +231,7 @@ mod tests {
         let mut s = SimStats {
             cycles: 2000,
             cores: vec![CoreStats::default(); 2],
-            pm_write_order: vec![],
+            ..SimStats::default()
         };
         s.cores[0].clwbs = 6;
         s.cores[1].clwbs = 4;
@@ -187,13 +260,11 @@ mod tests {
     fn speedup() {
         let a = SimStats {
             cycles: 1000,
-            cores: vec![],
-            pm_write_order: vec![],
+            ..SimStats::default()
         };
         let b = SimStats {
             cycles: 2000,
-            cores: vec![],
-            pm_write_order: vec![],
+            ..SimStats::default()
         };
         assert!((a.speedup_over(&b) - 2.0).abs() < 1e-9);
     }
@@ -204,11 +275,28 @@ mod report_tests {
     use super::*;
 
     #[test]
+    fn stats_json_round_trips() {
+        let mut s = SimStats {
+            cycles: 100,
+            cores: vec![CoreStats::default(); 2],
+            ..SimStats::default()
+        };
+        s.cores[0].clwbs = 3;
+        let doc = sw_trace::json::parse(&s.to_json().render()).expect("valid JSON");
+        assert_eq!(doc.get("cycles").and_then(Json::as_u64), Some(100));
+        assert_eq!(
+            doc.get("cores").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert!(doc.get("metrics").is_some(), "metrics section present");
+    }
+
+    #[test]
     fn report_includes_totals_and_cores() {
         let mut s = SimStats {
             cycles: 100,
             cores: vec![CoreStats::default(); 2],
-            pm_write_order: vec![],
+            ..SimStats::default()
         };
         s.cores[0].clwbs = 3;
         let r = s.report();

@@ -33,6 +33,16 @@ pub struct Experiment {
     pub seed: u64,
     /// Machine configuration.
     pub sim: SimConfig,
+    /// Trace recorder installed into the machine by [`run_timing`]
+    /// (`None` = tracing disabled, the zero-overhead default).
+    ///
+    /// [`run_timing`]: Experiment::run_timing
+    pub trace: Option<sw_trace::RingRecorder>,
+    /// When `true`, [`run_timing`] enables the machine's metrics registry
+    /// and the returned [`SimStats`] carries a populated snapshot.
+    ///
+    /// [`run_timing`]: Experiment::run_timing
+    pub metrics: bool,
 }
 
 impl Experiment {
@@ -48,6 +58,8 @@ impl Experiment {
             ops_per_region: 4,
             seed: 1234,
             sim: SimConfig::table_i(),
+            trace: None,
+            metrics: false,
         }
     }
 
@@ -81,8 +93,35 @@ impl Experiment {
         self
     }
 
+    /// Installs a trace recorder: the timing run will emit typed events
+    /// into `recorder` (clone a handle to keep reading it afterwards).
+    pub fn traced(mut self, recorder: sw_trace::RingRecorder) -> Self {
+        self.trace = Some(recorder);
+        self
+    }
+
+    /// Enables the metrics registry for the timing run.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
     /// Runs the timing simulation and returns machine statistics.
     pub fn run_timing(&self) -> SimStats {
+        let sink = self
+            .trace
+            .clone()
+            .map(|rec| Box::new(rec) as Box<dyn sw_trace::TraceSink>);
+        self.run_timing_with_sink(sink)
+    }
+
+    /// As [`run_timing`], but installing an explicit trace sink (overriding
+    /// the [`trace`] field). The overhead microbenchmark uses this to
+    /// compare the sink-disabled path against [`sw_trace::NullSink`].
+    ///
+    /// [`run_timing`]: Experiment::run_timing
+    /// [`trace`]: Experiment::trace
+    pub fn run_timing_with_sink(&self, sink: Option<Box<dyn sw_trace::TraceSink>>) -> SimStats {
         let mut workload = self.bench.instantiate();
         let mut params = DriverParams::new(self.design, self.lang)
             .threads(self.threads)
@@ -103,6 +142,12 @@ impl Experiment {
             traces,
         );
         machine.preload_l2(warm);
+        if let Some(sink) = sink {
+            machine.set_trace_sink(sink);
+        }
+        if self.metrics {
+            machine.enable_metrics();
+        }
         machine.run()
     }
 
@@ -206,6 +251,21 @@ mod tests {
         assert!(
             e.run_crash_campaign(150).is_err(),
             "non-atomic must eventually corrupt"
+        );
+    }
+
+    #[test]
+    fn traced_run_records_events_and_metrics() {
+        let rec = sw_trace::RingRecorder::new(1 << 18);
+        let stats = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver)
+            .traced(rec.clone())
+            .with_metrics()
+            .run_timing();
+        assert!(!rec.is_empty(), "traced run recorded events");
+        assert!(!stats.metrics.is_empty(), "metrics snapshot populated");
+        assert_eq!(
+            stats.metrics.counter("pm.writes_accepted"),
+            Some(stats.pm_write_order.len() as u64)
         );
     }
 

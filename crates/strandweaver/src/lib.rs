@@ -70,6 +70,12 @@ pub mod workloads {
     pub use sw_workloads::*;
 }
 
+/// Structured tracing, metrics, and timeline export (re-export of
+/// `sw-trace`).
+pub mod trace {
+    pub use sw_trace::*;
+}
+
 pub use sw_lang::{FuncCtx, HwDesign, LangModel, RuntimeConfig, ThreadRuntime};
 pub use sw_model::{MemoryModel, Pmo};
 pub use sw_pmem::{Addr, Memory, PmImage, PmLayout};

@@ -1,0 +1,300 @@
+//! Typed trace events emitted by the simulator and the language runtime.
+
+use crate::json::Json;
+
+/// Why a core could not make progress (mirrors the simulator's
+/// `StallCause`, defined here so `sw-trace` stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallKind {
+    /// Blocked by fence semantics (SFENCE wait, `JoinStrand` drain, HOPS
+    /// `dfence`).
+    Fence,
+    /// Store queue full.
+    StoreQueueFull,
+    /// Persist queue (or HOPS persist buffer / Intel flush slots) full.
+    PersistQueueFull,
+    /// Waiting for a contended lock.
+    Lock,
+}
+
+impl StallKind {
+    /// All stall kinds, in reporting order.
+    pub const ALL: [StallKind; 4] = [
+        StallKind::Fence,
+        StallKind::StoreQueueFull,
+        StallKind::PersistQueueFull,
+        StallKind::Lock,
+    ];
+
+    /// Short stable label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallKind::Fence => "fence",
+            StallKind::StoreQueueFull => "sq_full",
+            StallKind::PersistQueueFull => "pq_full",
+            StallKind::Lock => "lock",
+        }
+    }
+}
+
+/// One structured observability event.
+///
+/// Core-side events carry the issuing core; runtime-side events (log and
+/// recovery) carry the logical thread. `line` fields are cache-line
+/// indexes (`LineAddr` raw values); `kind` fields are short stable labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A store entered the store queue.
+    StoreIssue {
+        /// Issuing core.
+        core: u32,
+        /// Target cache line.
+        line: u64,
+    },
+    /// A CLWB was issued into the design's persist structure.
+    ClwbIssue {
+        /// Issuing core.
+        core: u32,
+        /// Target cache line.
+        line: u64,
+    },
+    /// An entry entered the persist queue; `depth` is the occupancy after.
+    PqEnqueue {
+        /// Issuing core.
+        core: u32,
+        /// Queue depth after the enqueue.
+        depth: u32,
+    },
+    /// An entry left the persist queue for the strand buffer unit.
+    PqDequeue {
+        /// Issuing core.
+        core: u32,
+        /// Queue depth after the dequeue.
+        depth: u32,
+    },
+    /// An entry was appended to a strand buffer.
+    SbEnqueue {
+        /// Owning core.
+        core: u32,
+        /// Strand buffer index within the unit.
+        buffer: u32,
+        /// Buffer occupancy after the append.
+        occupancy: u32,
+    },
+    /// Entries retired from a strand buffer (drain progress).
+    SbRetire {
+        /// Owning core.
+        core: u32,
+        /// Strand buffer index within the unit.
+        buffer: u32,
+        /// Buffer occupancy after the retirement.
+        occupancy: u32,
+    },
+    /// A core began stalling for `cause`.
+    StallBegin {
+        /// Stalled core.
+        core: u32,
+        /// Stall cause.
+        cause: StallKind,
+    },
+    /// A core stopped stalling for `cause`.
+    StallEnd {
+        /// Previously stalled core.
+        core: u32,
+        /// Stall cause that ended.
+        cause: StallKind,
+    },
+    /// A fence instruction retired (its issue condition was satisfied).
+    FenceRetire {
+        /// Issuing core.
+        core: u32,
+        /// Fence mnemonic (`pb`, `ns`, `js`, `sfence`, `ofence`,
+        /// `dfence`).
+        kind: &'static str,
+    },
+    /// The ADR PM controller accepted a line write (the durability point).
+    AdrAccept {
+        /// Line made durable.
+        line: u64,
+        /// Controller write-queue depth after acceptance.
+        queue_depth: u32,
+    },
+    /// The runtime appended an undo/redo log entry.
+    LogAppend {
+        /// Logical thread.
+        thread: u32,
+        /// Global sequence number of the entry.
+        seq: u64,
+    },
+    /// The runtime committed a batch of log entries.
+    LogCommit {
+        /// Logical thread.
+        thread: u32,
+        /// Entries invalidated by this commit.
+        entries: u64,
+        /// Durable cut sequence number recorded by the commit.
+        cut: u64,
+    },
+    /// A recovery phase started.
+    RecoveryBegin {
+        /// Phase label (`scan`, `undo`, `redo`, `reset`).
+        phase: &'static str,
+    },
+    /// A recovery phase finished.
+    RecoveryEnd {
+        /// Phase label (matches the corresponding `RecoveryBegin`).
+        phase: &'static str,
+        /// Items processed in the phase (entries scanned / applied).
+        items: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Short stable type tag used in exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::StoreIssue { .. } => "store_issue",
+            TraceEvent::ClwbIssue { .. } => "clwb_issue",
+            TraceEvent::PqEnqueue { .. } => "pq_enqueue",
+            TraceEvent::PqDequeue { .. } => "pq_dequeue",
+            TraceEvent::SbEnqueue { .. } => "sb_enqueue",
+            TraceEvent::SbRetire { .. } => "sb_retire",
+            TraceEvent::StallBegin { .. } => "stall_begin",
+            TraceEvent::StallEnd { .. } => "stall_end",
+            TraceEvent::FenceRetire { .. } => "fence_retire",
+            TraceEvent::AdrAccept { .. } => "adr_accept",
+            TraceEvent::LogAppend { .. } => "log_append",
+            TraceEvent::LogCommit { .. } => "log_commit",
+            TraceEvent::RecoveryBegin { .. } => "recovery_begin",
+            TraceEvent::RecoveryEnd { .. } => "recovery_end",
+        }
+    }
+}
+
+/// A [`TraceEvent`] stamped with the cycle (or runtime sequence number) at
+/// which it occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Timestamp: simulator cycle for hardware events, global store
+    /// sequence for runtime events.
+    pub cycle: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl TimedEvent {
+    /// Flat JSON object used by the JSONL exporter.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("cycle".to_string(), Json::U64(self.cycle)),
+            ("type".to_string(), Json::Str(self.event.kind().to_string())),
+        ];
+        let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
+        match self.event {
+            TraceEvent::StoreIssue { core, line } | TraceEvent::ClwbIssue { core, line } => {
+                push("core", Json::U64(core.into()));
+                push("line", Json::U64(line));
+            }
+            TraceEvent::PqEnqueue { core, depth } | TraceEvent::PqDequeue { core, depth } => {
+                push("core", Json::U64(core.into()));
+                push("depth", Json::U64(depth.into()));
+            }
+            TraceEvent::SbEnqueue {
+                core,
+                buffer,
+                occupancy,
+            }
+            | TraceEvent::SbRetire {
+                core,
+                buffer,
+                occupancy,
+            } => {
+                push("core", Json::U64(core.into()));
+                push("buffer", Json::U64(buffer.into()));
+                push("occupancy", Json::U64(occupancy.into()));
+            }
+            TraceEvent::StallBegin { core, cause } | TraceEvent::StallEnd { core, cause } => {
+                push("core", Json::U64(core.into()));
+                push("cause", Json::Str(cause.label().to_string()));
+            }
+            TraceEvent::FenceRetire { core, kind } => {
+                push("core", Json::U64(core.into()));
+                push("kind", Json::Str(kind.to_string()));
+            }
+            TraceEvent::AdrAccept { line, queue_depth } => {
+                push("line", Json::U64(line));
+                push("queue_depth", Json::U64(queue_depth.into()));
+            }
+            TraceEvent::LogAppend { thread, seq } => {
+                push("thread", Json::U64(thread.into()));
+                push("seq", Json::U64(seq));
+            }
+            TraceEvent::LogCommit {
+                thread,
+                entries,
+                cut,
+            } => {
+                push("thread", Json::U64(thread.into()));
+                push("entries", Json::U64(entries));
+                push("cut", Json::U64(cut));
+            }
+            TraceEvent::RecoveryBegin { phase } => {
+                push("phase", Json::Str(phase.to_string()));
+            }
+            TraceEvent::RecoveryEnd { phase, items } => {
+                push("phase", Json::Str(phase.to_string()));
+                push("items", Json::U64(items));
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_unique() {
+        let kinds = [
+            TraceEvent::StoreIssue { core: 0, line: 0 }.kind(),
+            TraceEvent::ClwbIssue { core: 0, line: 0 }.kind(),
+            TraceEvent::PqEnqueue { core: 0, depth: 0 }.kind(),
+            TraceEvent::PqDequeue { core: 0, depth: 0 }.kind(),
+            TraceEvent::StallBegin {
+                core: 0,
+                cause: StallKind::Fence,
+            }
+            .kind(),
+            TraceEvent::StallEnd {
+                core: 0,
+                cause: StallKind::Fence,
+            }
+            .kind(),
+            TraceEvent::AdrAccept {
+                line: 0,
+                queue_depth: 0,
+            }
+            .kind(),
+        ];
+        let mut dedup = kinds.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), kinds.len());
+    }
+
+    #[test]
+    fn jsonl_object_carries_fields() {
+        let ev = TimedEvent {
+            cycle: 7,
+            event: TraceEvent::StallBegin {
+                core: 2,
+                cause: StallKind::PersistQueueFull,
+            },
+        };
+        let rendered = ev.to_json().render();
+        assert!(rendered.contains("\"cycle\":7"));
+        assert!(rendered.contains("\"type\":\"stall_begin\""));
+        assert!(rendered.contains("\"cause\":\"pq_full\""));
+    }
+}

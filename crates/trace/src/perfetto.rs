@@ -1,0 +1,428 @@
+//! Exporters: Chrome/Perfetto trace-event JSON and flat JSONL.
+//!
+//! The Chrome trace-event format (the legacy JSON format, which Perfetto's
+//! UI at <https://ui.perfetto.dev> loads directly) is a `traceEvents` array
+//! of objects with `ph` (phase), `ts` (microseconds), `pid`/`tid`, `name`,
+//! `cat` and `args`. We map one simulated cycle to one microsecond and lay
+//! tracks out as:
+//!
+//! * `tid = core`            — per-core instruction/stall track: `ph B`/`E`
+//!   duration events for stalls (`name = "stall:<cause>"`), `ph i` instants
+//!   for store/CLWB issue and fence retirement;
+//! * counter tracks (`ph C`) — persist-queue depth per core
+//!   (`pq_depth/core<n>`), strand-buffer occupancy per buffer
+//!   (`sb_occupancy/core<n>/buf<m>`), and PM-controller queue depth;
+//! * `tid = 1000`            — ADR PM controller accepts (`ph i`);
+//! * `tid = 1100 + thread`   — runtime log append/commit instants;
+//! * `tid = 1200`            — recovery phases as `ph B`/`E` durations.
+
+use std::collections::HashMap;
+
+use crate::event::{StallKind, TimedEvent, TraceEvent};
+use crate::json::Json;
+
+/// `tid` used for the PM controller track.
+pub const TID_PM_CONTROLLER: u32 = 1000;
+/// `tid` base for runtime log threads (`base + thread`).
+pub const TID_LOG_BASE: u32 = 1100;
+/// `tid` used for the recovery track.
+pub const TID_RECOVERY: u32 = 1200;
+
+fn meta_thread_name(tid: u32, name: &str) -> Json {
+    Json::obj([
+        ("ph", Json::Str("M".to_string())),
+        ("pid", Json::U64(0)),
+        ("tid", Json::U64(tid.into())),
+        ("name", Json::Str("thread_name".to_string())),
+        ("args", Json::obj([("name", Json::Str(name.to_string()))])),
+    ])
+}
+
+fn duration(ph: &str, ts: u64, tid: u32, name: &str, cat: &str) -> Json {
+    Json::obj([
+        ("ph", Json::Str(ph.to_string())),
+        ("ts", Json::U64(ts)),
+        ("pid", Json::U64(0)),
+        ("tid", Json::U64(tid.into())),
+        ("name", Json::Str(name.to_string())),
+        ("cat", Json::Str(cat.to_string())),
+    ])
+}
+
+fn instant(ts: u64, tid: u32, name: &str, cat: &str, args: Vec<(String, Json)>) -> Json {
+    Json::obj([
+        ("ph", Json::Str("i".to_string())),
+        ("ts", Json::U64(ts)),
+        ("pid", Json::U64(0)),
+        ("tid", Json::U64(tid.into())),
+        ("name", Json::Str(name.to_string())),
+        ("cat", Json::Str(cat.to_string())),
+        ("s", Json::Str("t".to_string())),
+        ("args", Json::Obj(args)),
+    ])
+}
+
+fn counter(ts: u64, name: &str, series: &str, value: u64) -> Json {
+    Json::obj([
+        ("ph", Json::Str("C".to_string())),
+        ("ts", Json::U64(ts)),
+        ("pid", Json::U64(0)),
+        ("name", Json::Str(name.to_string())),
+        (
+            "args",
+            Json::Obj(vec![(series.to_string(), Json::U64(value))]),
+        ),
+    ])
+}
+
+/// Converts recorded events into a Chrome/Perfetto trace-event JSON
+/// document (`{"traceEvents": [...], "displayTimeUnit": "ns"}`).
+///
+/// One simulated cycle is exported as one microsecond of trace time.
+/// Stall intervals become `B`/`E` duration events; a `StallBegin` with no
+/// matching `StallEnd` is closed at the last timestamp seen so Perfetto
+/// never receives an unbalanced stack.
+pub fn chrome_trace(events: &[TimedEvent]) -> Json {
+    let mut out: Vec<Json> = Vec::new();
+    let mut cores: Vec<u32> = Vec::new();
+    let mut log_threads: Vec<u32> = Vec::new();
+    let mut saw_pm = false;
+    let mut saw_recovery = false;
+    // (core, cause) -> begin cycle, for closing dangling stalls.
+    let mut open_stalls: HashMap<(u32, StallKind), u64> = HashMap::new();
+    let mut max_ts = 0u64;
+
+    let note_core = |cores: &mut Vec<u32>, core: u32| {
+        if !cores.contains(&core) {
+            cores.push(core);
+        }
+    };
+
+    for te in events {
+        let ts = te.cycle;
+        max_ts = max_ts.max(ts);
+        match te.event {
+            TraceEvent::StoreIssue { core, line } => {
+                note_core(&mut cores, core);
+                out.push(instant(
+                    ts,
+                    core,
+                    "store",
+                    "issue",
+                    vec![("line".to_string(), Json::U64(line))],
+                ));
+            }
+            TraceEvent::ClwbIssue { core, line } => {
+                note_core(&mut cores, core);
+                out.push(instant(
+                    ts,
+                    core,
+                    "clwb",
+                    "issue",
+                    vec![("line".to_string(), Json::U64(line))],
+                ));
+            }
+            TraceEvent::PqEnqueue { core, depth } | TraceEvent::PqDequeue { core, depth } => {
+                note_core(&mut cores, core);
+                out.push(counter(
+                    ts,
+                    &format!("pq_depth/core{core}"),
+                    "depth",
+                    depth.into(),
+                ));
+            }
+            TraceEvent::SbEnqueue {
+                core,
+                buffer,
+                occupancy,
+            }
+            | TraceEvent::SbRetire {
+                core,
+                buffer,
+                occupancy,
+            } => {
+                note_core(&mut cores, core);
+                out.push(counter(
+                    ts,
+                    &format!("sb_occupancy/core{core}/buf{buffer}"),
+                    "occupancy",
+                    occupancy.into(),
+                ));
+            }
+            TraceEvent::StallBegin { core, cause } => {
+                note_core(&mut cores, core);
+                // A duplicate begin (shouldn't happen) keeps the first.
+                open_stalls.entry((core, cause)).or_insert(ts);
+                out.push(duration(
+                    "B",
+                    ts,
+                    core,
+                    &format!("stall:{}", cause.label()),
+                    "stall",
+                ));
+            }
+            TraceEvent::StallEnd { core, cause } => {
+                note_core(&mut cores, core);
+                if open_stalls.remove(&(core, cause)).is_some() {
+                    out.push(duration(
+                        "E",
+                        ts,
+                        core,
+                        &format!("stall:{}", cause.label()),
+                        "stall",
+                    ));
+                }
+            }
+            TraceEvent::FenceRetire { core, kind } => {
+                note_core(&mut cores, core);
+                out.push(instant(ts, core, &format!("fence:{kind}"), "fence", vec![]));
+            }
+            TraceEvent::AdrAccept { line, queue_depth } => {
+                saw_pm = true;
+                out.push(instant(
+                    ts,
+                    TID_PM_CONTROLLER,
+                    "adr_accept",
+                    "pm",
+                    vec![("line".to_string(), Json::U64(line))],
+                ));
+                out.push(counter(ts, "pm_queue_depth", "depth", queue_depth.into()));
+            }
+            TraceEvent::LogAppend { thread, seq } => {
+                if !log_threads.contains(&thread) {
+                    log_threads.push(thread);
+                }
+                out.push(instant(
+                    ts,
+                    TID_LOG_BASE + thread,
+                    "log_append",
+                    "log",
+                    vec![("seq".to_string(), Json::U64(seq))],
+                ));
+            }
+            TraceEvent::LogCommit {
+                thread,
+                entries,
+                cut,
+            } => {
+                if !log_threads.contains(&thread) {
+                    log_threads.push(thread);
+                }
+                out.push(instant(
+                    ts,
+                    TID_LOG_BASE + thread,
+                    "log_commit",
+                    "log",
+                    vec![
+                        ("entries".to_string(), Json::U64(entries)),
+                        ("cut".to_string(), Json::U64(cut)),
+                    ],
+                ));
+            }
+            TraceEvent::RecoveryBegin { phase } => {
+                saw_recovery = true;
+                out.push(duration(
+                    "B",
+                    ts,
+                    TID_RECOVERY,
+                    &format!("recovery:{phase}"),
+                    "recovery",
+                ));
+            }
+            TraceEvent::RecoveryEnd { phase, items } => {
+                saw_recovery = true;
+                let mut e = duration(
+                    "E",
+                    ts,
+                    TID_RECOVERY,
+                    &format!("recovery:{phase}"),
+                    "recovery",
+                );
+                if let Json::Obj(fields) = &mut e {
+                    fields.push(("args".to_string(), Json::obj([("items", Json::U64(items))])));
+                }
+                out.push(e);
+            }
+        }
+    }
+
+    // Close dangling stall intervals so every B has a matching E.
+    let mut dangling: Vec<_> = open_stalls.into_iter().collect();
+    dangling.sort_by_key(|((core, cause), begin)| (*core, cause.label(), *begin));
+    for ((core, cause), _) in dangling {
+        out.push(duration(
+            "E",
+            max_ts,
+            core,
+            &format!("stall:{}", cause.label()),
+            "stall",
+        ));
+    }
+
+    // Thread-name metadata, prepended so viewers label tracks immediately.
+    let mut meta: Vec<Json> = Vec::new();
+    cores.sort_unstable();
+    for core in &cores {
+        meta.push(meta_thread_name(*core, &format!("core {core}")));
+    }
+    if saw_pm {
+        meta.push(meta_thread_name(TID_PM_CONTROLLER, "pm controller"));
+    }
+    log_threads.sort_unstable();
+    for t in &log_threads {
+        meta.push(meta_thread_name(
+            TID_LOG_BASE + t,
+            &format!("log thread {t}"),
+        ));
+    }
+    if saw_recovery {
+        meta.push(meta_thread_name(TID_RECOVERY, "recovery"));
+    }
+    meta.extend(out);
+
+    Json::obj([
+        ("traceEvents", Json::Arr(meta)),
+        ("displayTimeUnit", Json::Str("ns".to_string())),
+    ])
+}
+
+/// Renders events as JSON Lines: one flat object per line.
+pub fn jsonl(events: &[TimedEvent]) -> String {
+    let mut out = String::new();
+    for te in events {
+        out.push_str(&te.to_json().render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_events() -> Vec<TimedEvent> {
+        let mut v = Vec::new();
+        let mut push = |cycle: u64, event: TraceEvent| v.push(TimedEvent { cycle, event });
+        push(0, TraceEvent::StoreIssue { core: 0, line: 4 });
+        push(1, TraceEvent::PqEnqueue { core: 0, depth: 1 });
+        push(
+            2,
+            TraceEvent::SbEnqueue {
+                core: 0,
+                buffer: 1,
+                occupancy: 3,
+            },
+        );
+        push(
+            3,
+            TraceEvent::StallBegin {
+                core: 0,
+                cause: StallKind::Fence,
+            },
+        );
+        push(
+            9,
+            TraceEvent::StallEnd {
+                core: 0,
+                cause: StallKind::Fence,
+            },
+        );
+        push(
+            4,
+            TraceEvent::StallBegin {
+                core: 1,
+                cause: StallKind::Lock,
+            },
+        );
+        // core 1's lock stall never ends: must be closed at max ts.
+        push(
+            10,
+            TraceEvent::AdrAccept {
+                line: 4,
+                queue_depth: 2,
+            },
+        );
+        push(11, TraceEvent::LogAppend { thread: 0, seq: 1 });
+        push(12, TraceEvent::RecoveryBegin { phase: "scan" });
+        push(
+            13,
+            TraceEvent::RecoveryEnd {
+                phase: "scan",
+                items: 5,
+            },
+        );
+        v
+    }
+
+    fn events_of(doc: &Json) -> &[Json] {
+        doc.get("traceEvents").and_then(Json::as_arr).unwrap()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let doc = chrome_trace(&sample_events());
+        let text = doc.render();
+        let parsed = json::parse(&text).expect("exporter output parses");
+        assert!(parsed.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn stall_intervals_are_balanced() {
+        let doc = chrome_trace(&sample_events());
+        let mut begins = 0;
+        let mut ends = 0;
+        for e in events_of(&doc) {
+            match e.get("ph").and_then(Json::as_str) {
+                Some("B") if e.get("cat").and_then(Json::as_str) == Some("stall") => begins += 1,
+                Some("E") if e.get("cat").and_then(Json::as_str) == Some("stall") => ends += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(begins, 2);
+        assert_eq!(ends, 2, "dangling stall must be closed");
+    }
+
+    #[test]
+    fn tracks_are_named() {
+        let doc = chrome_trace(&sample_events());
+        let names: Vec<_> = events_of(&doc)
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert!(names.contains(&"core 0"));
+        assert!(names.contains(&"core 1"));
+        assert!(names.contains(&"pm controller"));
+        assert!(names.contains(&"log thread 0"));
+        assert!(names.contains(&"recovery"));
+    }
+
+    #[test]
+    fn counter_tracks_present() {
+        let doc = chrome_trace(&sample_events());
+        let counters: Vec<_> = events_of(&doc)
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(counters.contains(&"pq_depth/core0"));
+        assert!(counters.contains(&"sb_occupancy/core0/buf1"));
+        assert!(counters.contains(&"pm_queue_depth"));
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let events = sample_events();
+        let text = jsonl(&events);
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for line in lines {
+            json::parse(line).expect("each line parses");
+        }
+    }
+}

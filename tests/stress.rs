@@ -51,6 +51,9 @@ fn full_scale_design_ordering() {
     let hops = run(HwDesign::Hops);
     let sw = run(HwDesign::StrandWeaver);
     let na = run(HwDesign::NonAtomic);
-    assert!(sw < hops && hops < intel, "sw={sw} hops={hops} intel={intel}");
+    assert!(
+        sw < hops && hops < intel,
+        "sw={sw} hops={hops} intel={intel}"
+    );
     assert!(na <= sw + sw / 10, "na={na} sw={sw}");
 }
