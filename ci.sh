@@ -6,8 +6,14 @@ cd "$(dirname "$0")"
 echo "== build (release, workspace) =="
 cargo build --release --workspace
 
+echo "== build (examples) =="
+cargo build --workspace --examples
+
 echo "== test (workspace) =="
 cargo test --workspace -q
+
+echo "== rustdoc (no-deps) =="
+cargo doc --workspace --no-deps -q
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -7,7 +7,8 @@
 //! swctl crash <benchmark> [--rounds N] [--design <d>] [--lang ...] [--redo]
 //! swctl trace <benchmark> [--out <file.json>] [--jsonl] [run flags]
 //! swctl litmus | fig1 | fig2 | table1
-//! swctl table2|fig7|fig8|fig9|fig10|summary [--json]
+//! swctl table2|summary [--json]
+//! swctl fig7|fig8|fig9|fig10 [--json] [--design <d>]
 //! ```
 //!
 //! `trace` writes a Chrome/Perfetto trace-event file (load it at
@@ -23,8 +24,16 @@ fn parse_bench(s: &str) -> Option<BenchmarkId> {
     BenchmarkId::ALL.into_iter().find(|b| b.label() == s)
 }
 
-fn parse_design(s: &str) -> Option<HwDesign> {
-    HwDesign::ALL.into_iter().find(|d| d.label() == s)
+/// Resolves a `--design` value, exiting with a named error (not the
+/// generic usage text) on an unknown label.
+fn parse_design(s: &str) -> HwDesign {
+    HwDesign::from_label(s).unwrap_or_else(|| {
+        eprintln!(
+            "unknown design '{s}' (valid: {})",
+            HwDesign::ALL.map(|d| d.label()).join(" ")
+        );
+        std::process::exit(2);
+    })
 }
 
 fn parse_lang(s: &str) -> Option<LangModel> {
@@ -39,6 +48,8 @@ fn usage() -> ! {
          \n  trace <benchmark>  simulate with event tracing, write a Perfetto timeline (--out FILE, --jsonl)\
          \n  litmus             run the Figure 2 litmus suite\
          \n  table1|table2|fig1|fig2|fig7|fig8|fig9|fig10|summary  regenerate a table/figure (--json where tabular)\
+         \n                     fig7/fig8 take --design <d> to sweep only Intel + <d>;\
+         \n                     fig9/fig10 take --design <d> to measure <d> instead of strandweaver\
          \n\nbenchmarks: {}\ndesigns: {}\nlangs: {}",
         BenchmarkId::ALL.map(|b| b.label()).join(" "),
         HwDesign::ALL.map(|d| d.label()).join(" "),
@@ -92,7 +103,7 @@ fn parse_flags(args: &[String]) -> Flags {
         };
         match a.as_str() {
             "--lang" => f.lang = parse_lang(&next("--lang")).unwrap_or_else(|| usage()),
-            "--design" => f.design = parse_design(&next("--design")).unwrap_or_else(|| usage()),
+            "--design" => f.design = parse_design(&next("--design")),
             "--redo" => f.redo = true,
             "--stats" => f.stats = true,
             "--json" => f.json = true,
@@ -135,20 +146,49 @@ fn experiment(bench: BenchmarkId, f: &Flags) -> Experiment {
     }
 }
 
+/// Flags accepted by the table/figure subcommands.
+struct FigureFlags {
+    json: bool,
+    design: Option<HwDesign>,
+}
+
 /// Strict flag parser for the table/figure subcommands: `--json` where the
-/// output is tabular, nothing else. Anything unrecognized is an error.
-fn parse_figure_flags(args: &[String], json_ok: bool) -> bool {
-    let mut json = false;
-    for a in args {
+/// output is tabular, `--design <d>` where a figure can be narrowed to one
+/// design, nothing else. Anything unrecognized is an error.
+fn parse_figure_flags(args: &[String], json_ok: bool, design_ok: bool) -> FigureFlags {
+    let mut f = FigureFlags {
+        json: false,
+        design: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
-            "--json" if json_ok => json = true,
+            "--json" if json_ok => f.json = true,
+            "--design" if design_ok => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--design needs a value");
+                    std::process::exit(2)
+                });
+                f.design = Some(parse_design(v));
+            }
             other => {
                 eprintln!("unknown flag for this subcommand: {other}");
                 std::process::exit(2);
             }
         }
     }
-    json
+    f
+}
+
+/// The design list for a `--design`-filtered Figure 7/8 sweep: the Intel
+/// x86 baseline always runs (speedups and stall ratios normalize to it),
+/// plus the requested design.
+fn sweep_designs(filter: Option<HwDesign>) -> Vec<HwDesign> {
+    match filter {
+        None => HwDesign::ALL.to_vec(),
+        Some(HwDesign::IntelX86) => vec![HwDesign::IntelX86],
+        Some(d) => vec![HwDesign::IntelX86, d],
+    }
 }
 
 fn main() {
@@ -229,66 +269,72 @@ fn main() {
             );
         }
         "litmus" | "fig2" => {
-            parse_figure_flags(&args[1..], false);
+            parse_figure_flags(&args[1..], false, false);
             print!("{}", sw_bench::fig2_report());
         }
         "fig1" => {
-            parse_figure_flags(&args[1..], false);
+            parse_figure_flags(&args[1..], false, false);
             print!("{}", sw_bench::fig1_report());
         }
         "table1" => {
-            parse_figure_flags(&args[1..], false);
+            parse_figure_flags(&args[1..], false, false);
             print!("{}", sw_bench::table1());
         }
         "table2" => {
-            let json = parse_figure_flags(&args[1..], true);
+            let f = parse_figure_flags(&args[1..], true, false);
             let rows = sw_bench::table2(Scale::from_env());
-            if json {
+            if f.json {
                 println!("{}", sw_bench::table2_json(&rows).render());
             } else {
                 print!("{}", sw_bench::table2_report(&rows));
             }
         }
         "fig7" => {
-            let json = parse_figure_flags(&args[1..], true);
-            let cells = sw_bench::full_sweep(Scale::from_env());
-            if json {
+            let f = parse_figure_flags(&args[1..], true, true);
+            let cells = sw_bench::full_sweep_of(Scale::from_env(), &sweep_designs(f.design));
+            if f.json {
                 println!("{}", sw_bench::sweep_json(&cells).render());
             } else {
                 print!("{}", sw_bench::fig7_report(&cells));
             }
         }
         "fig8" => {
-            let json = parse_figure_flags(&args[1..], true);
-            let cells = sw_bench::full_sweep(Scale::from_env());
-            if json {
+            let f = parse_figure_flags(&args[1..], true, true);
+            let cells = sw_bench::full_sweep_of(Scale::from_env(), &sweep_designs(f.design));
+            if f.json {
                 println!("{}", sw_bench::sweep_json(&cells).render());
             } else {
                 print!("{}", sw_bench::fig8_report(&cells));
             }
         }
         "fig9" => {
-            let json = parse_figure_flags(&args[1..], true);
-            let m = sw_bench::fig9_matrix(Scale::from_env());
-            if json {
+            let f = parse_figure_flags(&args[1..], true, true);
+            let m = sw_bench::fig9_matrix(
+                Scale::from_env(),
+                f.design.unwrap_or(HwDesign::StrandWeaver),
+            );
+            if f.json {
                 println!("{}", m.to_json().render());
             } else {
                 print!("{}", m.render());
             }
         }
         "fig10" => {
-            let json = parse_figure_flags(&args[1..], true);
-            let m = sw_bench::fig10_matrix(Scale::from_env());
-            if json {
+            let f = parse_figure_flags(&args[1..], true, true);
+            let m = sw_bench::fig10_matrix(
+                Scale::from_env(),
+                f.design.unwrap_or(HwDesign::StrandWeaver),
+            );
+            if f.json {
                 println!("{}", m.to_json().render());
             } else {
                 print!("{}", m.render());
             }
         }
         "summary" => {
-            let json = parse_figure_flags(&args[1..], true);
+            let f = parse_figure_flags(&args[1..], true, false);
             let cells = sw_bench::full_sweep(Scale::from_env());
-            if json {
+            if f.json {
                 println!("{}", sw_bench::summary_json(&cells).render());
             } else {
                 print!("{}", sw_bench::summary_report(&cells));

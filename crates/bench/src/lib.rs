@@ -16,7 +16,7 @@
 
 use std::fmt::Write as _;
 
-use strandweaver::experiment::{design_sweep, Experiment};
+use strandweaver::experiment::{design_sweep_of, Experiment};
 use strandweaver::model::litmus;
 use strandweaver::{BenchmarkId, HwDesign, LangModel, MemoryModel, SimConfig, SimStats};
 use sw_trace::Json;
@@ -158,7 +158,8 @@ pub struct SweepCell {
     pub bench: BenchmarkId,
     /// Language model.
     pub lang: LangModel,
-    /// `(design, stats)` for all five designs.
+    /// `(design, stats)` for every swept design, in sweep order (all
+    /// registered designs by default; a `--design` filter narrows it).
     pub designs: Vec<(HwDesign, SimStats)>,
 }
 
@@ -207,72 +208,117 @@ impl SweepCell {
 /// design. This is the workhorse; Figures 7, 8 and the summary all read
 /// from its output.
 pub fn full_sweep(scale: Scale) -> Vec<SweepCell> {
-    let mut cells = Vec::new();
+    full_sweep_of(scale, &HwDesign::ALL)
+}
+
+/// As [`full_sweep`], restricted to `designs` (the `swctl --design`
+/// filter). The (language model × benchmark) cells run on concurrent
+/// threads — each cell regenerates its own workload from the shared seed
+/// and owns its machines, so the cells are independent — and each cell's
+/// design sweep fans out further inside [`design_sweep_of`].
+pub fn full_sweep_of(scale: Scale, designs: &[HwDesign]) -> Vec<SweepCell> {
+    let mut pairs = Vec::new();
     for &lang in &LangModel::ALL {
         for &bench in &BenchmarkId::ALL {
-            let proto = scale.experiment(bench, lang, HwDesign::StrandWeaver);
-            let designs = design_sweep(bench, lang, &proto);
-            cells.push(SweepCell {
-                bench,
-                lang,
-                designs,
-            });
+            pairs.push((lang, bench));
         }
     }
+    let cell = |(lang, bench): (LangModel, BenchmarkId)| {
+        let proto = scale.experiment(bench, lang, HwDesign::StrandWeaver);
+        SweepCell {
+            bench,
+            lang,
+            designs: design_sweep_of(designs, bench, lang, &proto),
+        }
+    };
+    // Threads cannot overlap compute on a single hardware thread; run the
+    // cells inline there (identical results either way).
+    if !strandweaver::experiment::host_is_multicore() {
+        return pairs.into_iter().map(cell).collect();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = pairs
+            .iter()
+            .map(|&pair| s.spawn(move || cell(pair)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep cell thread panicked"))
+            .collect()
+    })
+}
+
+/// The designs the cells were swept over, in sweep order. The report
+/// columns derive from this, so a registered design (or a `--design`
+/// filter) shows up without touching the formatters.
+fn swept_designs(cells: &[SweepCell]) -> Vec<HwDesign> {
     cells
+        .first()
+        .map(|c| c.designs.iter().map(|(d, _)| *d).collect())
+        .unwrap_or_default()
 }
 
 /// Figure 7: speedup over Intel x86 per benchmark, language model, design.
 pub fn fig7_report(cells: &[SweepCell]) -> String {
+    let designs = swept_designs(cells);
     let mut s = String::new();
     let _ = writeln!(s, "Figure 7 — Speedup over the Intel x86 design");
     for &lang in &LangModel::ALL {
+        if !cells.iter().any(|c| c.lang == lang) {
+            continue;
+        }
         let _ = writeln!(s, "  [{}]", lang.label());
-        let _ = writeln!(
-            s,
-            "  {:12} {:>9} {:>9} {:>9} {:>12} {:>11}",
-            "benchmark", "intel", "hops", "no-pq", "strandweaver", "non-atomic"
-        );
+        let _ = write!(s, "  {:12}", "benchmark");
+        for d in &designs {
+            let _ = write!(s, " {:>w$}", d.label(), w = col_width(*d));
+        }
+        let _ = writeln!(s);
         for cell in cells.iter().filter(|c| c.lang == lang) {
-            let _ = writeln!(
-                s,
-                "  {:12} {:>8.2}x {:>8.2}x {:>8.2}x {:>11.2}x {:>10.2}x",
-                cell.bench.label(),
-                1.0,
-                cell.speedup(HwDesign::Hops),
-                cell.speedup(HwDesign::NoPersistQueue),
-                cell.speedup(HwDesign::StrandWeaver),
-                cell.speedup(HwDesign::NonAtomic),
-            );
+            let _ = write!(s, "  {:12}", cell.bench.label());
+            for d in &designs {
+                let _ = write!(s, " {:>w$.2}x", cell.speedup(*d), w = col_width(*d) - 1);
+            }
+            let _ = writeln!(s);
         }
     }
     s
 }
 
-/// Figure 8: persist-ordering CPU stalls, normalized to Intel x86.
+/// Column width for a design's figure column: wide enough for its label
+/// and for a `{:>8.2}x` value.
+fn col_width(d: HwDesign) -> usize {
+    d.label().len().max(9)
+}
+
+/// Figure 8: persist-ordering CPU stalls, normalized to Intel x86. The
+/// non-atomic design is the no-ordering bound and is omitted, as in the
+/// paper.
 pub fn fig8_report(cells: &[SweepCell]) -> String {
+    let designs: Vec<HwDesign> = swept_designs(cells)
+        .into_iter()
+        .filter(|d| *d != HwDesign::NonAtomic)
+        .collect();
     let mut s = String::new();
     let _ = writeln!(
         s,
         "Figure 8 — Persist-ordering CPU stalls (normalized to Intel x86)"
     );
     for &lang in &LangModel::ALL {
+        if !cells.iter().any(|c| c.lang == lang) {
+            continue;
+        }
         let _ = writeln!(s, "  [{}]", lang.label());
-        let _ = writeln!(
-            s,
-            "  {:12} {:>9} {:>9} {:>9} {:>12}",
-            "benchmark", "intel", "hops", "no-pq", "strandweaver"
-        );
+        let _ = write!(s, "  {:12}", "benchmark");
+        for d in &designs {
+            let _ = write!(s, " {:>w$}", d.label(), w = col_width(*d));
+        }
+        let _ = writeln!(s);
         for cell in cells.iter().filter(|c| c.lang == lang) {
-            let _ = writeln!(
-                s,
-                "  {:12} {:>9.2} {:>9.2} {:>9.2} {:>12.2}",
-                cell.bench.label(),
-                1.0,
-                cell.stall_ratio(HwDesign::Hops),
-                cell.stall_ratio(HwDesign::NoPersistQueue),
-                cell.stall_ratio(HwDesign::StrandWeaver),
-            );
+            let _ = write!(s, "  {:12}", cell.bench.label());
+            for d in &designs {
+                let _ = write!(s, " {:>w$.2}", cell.stall_ratio(*d), w = col_width(*d));
+            }
+            let _ = writeln!(s);
         }
     }
     s
@@ -378,8 +424,10 @@ impl MatrixReport {
 }
 
 /// Figure 9 data: sensitivity to the strand-buffer-unit configuration, SFR
-/// implementation, speedup over Intel x86 per microbenchmark.
-pub fn fig9_matrix(scale: Scale) -> MatrixReport {
+/// implementation, speedup over Intel x86 per microbenchmark. `measured`
+/// picks the design on the y axis (the paper measures StrandWeaver;
+/// designs without strand buffers are flat across the shapes).
+pub fn fig9_matrix(scale: Scale, measured: HwDesign) -> MatrixReport {
     let cols = FIG9_SHAPES
         .into_iter()
         .map(|(b, e)| format!("({b},{e})"))
@@ -394,7 +442,7 @@ pub fn fig9_matrix(scale: Scale) -> MatrixReport {
                 .into_iter()
                 .map(|(b, e)| {
                     let stats = scale
-                        .experiment(bench, LangModel::Sfr, HwDesign::StrandWeaver)
+                        .experiment(bench, LangModel::Sfr, measured)
                         .strand_buffers(b, e)
                         .run_timing();
                     intel.cycles as f64 / stats.cycles as f64
@@ -404,19 +452,23 @@ pub fn fig9_matrix(scale: Scale) -> MatrixReport {
         })
         .collect();
     MatrixReport::from_rows(
-        "Figure 9 — Sensitivity to (strand buffers, entries per buffer), SFR",
+        &format!(
+            "Figure 9 — Sensitivity to (strand buffers, entries per buffer), SFR, {}",
+            measured.label()
+        ),
         cols,
         rows,
     )
 }
 
-/// Figure 9 rendered as text.
+/// Figure 9 rendered as text (the paper's StrandWeaver measurement).
 pub fn fig9_report(scale: Scale) -> String {
-    fig9_matrix(scale).render()
+    fig9_matrix(scale, HwDesign::StrandWeaver).render()
 }
 
-/// Figure 10 data: speedup over Intel x86 as operations per SFR vary.
-pub fn fig10_matrix(scale: Scale) -> MatrixReport {
+/// Figure 10 data: speedup over Intel x86 as operations per SFR vary, for
+/// the `measured` design (the paper measures StrandWeaver).
+pub fn fig10_matrix(scale: Scale, measured: HwDesign) -> MatrixReport {
     let ops_axis = [2usize, 4, 8, 16, 32];
     let cols = ops_axis.into_iter().map(|o| format!("{o} ops")).collect();
     let rows = MICROBENCHES
@@ -433,7 +485,7 @@ pub fn fig10_matrix(scale: Scale) -> MatrixReport {
                             .total_regions(regions)
                             .ops_per_region(ops)
                     };
-                    let sw = mk(HwDesign::StrandWeaver).run_timing();
+                    let sw = mk(measured).run_timing();
                     let intel = mk(HwDesign::IntelX86).run_timing();
                     intel.cycles as f64 / sw.cycles as f64
                 })
@@ -442,15 +494,18 @@ pub fn fig10_matrix(scale: Scale) -> MatrixReport {
         })
         .collect();
     MatrixReport::from_rows(
-        "Figure 10 — Speedup vs. operations per failure-atomic SFR",
+        &format!(
+            "Figure 10 — Speedup vs. operations per failure-atomic SFR, {}",
+            measured.label()
+        ),
         cols,
         rows,
     )
 }
 
-/// Figure 10 rendered as text.
+/// Figure 10 rendered as text (the paper's StrandWeaver measurement).
 pub fn fig10_report(scale: Scale) -> String {
-    fig10_matrix(scale).render()
+    fig10_matrix(scale, HwDesign::StrandWeaver).render()
 }
 
 /// Figure 2: litmus outcomes under the strand persistency model.
@@ -529,6 +584,11 @@ pub fn summary_report(cells: &[SweepCell]) -> String {
         .iter()
         .map(|c| c.stall_ratio(HwDesign::StrandWeaver))
         .collect();
+    let eadr: Vec<f64> = cells.iter().map(|c| c.speedup(HwDesign::Eadr)).collect();
+    let sw_vs_eadr: Vec<f64> = cells
+        .iter()
+        .map(|c| c.cycles(HwDesign::StrandWeaver) as f64 / c.cycles(HwDesign::Eadr) as f64)
+        .collect();
     let max = |xs: &[f64]| xs.iter().cloned().fold(f64::MIN, f64::max);
     let mut s = String::new();
     let _ = writeln!(s, "Headline numbers (paper values in parentheses)");
@@ -553,6 +613,17 @@ pub fn summary_report(cells: &[SweepCell]) -> String {
         s,
         "  Slowdown vs non-atomic bound: {:.1}% (paper: 3.1-5.7%)",
         (geo(&below_na) - 1.0) * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "  eADR (battery-backed caches) over Intel x86: {:.2}x avg, {:.2}x max",
+        geo(&eadr),
+        max(&eadr)
+    );
+    let _ = writeln!(
+        s,
+        "  StrandWeaver within {:.1}% of the eADR persistent-cache bound",
+        (geo(&sw_vs_eadr) - 1.0) * 100.0
     );
     s
 }
@@ -638,6 +709,7 @@ pub fn summary_json(cells: &[SweepCell]) -> Json {
         .iter()
         .map(|c| c.stall_ratio(HwDesign::StrandWeaver))
         .collect();
+    let eadr: Vec<f64> = cells.iter().map(|c| c.speedup(HwDesign::Eadr)).collect();
     let per_lang = LangModel::ALL
         .iter()
         .map(|&lang| {
@@ -662,6 +734,7 @@ pub fn summary_json(cells: &[SweepCell]) -> Json {
             "slowdown_vs_non_atomic_pct",
             Json::F64((geo(&below_na) - 1.0) * 100.0),
         ),
+        ("eadr_speedup_over_intel_geomean", Json::F64(geo(&eadr))),
         ("per_lang", Json::Arr(per_lang)),
     ])
 }

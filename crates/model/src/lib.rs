@@ -66,7 +66,7 @@ pub mod litmus;
 mod ops;
 mod pmo;
 
-pub use design::HwDesign;
+pub use design::{DesignLowering, DesignSpec, HwDesign};
 pub use exec::{enumerate_interleavings, random_interleaving, Execution, OpRef};
 pub use ops::{Op, OpKind, Program, ThreadId};
 pub use pmo::{MemoryModel, Pmo, StoreId};

@@ -1,5 +1,6 @@
 //! Per-core state: issue pipeline, store queue, persist queue, write-back
-//! buffer, and the design-specific persist engines.
+//! buffer, and slots for whichever persist structures the design's engine
+//! attaches ([`crate::engines::PersistEngine::setup_core`]).
 
 use std::collections::VecDeque;
 
@@ -8,8 +9,9 @@ use sw_pmem::LineAddr;
 
 use crate::cache::L1Cache;
 use crate::config::SimConfig;
-use crate::persist::{FlushEngine, Sbu};
+use crate::persist::FlushEngine;
 use crate::stats::CoreStats;
+use crate::strand_buffer::Sbu;
 
 /// An entry in the store queue. The no-persist-queue design routes persist
 /// primitives through the store queue, so they appear here too.

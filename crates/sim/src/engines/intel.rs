@@ -1,0 +1,72 @@
+//! Intel's existing ISA: `CLWB` + `SFENCE` epochs. CLWBs occupy a small
+//! set of outstanding-flush slots (bounded by D-cache MSHRs) with no
+//! ordering among them; `SFENCE` stalls subsequent memory-ordering
+//! instructions until the set is empty.
+
+use sw_model::isa::FenceKind;
+use sw_model::HwDesign;
+use sw_pmem::LineAddr;
+
+use crate::config::SimConfig;
+use crate::core::Core;
+use crate::machine::Machine;
+use crate::persist::FlushEngine;
+use crate::stats::StallCause;
+
+use super::PersistEngine;
+
+/// The Intel x86 engine.
+#[derive(Debug)]
+pub struct Intel;
+
+impl PersistEngine for Intel {
+    fn design(&self) -> HwDesign {
+        HwDesign::IntelX86
+    }
+
+    fn setup_core(&self, core: &mut Core, cfg: &SimConfig) {
+        core.flush = Some(FlushEngine::new(cfg.intel_flush_slots));
+    }
+
+    fn backend(&self, m: &mut Machine, i: usize) {
+        m.backend_flush_engine(i);
+    }
+
+    fn issue_clwb(&self, m: &mut Machine, i: usize, line: LineAddr) -> bool {
+        issue_clwb_to_flush_engine(m, i, line)
+    }
+
+    fn issue_fence(&self, m: &mut Machine, i: usize, kind: FenceKind) -> bool {
+        match kind {
+            FenceKind::Sfence => m.issue_completion_fence(i, kind),
+            _ => true,
+        }
+    }
+
+    fn fence_condition_met(&self, m: &Machine, i: usize, kind: FenceKind) -> bool {
+        sfence_condition_met(m, i, kind)
+    }
+
+    fn stall_causes(&self) -> &'static [StallCause] {
+        &StallCause::ALL
+    }
+}
+
+/// Shared with the non-atomic engine (same hardware, different lowering):
+/// admit a CLWB into the outstanding-flush slots.
+pub(super) fn issue_clwb_to_flush_engine(m: &mut Machine, i: usize, line: LineAddr) -> bool {
+    if !m.cores[i].flush.as_ref().expect("flush engine").has_space() {
+        m.stall(i, StallCause::PersistQueueFull);
+        return false;
+    }
+    m.cores[i].flush.as_mut().expect("checked").push(line);
+    true
+}
+
+/// SFENCE: prior CLWBs must complete.
+pub(super) fn sfence_condition_met(m: &Machine, i: usize, kind: FenceKind) -> bool {
+    match kind {
+        FenceKind::Sfence => m.cores[i].flush.as_ref().is_none_or(FlushEngine::is_empty),
+        _ => true,
+    }
+}

@@ -1,0 +1,240 @@
+//! The per-design persist engines.
+//!
+//! Everything that makes one hardware design behave differently from
+//! another — which structure buffers CLWBs, what a fence admits or waits
+//! for, how store-queue persist ops drain, where the durability point sits
+//! — lives behind the [`PersistEngine`] trait, one module per design. The
+//! machine core (`machine.rs`) is design-agnostic: it owns the
+//! pipeline, caches, coherence, and the DES loop, and calls into its
+//! engine at the four dispatch points (`setup_core`, `backend`,
+//! `issue_clwb`, `issue_fence`) plus the fence-condition and store-queue
+//! drain hooks.
+//!
+//! Engines are stateless unit structs (all per-core state lives in the
+//! core), so the machine holds a `&'static dyn PersistEngine` and call
+//! sites copy the reference before re-borrowing the machine mutably.
+//!
+//! Adding a design: write one `DesignSpec` entry in `sw-model` (label,
+//! formal memory model, runtime lowering), one engine module here, and
+//! register it in [`engine_for`]. The litmus matrix and sim/model
+//! agreement suites pick the new design up from `HwDesign::ALL`
+//! automatically.
+
+mod eadr;
+mod hops;
+mod intel;
+mod no_persist_queue;
+mod non_atomic;
+mod strandweaver;
+
+use sw_model::isa::FenceKind;
+use sw_model::HwDesign;
+use sw_pmem::LineAddr;
+
+use crate::config::SimConfig;
+use crate::core::{Core, SqOp};
+use crate::machine::Machine;
+use crate::persist::ClwbState;
+use crate::stats::StallCause;
+
+pub use eadr::Eadr;
+pub use hops::Hops;
+pub use intel::Intel;
+pub use no_persist_queue::NoPersistQueue;
+pub use non_atomic::NonAtomic;
+pub use strandweaver::StrandWeaver;
+
+/// The timing semantics of one hardware persistency design.
+///
+/// Engines are pure behaviour: they carry no state and are shared as
+/// `&'static` references. Every method receives the [`Machine`] and a core
+/// index and manipulates that core's queues and buffers.
+pub trait PersistEngine: std::fmt::Debug + Sync {
+    /// The design this engine implements.
+    fn design(&self) -> HwDesign;
+
+    /// Attaches the design's persist structures (strand buffer unit, flush
+    /// engine, ...) to a freshly built core.
+    fn setup_core(&self, core: &mut Core, cfg: &SimConfig);
+
+    /// Runs the design's back-end structures for one cycle on core `i`
+    /// (issue ready CLWBs, advance completions, retire). Called before the
+    /// design-agnostic store-queue and write-back stages.
+    fn backend(&self, m: &mut Machine, i: usize);
+
+    /// Attempts to admit a CLWB for `line` on core `i`; returns `false`
+    /// (after recording the stall) if the design's structure is full.
+    fn issue_clwb(&self, m: &mut Machine, i: usize, line: LineAddr) -> bool;
+
+    /// Attempts to execute a fence on core `i`; returns `false` (after
+    /// recording the stall) while its admission condition is unmet. A
+    /// *completion* fence that admits but has unmet drain conditions
+    /// becomes the core's `pending_fence` (see
+    /// `Machine::issue_completion_fence`).
+    fn issue_fence(&self, m: &mut Machine, i: usize, kind: FenceKind) -> bool;
+
+    /// `true` once the waiting condition of a completion fence is met.
+    /// Fence kinds the design does not treat as completion fences always
+    /// report `true`.
+    fn fence_condition_met(&self, m: &Machine, i: usize, kind: FenceKind) -> bool;
+
+    /// Drains one non-store persist op (`Clwb`/`Pb`/`Ns`) from the head of
+    /// core `i`'s store queue. Returns `true` if the op was consumed (the
+    /// machine pops it), `false` to stop draining this cycle. Only designs
+    /// that route persist ops through the store queue see these entries;
+    /// the default consumes them as no-ops.
+    fn drain_sq_persist_op(&self, m: &mut Machine, i: usize, op: SqOp) -> bool {
+        let _ = (m, i, op);
+        true
+    }
+
+    /// `true` when stores persist at coherence visibility (battery-backed
+    /// caches): the machine then records the persist order at store
+    /// retirement instead of at PM-controller acceptance.
+    fn persists_at_visibility(&self) -> bool {
+        false
+    }
+
+    /// The stall causes this design can actually produce. Causes outside
+    /// this set stay zero in [`crate::CoreStats`] and in the metrics
+    /// registry (which registers a counter per cause regardless, so
+    /// snapshots always carry explicit zeros).
+    fn stall_causes(&self) -> &'static [StallCause];
+}
+
+/// The engine implementing `design`.
+pub fn engine_for(design: HwDesign) -> &'static dyn PersistEngine {
+    match design {
+        HwDesign::IntelX86 => &Intel,
+        HwDesign::Hops => &Hops,
+        HwDesign::NoPersistQueue => &NoPersistQueue,
+        HwDesign::StrandWeaver => &StrandWeaver,
+        HwDesign::NonAtomic => &NonAtomic,
+        HwDesign::Eadr => &Eadr,
+    }
+}
+
+/// Every registered engine, in [`HwDesign::ALL`] order.
+pub fn all_engines() -> impl Iterator<Item = &'static dyn PersistEngine> {
+    HwDesign::ALL.into_iter().map(engine_for)
+}
+
+// Back-end helpers shared by several engines. They live here (not in the
+// machine core) because which structure a design drains is design policy;
+// the mechanics are common.
+impl Machine {
+    /// Intel / non-atomic: issue waiting flush slots, retire completed
+    /// ones. Slots wait for elder same-line stores to retire first.
+    pub(crate) fn backend_flush_engine(&mut self, i: usize) {
+        if self.cores[i].flush.is_none() {
+            return;
+        }
+        let n = self.cores[i].flush.as_ref().expect("checked").len();
+        for s in 0..n {
+            let (line, waiting) = {
+                let slot = self.cores[i].flush.as_ref().expect("checked").slots()[s];
+                (slot.line, slot.state == ClwbState::Waiting)
+            };
+            if !waiting || self.cores[i].sq_has_store_to(line) {
+                continue;
+            }
+            if let Some(done_at) = self.flush_access(i, line) {
+                self.cores[i].flush.as_mut().expect("checked").slots_mut()[s].state =
+                    ClwbState::Pending { done_at };
+            }
+        }
+        let cycle = self.cycle;
+        self.cores[i]
+            .flush
+            .as_mut()
+            .expect("checked")
+            .tick_retire(cycle);
+    }
+
+    /// Strand buffers (StrandWeaver, no-persist-queue, HOPS): issue the
+    /// ready CLWBs, advance completions, retire in order.
+    pub(crate) fn backend_sbu(&mut self, i: usize) {
+        if self.cores[i].sbu.is_none() {
+            return;
+        }
+        let issuable = self.cores[i].sbu.as_ref().expect("checked").issuable();
+        for (b, e, line) in issuable {
+            // Note: no store-queue gate here — that check happened before
+            // insertion, preserving the paper's deadlock-freedom argument.
+            if let Some(done_at) = self.flush_access(i, line) {
+                self.cores[i]
+                    .sbu
+                    .as_mut()
+                    .expect("checked")
+                    .mark_pending(b, e, done_at);
+            }
+        }
+        let cycle = self.cycle;
+        let before = if self.observing() {
+            Some(self.cores[i].sbu.as_ref().expect("checked").occupancies())
+        } else {
+            None
+        };
+        self.cores[i]
+            .sbu
+            .as_mut()
+            .expect("checked")
+            .tick_retire(cycle);
+        if let Some(before) = before {
+            let after = self.cores[i].sbu.as_ref().expect("checked").occupancies();
+            for (b, (&was, &now)) in before.iter().zip(&after).enumerate() {
+                if now < was {
+                    self.note_sb(i, b, false);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_design_has_an_engine() {
+        for d in HwDesign::ALL {
+            assert_eq!(engine_for(d).design(), d);
+        }
+        assert_eq!(all_engines().count(), HwDesign::ALL.len());
+    }
+
+    #[test]
+    fn stall_causes_are_subsets_of_all() {
+        for e in all_engines() {
+            for c in e.stall_causes() {
+                assert!(StallCause::ALL.contains(c));
+            }
+            // Every design can at least stall on fences, full store
+            // queues, and contended locks (the design-agnostic frontend
+            // produces those).
+            for c in [
+                StallCause::Fence,
+                StallCause::StoreQueueFull,
+                StallCause::Lock,
+            ] {
+                assert!(
+                    e.stall_causes().contains(&c),
+                    "{:?} missing {c:?}",
+                    e.design()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn only_eadr_persists_at_visibility() {
+        for e in all_engines() {
+            assert_eq!(
+                e.persists_at_visibility(),
+                e.design() == HwDesign::Eadr,
+                "{:?}",
+                e.design()
+            );
+        }
+    }
+}

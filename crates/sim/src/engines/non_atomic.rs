@@ -1,0 +1,56 @@
+//! The paper's NON-ATOMIC upper bound: Intel hardware with the pairwise
+//! log→update `SFENCE`s removed by the runtime. The engine itself is
+//! Intel's, except the flush slots get the persist queue's capacity so
+//! the design is limited by the device, not by MSHRs.
+
+use sw_model::isa::FenceKind;
+use sw_model::HwDesign;
+use sw_pmem::LineAddr;
+
+use crate::config::SimConfig;
+use crate::core::Core;
+use crate::machine::Machine;
+use crate::persist::FlushEngine;
+use crate::stats::StallCause;
+
+use super::intel::{issue_clwb_to_flush_engine, sfence_condition_met};
+use super::PersistEngine;
+
+/// The non-atomic engine.
+#[derive(Debug)]
+pub struct NonAtomic;
+
+impl PersistEngine for NonAtomic {
+    fn design(&self) -> HwDesign {
+        HwDesign::NonAtomic
+    }
+
+    fn setup_core(&self, core: &mut Core, cfg: &SimConfig) {
+        // Buffers CLWBs without any ordering; give it the persist queue's
+        // capacity so it is limited by the device, not by MSHRs.
+        core.flush = Some(FlushEngine::new(cfg.persist_queue_entries));
+    }
+
+    fn backend(&self, m: &mut Machine, i: usize) {
+        m.backend_flush_engine(i);
+    }
+
+    fn issue_clwb(&self, m: &mut Machine, i: usize, line: LineAddr) -> bool {
+        issue_clwb_to_flush_engine(m, i, line)
+    }
+
+    fn issue_fence(&self, m: &mut Machine, i: usize, kind: FenceKind) -> bool {
+        match kind {
+            FenceKind::Sfence => m.issue_completion_fence(i, kind),
+            _ => true,
+        }
+    }
+
+    fn fence_condition_met(&self, m: &Machine, i: usize, kind: FenceKind) -> bool {
+        sfence_condition_met(m, i, kind)
+    }
+
+    fn stall_causes(&self) -> &'static [StallCause] {
+        &StallCause::ALL
+    }
+}

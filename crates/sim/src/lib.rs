@@ -2,8 +2,10 @@
 //! StrandWeaver reproduction (paper Sections IV and VI).
 //!
 //! The simulator replays per-thread ISA traces (produced by the `sw-lang`
-//! runtimes) under one of the five hardware persistency designs and models
-//! the structures whose interplay produces the paper's results:
+//! runtimes) under one of the registered hardware persistency designs —
+//! the paper's five plus a battery-backed eADR extension, each implemented
+//! as a [`PersistEngine`] in [`engines`] — and models the structures whose
+//! interplay produces the paper's results:
 //!
 //! * per-core **store queues** (64 entries) and, for StrandWeaver, the
 //!   16-entry **persist queue** that keeps long-latency CLWBs out of the
@@ -11,8 +13,9 @@
 //! * the **strand buffer unit** — four 4-entry strand buffers by default —
 //!   that drains CLWBs from different strands concurrently while persist
 //!   barriers order each strand internally;
-//! * Intel's `SFENCE` semantics (stall issue until prior CLWBs complete)
-//!   and HOPS's delegated `ofence`/`dfence` persist buffer;
+//! * Intel's `SFENCE` semantics (stall issue until prior CLWBs complete),
+//!   HOPS's delegated `ofence`/`dfence` persist buffer, and eADR's
+//!   persistence domain that makes stores durable at visibility;
 //! * private L1s with a dirty-owner directory, snoop-buffer stalls on
 //!   read-exclusive steals, write-back buffers with per-strand-buffer tail
 //!   indexes, and an ADR PM controller with a bounded write queue (Table I
@@ -46,14 +49,20 @@
 mod cache;
 mod config;
 mod core;
+pub mod engines;
 mod machine;
 mod memctrl;
 mod persist;
+mod pipeline;
 mod stats;
+mod strand_buffer;
+mod writeback;
 
 pub use cache::{Directory, Eviction, L1Cache};
 pub use config::SimConfig;
+pub use engines::{engine_for, PersistEngine};
 pub use machine::Machine;
 pub use memctrl::{DramController, PmController};
-pub use persist::{ClwbState, FlushEngine, Sbu, SbuEntry};
+pub use persist::{ClwbState, FlushEngine};
 pub use stats::{CoreStats, SimStats, StallCause};
+pub use strand_buffer::{Sbu, SbuEntry};

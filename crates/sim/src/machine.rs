@@ -1,15 +1,24 @@
-//! The cycle-stepped multicore machine.
+//! The cycle-stepped multicore machine core.
 //!
 //! The machine replays one ISA trace per core under a chosen hardware
-//! design and reports cycle counts and stall breakdowns. Each cycle:
+//! design and reports cycle counts and stall breakdowns. Everything
+//! design-specific — fence admission and retirement semantics, CLWB
+//! enqueue policy, persist scheduling, drain conditions — lives behind the
+//! [`PersistEngine`] trait ([`crate::engines`], one module per design);
+//! this module owns the design-agnostic substrate: the DES loop, caches
+//! and coherence, locks, observability, and the PM/DRAM controllers. The
+//! front-end issue stage is in [`crate::pipeline`], the store-queue and
+//! write-back drains in [`crate::writeback`].
+//!
+//! Each cycle:
 //!
 //! 1. the PM controller drains its ADR write queue;
 //! 2. coherence steals whose snoop-buffer drain condition is met resolve;
-//! 3. every core's back-end runs — flush engines and strand buffers issue
-//!    and retire CLWBs, the persist queue feeds the strand buffer unit,
-//!    the store queue retires stores, and write-backs drain;
+//! 3. every core's back-end runs — the design's persist engine issues and
+//!    retires CLWBs, then the store queue retires stores and write-backs
+//!    drain;
 //! 4. every core's front-end issues at most one trace operation, honoring
-//!    the design's fence semantics and queue capacities.
+//!    the engine's fence semantics and queue capacities.
 //!
 //! Deadlock freedom follows the paper's argument: CLWBs wait for elder
 //! same-line stores *before* entering the strand buffer unit (at the
@@ -18,7 +27,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use sw_model::isa::{FenceKind, IsaOp, IsaTrace, LockId};
+use sw_model::isa::{FenceKind, IsaTrace, LockId};
 use sw_model::HwDesign;
 use sw_pmem::{LineAddr, PmLayout};
 use sw_trace::{
@@ -27,17 +36,11 @@ use sw_trace::{
 
 use crate::cache::Directory;
 use crate::config::SimConfig;
-use crate::core::{Core, PendingAccess, PqOp, SqOp, Writeback};
+use crate::core::{Core, PendingAccess, Writeback};
+use crate::engines::{engine_for, PersistEngine};
 use crate::memctrl::{DramController, PmController};
-use crate::persist::{ClwbState, FlushEngine, Sbu};
-use crate::stats::SimStats;
-
-/// How many persist-queue entries may move to the strand buffer unit per
-/// cycle.
-const PQ_ISSUE_WIDTH: usize = 4;
-/// How many store-queue bookkeeping entries (CLWB/PB/NS) may drain per
-/// cycle in the no-persist-queue design.
-const SQ_DRAIN_WIDTH: usize = 4;
+use crate::stats::{SimStats, StallCause};
+use crate::strand_buffer::Sbu;
 
 /// Short fence mnemonic used in trace exports.
 fn fence_label(kind: FenceKind) -> &'static str {
@@ -52,9 +55,9 @@ fn fence_label(kind: FenceKind) -> &'static str {
 }
 
 #[derive(Debug, Default)]
-struct LockState {
-    holder: Option<usize>,
-    waiters: VecDeque<usize>,
+pub(crate) struct LockState {
+    pub(crate) holder: Option<usize>,
+    pub(crate) waiters: VecDeque<usize>,
 }
 
 #[derive(Debug)]
@@ -74,9 +77,14 @@ struct Steal {
 struct MachineMetrics {
     reg: MetricsRegistry,
     pm_writes: CounterId,
+    pm_visible: CounterId,
     pq_enqueues: CounterId,
     sb_enqueues: CounterId,
     fence_retires: CounterId,
+    /// One counter per [`StallCause`], indexed by the cause's discriminant.
+    /// Registered up front for *every* cause, so snapshots carry explicit
+    /// zeros for causes a design can never produce.
+    stalls: Vec<CounterId>,
     pm_queue_depth: GaugeId,
     pq_depth: Vec<GaugeId>,
     sb_occupancy: Vec<GaugeId>,
@@ -87,17 +95,18 @@ struct MachineMetrics {
 /// The simulated machine.
 #[derive(Debug)]
 pub struct Machine {
-    cfg: SimConfig,
-    design: HwDesign,
+    pub(crate) cfg: SimConfig,
+    /// The design's persist engine: all design dispatch goes through it.
+    pub(crate) engine: &'static dyn PersistEngine,
     layout: PmLayout,
-    cycle: u64,
-    cores: Vec<Core>,
-    pm: PmController,
+    pub(crate) cycle: u64,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) pm: PmController,
     dram: DramController,
     /// Lines present somewhere in the (effectively unbounded) shared L2.
     l2: HashSet<LineAddr>,
-    dir: Directory,
-    locks: HashMap<LockId, LockState>,
+    pub(crate) dir: Directory,
+    pub(crate) locks: HashMap<LockId, LockState>,
     steals: Vec<Steal>,
     /// Optional event sink; `None` keeps every emit site to one branch.
     trace: Option<Box<dyn TraceSink>>,
@@ -106,6 +115,9 @@ pub struct Machine {
     stall_now: Vec<Option<StallKind>>,
     /// Stall interval currently open in the trace, per core.
     stall_active: Vec<Option<StallKind>>,
+    /// Persist order recorded at store retirement — populated only when
+    /// the engine persists at coherence visibility (eADR).
+    pub(crate) visibility_order: Vec<LineAddr>,
 }
 
 impl Machine {
@@ -116,28 +128,13 @@ impl Machine {
     /// Panics if more traces than configured cores are supplied.
     pub fn new(cfg: SimConfig, design: HwDesign, layout: PmLayout, traces: Vec<IsaTrace>) -> Self {
         assert!(traces.len() <= cfg.cores, "more traces than cores");
+        let engine = engine_for(design);
         let mut cores: Vec<Core> = traces.into_iter().map(|t| Core::new(&cfg, t)).collect();
         while cores.len() < cfg.cores {
             cores.push(Core::new(&cfg, Vec::new()));
         }
         for core in &mut cores {
-            match design {
-                HwDesign::StrandWeaver | HwDesign::NoPersistQueue => {
-                    core.sbu = Some(Sbu::new(cfg.strand_buffers, cfg.strand_buffer_entries));
-                }
-                HwDesign::Hops => {
-                    core.sbu = Some(Sbu::new(1, cfg.hops_buffer_entries));
-                }
-                HwDesign::IntelX86 => {
-                    core.flush = Some(FlushEngine::new(cfg.intel_flush_slots));
-                }
-                HwDesign::NonAtomic => {
-                    // The non-atomic upper bound buffers CLWBs without any
-                    // ordering; give it the persist queue's capacity so it
-                    // is limited by the device, not by MSHRs.
-                    core.flush = Some(FlushEngine::new(cfg.persist_queue_entries));
-                }
-            }
+            engine.setup_core(core, &cfg);
         }
         let pm = PmController::new(
             cfg.pm_write_queue,
@@ -150,7 +147,7 @@ impl Machine {
         let n = cores.len();
         Self {
             cfg,
-            design,
+            engine,
             layout,
             cycle: 0,
             cores,
@@ -164,7 +161,13 @@ impl Machine {
             metrics: None,
             stall_now: vec![None; n],
             stall_active: vec![None; n],
+            visibility_order: Vec::new(),
         }
+    }
+
+    /// The design this machine simulates.
+    pub fn design(&self) -> HwDesign {
+        self.engine.design()
     }
 
     /// Attaches a trace sink; every subsequent event is recorded into it.
@@ -179,9 +182,14 @@ impl Machine {
     pub fn enable_metrics(&mut self) {
         let mut reg = MetricsRegistry::new();
         let pm_writes = reg.counter("pm.writes_accepted");
+        let pm_visible = reg.counter("pm.persists_visible");
         let pq_enqueues = reg.counter("pq.enqueues");
         let sb_enqueues = reg.counter("sb.enqueues");
         let fence_retires = reg.counter("fence.retires");
+        let stalls = StallCause::ALL
+            .iter()
+            .map(|c| reg.counter(&format!("stalls.{}", c.label())))
+            .collect();
         let pm_queue_depth = reg.gauge("pm.write_queue_depth");
         let pq_depth = (0..self.cores.len())
             .map(|i| reg.gauge(&format!("core{i}.pq_depth")))
@@ -194,9 +202,11 @@ impl Machine {
         self.metrics = Some(MachineMetrics {
             reg,
             pm_writes,
+            pm_visible,
             pq_enqueues,
             sb_enqueues,
             fence_retires,
+            stalls,
             pm_queue_depth,
             pq_depth,
             sb_occupancy,
@@ -208,19 +218,33 @@ impl Machine {
     /// `true` when any observability consumer is attached. The disabled
     /// path costs exactly this check at each note site.
     #[inline]
-    fn observing(&self) -> bool {
+    pub(crate) fn observing(&self) -> bool {
         self.trace.is_some() || self.metrics.is_some()
     }
 
     #[inline]
-    fn emit(&mut self, event: TraceEvent) {
+    pub(crate) fn emit(&mut self, event: TraceEvent) {
         if let Some(sink) = self.trace.as_mut() {
             sink.record(self.cycle, event);
         }
     }
 
+    /// Records that core `i` spent this cycle stalled for `cause`: bumps
+    /// the core's stall counter, the per-cause metrics counter, and the
+    /// per-cycle note that becomes a begin/end trace interval.
+    #[inline]
+    pub(crate) fn stall(&mut self, i: usize, cause: StallCause) {
+        self.cores[i].stats.record_stall(cause);
+        if self.observing() {
+            self.stall_now[i] = Some(cause.kind());
+            if let Some(m) = self.metrics.as_mut() {
+                m.reg.inc(m.stalls[cause as usize]);
+            }
+        }
+    }
+
     /// Records a persist-queue occupancy change on core `i`.
-    fn note_pq(&mut self, i: usize, enqueue: bool) {
+    pub(crate) fn note_pq(&mut self, i: usize, enqueue: bool) {
         if !self.observing() {
             return;
         }
@@ -241,7 +265,7 @@ impl Machine {
     }
 
     /// Records an append to core `i`'s ongoing strand buffer.
-    fn note_sb_enqueue(&mut self, i: usize) {
+    pub(crate) fn note_sb_enqueue(&mut self, i: usize) {
         if !self.observing() {
             return;
         }
@@ -250,7 +274,7 @@ impl Machine {
     }
 
     /// Records a strand-buffer append or retirement on core `i`.
-    fn note_sb(&mut self, i: usize, buffer: usize, enqueue: bool) {
+    pub(crate) fn note_sb(&mut self, i: usize, buffer: usize, enqueue: bool) {
         if !self.observing() {
             return;
         }
@@ -284,8 +308,8 @@ impl Machine {
     }
 
     /// Records an ADR PM controller acceptance of `line` — the durability
-    /// point.
-    fn note_pm_accept(&mut self, line: LineAddr) {
+    /// point of controller-ordered designs.
+    pub(crate) fn note_pm_accept(&mut self, line: LineAddr) {
         if !self.observing() {
             return;
         }
@@ -300,8 +324,23 @@ impl Machine {
         });
     }
 
+    /// Records a store becoming durable at coherence visibility — the
+    /// durability point of battery-backed (eADR) designs.
+    pub(crate) fn note_persist_visible(&mut self, i: usize, line: LineAddr) {
+        if !self.observing() {
+            return;
+        }
+        if let Some(m) = self.metrics.as_mut() {
+            m.reg.inc(m.pm_visible);
+        }
+        self.emit(TraceEvent::PersistVisible {
+            core: i as u32,
+            line: line.0,
+        });
+    }
+
     /// Records that a fence's issue condition was satisfied on core `i`.
-    fn note_fence_retire(&mut self, i: usize, kind: FenceKind) {
+    pub(crate) fn note_fence_retire(&mut self, i: usize, kind: FenceKind) {
         if !self.observing() {
             return;
         }
@@ -312,15 +351,6 @@ impl Machine {
             core: i as u32,
             kind: fence_label(kind),
         });
-    }
-
-    /// Notes that core `i` spent this cycle stalled for `cause`; the
-    /// per-cycle notes are turned into begin/end intervals once per tick.
-    #[inline]
-    fn note_stall(&mut self, i: usize, cause: StallKind) {
-        if self.observing() {
-            self.stall_now[i] = Some(cause);
-        }
     }
 
     /// Turns this cycle's stall notes into `StallBegin` / `StallEnd`
@@ -385,10 +415,15 @@ impl Machine {
                 }
             }
         }
+        let pm_write_order = if self.engine.persists_at_visibility() {
+            std::mem::take(&mut self.visibility_order)
+        } else {
+            std::mem::take(&mut self.pm.write_order)
+        };
         SimStats {
             cycles,
             cores: self.cores.into_iter().map(|c| c.stats).collect(),
-            pm_write_order: self.pm.write_order,
+            pm_write_order,
             metrics: self
                 .metrics
                 .as_ref()
@@ -397,15 +432,18 @@ impl Machine {
         }
     }
 
-    fn is_persistent_line(&self, line: LineAddr) -> bool {
+    pub(crate) fn is_persistent_line(&self, line: LineAddr) -> bool {
         self.layout.is_persistent(line.base())
     }
 
     fn tick(&mut self) {
         self.pm.tick(self.cycle);
         self.process_steals();
+        let engine = self.engine;
         for i in 0..self.cores.len() {
-            self.backend(i);
+            engine.backend(self, i);
+            self.backend_sq(i);
+            self.backend_wb(i);
         }
         for i in 0..self.cores.len() {
             self.frontend(i);
@@ -432,7 +470,7 @@ impl Machine {
     /// Begins a fetch of `line` for core `i`. Returns the completion cycle,
     /// or `None` if a coherence steal is in flight (the caller's pending
     /// access resolves later).
-    fn start_fetch(&mut self, i: usize, line: LineAddr, write: bool) -> Option<u64> {
+    pub(crate) fn start_fetch(&mut self, i: usize, line: LineAddr, write: bool) -> Option<u64> {
         if let Some(owner) = self.dir.dirty_owner(line) {
             if owner != i {
                 let targets = self.cores[owner].sbu.as_ref().map(Sbu::drain_targets);
@@ -513,527 +551,13 @@ impl Machine {
         }
         self.steals = remaining;
     }
-
-    // ------------------------------------------------------------------
-    // Back-end: persist engines, store queue, write-backs.
-    // ------------------------------------------------------------------
-
-    /// Performs the flush action of a CLWB for `line` on core `i`: L1
-    /// lookup; dirty lines go to the PM controller, others complete after
-    /// the lookup. Returns the completion cycle, or `None` on controller
-    /// back-pressure.
-    fn flush_access(&mut self, i: usize, line: LineAddr) -> Option<u64> {
-        let lookup_done = self.cycle + self.cfg.l1_hit_cycles;
-        if self.cores[i].l1.is_dirty(line) && self.is_persistent_line(line) {
-            let ack = self.pm.try_write(line, lookup_done)?;
-            self.note_pm_accept(line);
-            self.cores[i].l1.mark_clean(line);
-            self.dir.clear_dirty_owner(line);
-            Some(ack)
-        } else {
-            // Clean, absent, or volatile: nothing to persist.
-            self.cores[i].l1.mark_clean(line);
-            Some(lookup_done)
-        }
-    }
-
-    fn backend(&mut self, i: usize) {
-        self.backend_flush_engine(i);
-        self.backend_sbu(i);
-        if self.design == HwDesign::StrandWeaver {
-            self.backend_pq(i);
-        }
-        self.backend_sq(i);
-        self.backend_wb(i);
-    }
-
-    /// Intel / non-atomic: issue waiting flush slots, retire completed
-    /// ones. Slots wait for elder same-line stores to retire first.
-    fn backend_flush_engine(&mut self, i: usize) {
-        if self.cores[i].flush.is_none() {
-            return;
-        }
-        let n = self.cores[i].flush.as_ref().expect("checked").len();
-        for s in 0..n {
-            let (line, waiting) = {
-                let slot = self.cores[i].flush.as_ref().expect("checked").slots()[s];
-                (slot.line, slot.state == ClwbState::Waiting)
-            };
-            if !waiting || self.cores[i].sq_has_store_to(line) {
-                continue;
-            }
-            if let Some(done_at) = self.flush_access(i, line) {
-                self.cores[i].flush.as_mut().expect("checked").slots_mut()[s].state =
-                    ClwbState::Pending { done_at };
-            }
-        }
-        let cycle = self.cycle;
-        self.cores[i]
-            .flush
-            .as_mut()
-            .expect("checked")
-            .tick_retire(cycle);
-    }
-
-    /// Strand buffers (StrandWeaver, no-persist-queue, HOPS): issue the
-    /// ready CLWBs, advance completions, retire in order.
-    fn backend_sbu(&mut self, i: usize) {
-        if self.cores[i].sbu.is_none() {
-            return;
-        }
-        let issuable = self.cores[i].sbu.as_ref().expect("checked").issuable();
-        for (b, e, line) in issuable {
-            // Note: no store-queue gate here — that check happened before
-            // insertion, preserving the paper's deadlock-freedom argument.
-            if let Some(done_at) = self.flush_access(i, line) {
-                self.cores[i]
-                    .sbu
-                    .as_mut()
-                    .expect("checked")
-                    .mark_pending(b, e, done_at);
-            }
-        }
-        let cycle = self.cycle;
-        let before = if self.observing() {
-            Some(self.cores[i].sbu.as_ref().expect("checked").occupancies())
-        } else {
-            None
-        };
-        self.cores[i]
-            .sbu
-            .as_mut()
-            .expect("checked")
-            .tick_retire(cycle);
-        if let Some(before) = before {
-            let after = self.cores[i].sbu.as_ref().expect("checked").occupancies();
-            for (b, (&was, &now)) in before.iter().zip(&after).enumerate() {
-                if now < was {
-                    self.note_sb(i, b, false);
-                }
-            }
-        }
-    }
-
-    /// StrandWeaver: move persist-queue entries to the strand buffer unit
-    /// in order.
-    fn backend_pq(&mut self, i: usize) {
-        for _ in 0..PQ_ISSUE_WIDTH {
-            let Some(&op) = self.cores[i].pq.front() else {
-                break;
-            };
-            match op {
-                PqOp::Clwb(line) => {
-                    let has_space = self.cores[i]
-                        .sbu
-                        .as_ref()
-                        .expect("strandweaver has sbu")
-                        .has_space();
-                    if !has_space || self.cores[i].sq_has_store_to(line) {
-                        break;
-                    }
-                    self.cores[i].sbu.as_mut().expect("checked").push_clwb(line);
-                    self.note_sb_enqueue(i);
-                }
-                PqOp::Pb => {
-                    if !self.cores[i].sbu.as_ref().expect("checked").has_space() {
-                        break;
-                    }
-                    self.cores[i].sbu.as_mut().expect("checked").push_pb();
-                    self.note_sb_enqueue(i);
-                }
-                PqOp::Ns => self.cores[i].sbu.as_mut().expect("checked").new_strand(),
-            }
-            self.cores[i].pq.pop_front();
-            self.note_pq(i, false);
-        }
-    }
-
-    /// Store queue: complete the in-flight head, start the next entry.
-    fn backend_sq(&mut self, i: usize) {
-        if let Some(p) = self.cores[i].store_pending {
-            match p.ready_at {
-                Some(t) if t <= self.cycle => self.cores[i].store_pending = None,
-                _ => return, // still retiring (or waiting on a steal)
-            }
-        }
-        for _ in 0..SQ_DRAIN_WIDTH {
-            let Some(&op) = self.cores[i].sq.front() else {
-                break;
-            };
-            match op {
-                SqOp::Store(line) => {
-                    self.cores[i].sq.pop_front();
-                    if self.cores[i].l1.access(line, true) {
-                        if self.is_persistent_line(line) {
-                            self.dir.set_dirty_owner(line, i);
-                        }
-                        // Pipelined hit: one store per cycle.
-                        self.cores[i].store_pending = Some(PendingAccess {
-                            line,
-                            write: true,
-                            ready_at: Some(self.cycle + 1),
-                        });
-                    } else {
-                        let ready_at = self.start_fetch(i, line, true);
-                        self.cores[i].store_pending = Some(PendingAccess {
-                            line,
-                            write: true,
-                            ready_at,
-                        });
-                    }
-                    break; // one store in flight at a time
-                }
-                SqOp::Clwb(line) => {
-                    // No-persist-queue design: head-of-line CLWB blocks the
-                    // stores behind it until the strand buffer has space.
-                    if self.cores[i]
-                        .store_pending
-                        .as_ref()
-                        .is_some_and(|p| p.line == line)
-                    {
-                        break;
-                    }
-                    let sbu = self.cores[i].sbu.as_ref().expect("no-pq design has sbu");
-                    if !sbu.has_space() {
-                        break;
-                    }
-                    self.cores[i].sbu.as_mut().expect("checked").push_clwb(line);
-                    self.note_sb_enqueue(i);
-                    self.cores[i].sq.pop_front();
-                }
-                SqOp::Pb => {
-                    let sbu = self.cores[i].sbu.as_ref().expect("no-pq design has sbu");
-                    if !sbu.has_space() {
-                        break;
-                    }
-                    self.cores[i].sbu.as_mut().expect("checked").push_pb();
-                    self.note_sb_enqueue(i);
-                    self.cores[i].sq.pop_front();
-                }
-                SqOp::Ns => {
-                    self.cores[i]
-                        .sbu
-                        .as_mut()
-                        .expect("no-pq design has sbu")
-                        .new_strand();
-                    self.cores[i].sq.pop_front();
-                }
-            }
-        }
-    }
-
-    /// Write-back buffer: entries drain to the PM controller once the
-    /// strand buffers have drained past the recorded tail indexes.
-    fn backend_wb(&mut self, i: usize) {
-        let mut k = 0;
-        while k < self.cores[i].wb.len() {
-            let ready = match (&self.cores[i].wb[k].targets, self.cores[i].sbu.as_ref()) {
-                (Some(t), Some(sbu)) => sbu.drained_past(t),
-                _ => true,
-            };
-            if !ready {
-                k += 1;
-                continue;
-            }
-            let line = self.cores[i].wb[k].line;
-            if self.is_persistent_line(line) {
-                if self.pm.try_write(line, self.cycle).is_none() {
-                    k += 1;
-                    continue; // controller back-pressure; retry
-                }
-                self.note_pm_accept(line);
-            }
-            self.cores[i].wb.swap_remove(k);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Front-end: issue.
-    // ------------------------------------------------------------------
-
-    /// `true` once the waiting condition of a completion fence is met.
-    fn fence_condition_met(&self, i: usize, kind: FenceKind) -> bool {
-        match kind {
-            // SFENCE: prior CLWBs must complete.
-            FenceKind::Sfence => self.cores[i]
-                .flush
-                .as_ref()
-                .is_none_or(FlushEngine::is_empty),
-            // JoinStrand: prior CLWBs and stores must complete.
-            FenceKind::JoinStrand => {
-                self.cores[i].stores_drained() && self.cores[i].persists_drained()
-            }
-            // dfence: the persist buffer must drain.
-            FenceKind::Dfence => self.cores[i].sbu.as_ref().is_none_or(Sbu::is_empty),
-            _ => true,
-        }
-    }
-
-    fn frontend(&mut self, i: usize) {
-        // Resolve a finished blocking load.
-        if let Some(p) = self.cores[i].load_pending {
-            match p.ready_at {
-                Some(t) if t <= self.cycle => self.cores[i].load_pending = None,
-                _ => {
-                    self.cores[i].stats.mem_busy += 1;
-                    return;
-                }
-            }
-        }
-        // Resolve a completion fence whose condition is now met.
-        if let Some(kind) = self.cores[i].pending_fence {
-            if self.fence_condition_met(i, kind) {
-                self.cores[i].pending_fence = None;
-                self.note_fence_retire(i, kind);
-            }
-        }
-        if self.cycle < self.cores[i].busy_until {
-            return;
-        }
-        let Some(&op) = self.cores[i].trace.get(self.cores[i].pc) else {
-            return;
-        };
-        // A pending completion fence blocks memory-ordering instructions;
-        // compute and loads flow past it (an OoO core keeps executing —
-        // SFENCE and JoinStrand order stores and flushes, not ALU work).
-        let ordered_class = matches!(
-            op,
-            IsaOp::Store(_) | IsaOp::Clwb(_) | IsaOp::Fence(_) | IsaOp::Lock(_) | IsaOp::Unlock(_)
-        );
-        if ordered_class && self.cores[i].pending_fence.is_some() {
-            self.cores[i].stats.stall_fence += 1;
-            self.note_stall(i, StallKind::Fence);
-            return;
-        }
-        match op {
-            IsaOp::Compute(n) => {
-                self.cores[i].busy_until = self.cycle + 1 + n as u64;
-                self.advance(i);
-            }
-            IsaOp::Load(addr) => {
-                let line = addr.line();
-                self.cores[i].stats.loads += 1;
-                if self.cores[i].sq_has_store_to(line) {
-                    // Store-to-load forwarding.
-                    self.cores[i].busy_until = self.cycle + 1;
-                } else if self.cores[i].l1.access(line, false) {
-                    self.cores[i].busy_until = self.cycle + self.cfg.l1_hit_cycles;
-                    self.cores[i].stats.mem_busy += self.cfg.l1_hit_cycles;
-                } else {
-                    let ready_at = self.start_fetch(i, line, false);
-                    self.cores[i].load_pending = Some(PendingAccess {
-                        line,
-                        write: false,
-                        ready_at,
-                    });
-                }
-                self.advance(i);
-            }
-            IsaOp::Store(addr) => {
-                if self.cores[i].sq.len() >= self.cfg.store_queue_entries {
-                    self.cores[i].stats.stall_sq_full += 1;
-                    self.note_stall(i, StallKind::StoreQueueFull);
-                    return;
-                }
-                self.cores[i].sq.push_back(SqOp::Store(addr.line()));
-                self.cores[i].stats.stores += 1;
-                if self.observing() {
-                    self.emit(TraceEvent::StoreIssue {
-                        core: i as u32,
-                        line: addr.line().0,
-                    });
-                }
-                self.advance(i);
-            }
-            IsaOp::Clwb(addr) => {
-                if !self.issue_clwb(i, addr.line()) {
-                    return;
-                }
-                self.cores[i].stats.clwbs += 1;
-                if self.observing() {
-                    self.emit(TraceEvent::ClwbIssue {
-                        core: i as u32,
-                        line: addr.line().0,
-                    });
-                }
-                self.advance(i);
-            }
-            IsaOp::Fence(kind) => {
-                if !self.issue_fence(i, kind) {
-                    return;
-                }
-                self.cores[i].stats.fences += 1;
-                // A completion fence that became pending retires later, when
-                // its condition clears; everything else retires at issue.
-                if self.cores[i].pending_fence.is_none() {
-                    self.note_fence_retire(i, kind);
-                }
-                self.advance(i);
-            }
-            IsaOp::Lock(l) => {
-                if !self.try_acquire(l, i) {
-                    self.cores[i].stats.stall_lock += 1;
-                    self.note_stall(i, StallKind::Lock);
-                    return;
-                }
-                self.cores[i].busy_until = self.cycle + 1;
-                self.advance(i);
-            }
-            IsaOp::Unlock(l) => {
-                let st = self.locks.entry(l).or_default();
-                debug_assert_eq!(st.holder, Some(i), "unlock by non-holder");
-                st.holder = None;
-                self.advance(i);
-            }
-        }
-    }
-
-    fn advance(&mut self, i: usize) {
-        self.cores[i].pc += 1;
-        self.cores[i].stats.ops += 1;
-    }
-
-    /// Attempts to issue a CLWB; returns `false` (and records the stall) if
-    /// the design's structure is full.
-    fn issue_clwb(&mut self, i: usize, line: LineAddr) -> bool {
-        match self.design {
-            HwDesign::StrandWeaver => {
-                if self.cores[i].pq.len() >= self.cfg.persist_queue_entries {
-                    self.cores[i].stats.stall_pq_full += 1;
-                    self.note_stall(i, StallKind::PersistQueueFull);
-                    return false;
-                }
-                self.cores[i].pq.push_back(PqOp::Clwb(line));
-                self.note_pq(i, true);
-                true
-            }
-            HwDesign::NoPersistQueue => {
-                if self.cores[i].sq.len() >= self.cfg.store_queue_entries {
-                    self.cores[i].stats.stall_sq_full += 1;
-                    self.note_stall(i, StallKind::StoreQueueFull);
-                    return false;
-                }
-                self.cores[i].sq.push_back(SqOp::Clwb(line));
-                true
-            }
-            HwDesign::Hops => {
-                // HOPS inserts into the persist buffer at issue; the elder
-                // same-line store must have retired (checked here, before
-                // insertion, to preserve deadlock freedom).
-                if self.cores[i].sq_has_store_to(line) {
-                    self.cores[i].stats.stall_pq_full += 1;
-                    self.note_stall(i, StallKind::PersistQueueFull);
-                    return false;
-                }
-                if !self.cores[i].sbu.as_ref().expect("hops sbu").has_space() {
-                    self.cores[i].stats.stall_pq_full += 1;
-                    self.note_stall(i, StallKind::PersistQueueFull);
-                    return false;
-                }
-                self.cores[i].sbu.as_mut().expect("checked").push_clwb(line);
-                self.note_sb_enqueue(i);
-                true
-            }
-            HwDesign::IntelX86 | HwDesign::NonAtomic => {
-                if !self.cores[i]
-                    .flush
-                    .as_ref()
-                    .expect("flush engine")
-                    .has_space()
-                {
-                    self.cores[i].stats.stall_pq_full += 1;
-                    self.note_stall(i, StallKind::PersistQueueFull);
-                    return false;
-                }
-                self.cores[i].flush.as_mut().expect("checked").push(line);
-                true
-            }
-        }
-    }
-
-    /// Attempts to execute a fence; returns `false` (and records the stall)
-    /// while its condition is unmet.
-    fn issue_fence(&mut self, i: usize, kind: FenceKind) -> bool {
-        match (self.design, kind) {
-            (HwDesign::StrandWeaver, FenceKind::PersistBarrier | FenceKind::NewStrand) => {
-                if self.cores[i].pq.len() >= self.cfg.persist_queue_entries {
-                    self.cores[i].stats.stall_pq_full += 1;
-                    self.note_stall(i, StallKind::PersistQueueFull);
-                    return false;
-                }
-                let op = if kind == FenceKind::PersistBarrier {
-                    PqOp::Pb
-                } else {
-                    PqOp::Ns
-                };
-                self.cores[i].pq.push_back(op);
-                self.note_pq(i, true);
-                true
-            }
-            (HwDesign::NoPersistQueue, FenceKind::PersistBarrier | FenceKind::NewStrand) => {
-                if self.cores[i].sq.len() >= self.cfg.store_queue_entries {
-                    self.cores[i].stats.stall_sq_full += 1;
-                    self.note_stall(i, StallKind::StoreQueueFull);
-                    return false;
-                }
-                let op = if kind == FenceKind::PersistBarrier {
-                    SqOp::Pb
-                } else {
-                    SqOp::Ns
-                };
-                self.cores[i].sq.push_back(op);
-                true
-            }
-            (HwDesign::StrandWeaver | HwDesign::NoPersistQueue, FenceKind::JoinStrand)
-            | (HwDesign::IntelX86 | HwDesign::NonAtomic, FenceKind::Sfence)
-            | (HwDesign::Hops, FenceKind::Dfence) => {
-                // Completion fences become *pending*: subsequent stores,
-                // flushes, fences, and lock operations wait for the
-                // condition, while compute and loads continue.
-                if !self.fence_condition_met(i, kind) {
-                    self.cores[i].pending_fence = Some(kind);
-                }
-                true
-            }
-            (HwDesign::Hops, FenceKind::Ofence) => {
-                // Lightweight: an epoch marker in the persist buffer.
-                if !self.cores[i].sbu.as_ref().expect("hops sbu").has_space() {
-                    self.cores[i].stats.stall_pq_full += 1;
-                    self.note_stall(i, StallKind::PersistQueueFull);
-                    return false;
-                }
-                self.cores[i].sbu.as_mut().expect("checked").push_pb();
-                self.note_sb_enqueue(i);
-                true
-            }
-            // A fence the design does not define is a no-op (traces are
-            // lowered per design, so this only happens in hand-written
-            // tests).
-            _ => true,
-        }
-    }
-
-    fn try_acquire(&mut self, l: LockId, i: usize) -> bool {
-        let st = self.locks.entry(l).or_default();
-        let first_in_line = st.waiters.front().is_none_or(|&w| w == i);
-        if st.holder.is_none() && first_in_line {
-            if st.waiters.front() == Some(&i) {
-                st.waiters.pop_front();
-            }
-            st.holder = Some(i);
-            true
-        } else {
-            if st.holder != Some(i) && !st.waiters.contains(&i) {
-                st.waiters.push_back(i);
-            }
-            false
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engines::engine_for;
+    use sw_model::isa::IsaOp;
     use sw_pmem::Addr;
 
     fn layout() -> PmLayout {
@@ -1054,40 +578,27 @@ mod tests {
     }
 
     /// `n` log/update pairs lowered the way `sw-lang` lowers them for each
-    /// design, with distinct log and data lines per pair.
+    /// design (straight from the design's `DesignLowering` table), with
+    /// distinct log and data lines per pair.
     fn pair_trace(design: HwDesign, n: u64) -> IsaTrace {
+        let low = design.lowering();
         let mut t = Vec::new();
         for k in 0..n {
             let log = heap(1000 + 8 * k);
             let data = heap(8 * k);
             t.push(IsaOp::Store(log));
             t.push(IsaOp::Clwb(log));
-            match design {
-                HwDesign::IntelX86 => t.push(IsaOp::Fence(FenceKind::Sfence)),
-                HwDesign::Hops => t.push(IsaOp::Fence(FenceKind::Ofence)),
-                HwDesign::StrandWeaver | HwDesign::NoPersistQueue => {
-                    t.push(IsaOp::Fence(FenceKind::PersistBarrier))
-                }
-                HwDesign::NonAtomic => {}
+            if let Some(f) = low.pairwise {
+                t.push(IsaOp::Fence(f));
             }
             t.push(IsaOp::Store(data));
             t.push(IsaOp::Clwb(data));
-            match design {
-                HwDesign::IntelX86 => t.push(IsaOp::Fence(FenceKind::Sfence)),
-                HwDesign::Hops => t.push(IsaOp::Fence(FenceKind::Ofence)),
-                HwDesign::StrandWeaver | HwDesign::NoPersistQueue => {
-                    t.push(IsaOp::Fence(FenceKind::NewStrand))
-                }
-                HwDesign::NonAtomic => {}
+            if let Some(f) = low.after_update {
+                t.push(IsaOp::Fence(f));
             }
         }
-        match design {
-            HwDesign::IntelX86 => t.push(IsaOp::Fence(FenceKind::Sfence)),
-            HwDesign::Hops => t.push(IsaOp::Fence(FenceKind::Dfence)),
-            HwDesign::StrandWeaver | HwDesign::NoPersistQueue => {
-                t.push(IsaOp::Fence(FenceKind::JoinStrand))
-            }
-            HwDesign::NonAtomic => {}
+        if let Some(f) = low.drain {
+            t.push(IsaOp::Fence(f));
         }
         t
     }
@@ -1183,6 +694,7 @@ mod tests {
         let nopq = get(HwDesign::NoPersistQueue);
         let sw = get(HwDesign::StrandWeaver);
         let non_atomic = get(HwDesign::NonAtomic);
+        let eadr = get(HwDesign::Eadr);
         assert!(sw < hops, "strands beat epochs: sw={sw} hops={hops}");
         assert!(
             hops < intel,
@@ -1195,6 +707,10 @@ mod tests {
         assert!(
             nopq <= intel,
             "intermediate design still beats intel: nopq={nopq}"
+        );
+        assert!(
+            eadr <= non_atomic,
+            "free durability beats buffered flushes: eadr={eadr} na={non_atomic}"
         );
         // On this store-light microtrace the persist queue's advantage over
         // the store-queue path is marginal (it shows up under store-heavy
@@ -1216,6 +732,48 @@ mod tests {
             speedup > 1.2,
             "expected a material speedup, got {speedup:.2}x"
         );
+    }
+
+    #[test]
+    fn eadr_persist_order_is_store_visibility_order() {
+        let (a, b, c) = (heap(0), heap(8), heap(16));
+        let t = vec![
+            IsaOp::Store(a),
+            IsaOp::Clwb(a), // architectural no-op
+            IsaOp::Store(b),
+            IsaOp::Clwb(b),
+            IsaOp::Store(c),
+            IsaOp::Fence(FenceKind::JoinStrand), // degenerates to a SQ drain
+        ];
+        let stats = run(HwDesign::Eadr, vec![t]);
+        assert_eq!(
+            stats.pm_write_order,
+            vec![a.line(), b.line(), c.line()],
+            "persist order is the store visibility order"
+        );
+        assert_eq!(stats.total_clwbs(), 2, "CLWBs still count as issued");
+        assert_eq!(stats.cores[0].stall_pq_full, 0, "no persist structure");
+    }
+
+    #[test]
+    fn eadr_emits_persist_visible_events() {
+        use sw_trace::RingRecorder;
+        let t = pair_trace(HwDesign::Eadr, 8);
+        let mut m = Machine::new(cfg(1), HwDesign::Eadr, layout(), vec![t]);
+        let rec = RingRecorder::new(1 << 16);
+        m.set_trace_sink(Box::new(rec.clone()));
+        let stats = m.run();
+        let visible = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::PersistVisible { .. }))
+            .count();
+        assert_eq!(
+            visible,
+            stats.pm_write_order.len(),
+            "one PersistVisible per recorded persist"
+        );
+        assert_eq!(visible, 16, "8 pairs, two persistent stores each");
     }
 
     #[test]
@@ -1332,6 +890,54 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn stall_causes_outside_the_engine_set_stay_zero() {
+        for &design in &HwDesign::ALL {
+            let stats = run(design, vec![pair_trace(design, 48)]);
+            let allowed = engine_for(design).stall_causes();
+            for cause in StallCause::ALL {
+                if !allowed.contains(&cause) {
+                    assert_eq!(
+                        stats.cores[0].stall_cycles(cause),
+                        0,
+                        "{design:?} must never stall on {cause:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stall_counters_report_explicit_zeros() {
+        // Satellite of the engine refactor: causes a design can never
+        // produce still appear in the metrics snapshot, as zeros, instead
+        // of being silently absent.
+        let mut m = Machine::new(
+            cfg(1),
+            HwDesign::Eadr,
+            layout(),
+            vec![pair_trace(HwDesign::Eadr, 8)],
+        );
+        m.enable_metrics();
+        let stats = m.run();
+        for cause in StallCause::ALL {
+            let name = format!("stalls.{}", cause.label());
+            assert!(
+                stats.metrics.counter(&name).is_some(),
+                "{name} must be registered even if unused"
+            );
+        }
+        assert_eq!(
+            stats.metrics.counter("stalls.pq_full"),
+            Some(0),
+            "eADR has no persist queue"
+        );
+        assert_eq!(
+            stats.metrics.counter("pm.persists_visible"),
+            Some(stats.pm_write_order.len() as u64)
+        );
     }
 
     #[test]

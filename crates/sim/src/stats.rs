@@ -34,6 +34,12 @@ impl StallCause {
             StallCause::Lock => StallKind::Lock,
         }
     }
+
+    /// Short stable label (shared with the trace vocabulary), used for the
+    /// per-cause `stalls.*` metrics counters.
+    pub fn label(self) -> &'static str {
+        self.kind().label()
+    }
 }
 
 /// Per-core counters.
@@ -71,6 +77,16 @@ impl CoreStats {
         self.stall_fence + self.stall_sq_full + self.stall_pq_full
     }
 
+    /// Bumps the stall counter for `cause` by one cycle.
+    pub fn record_stall(&mut self, cause: StallCause) {
+        match cause {
+            StallCause::Fence => self.stall_fence += 1,
+            StallCause::StoreQueueFull => self.stall_sq_full += 1,
+            StallCause::PersistQueueFull => self.stall_pq_full += 1,
+            StallCause::Lock => self.stall_lock += 1,
+        }
+    }
+
     /// The stall counter for `cause`.
     pub fn stall_cycles(&self, cause: StallCause) -> u64 {
         match cause {
@@ -106,8 +122,10 @@ pub struct SimStats {
     pub cycles: u64,
     /// Per-core counters.
     pub cores: Vec<CoreStats>,
-    /// Cache lines in the order their writes were accepted by the ADR PM
-    /// controller — the durable persist order the machine produced.
+    /// Cache lines in the durable persist order the machine produced: the
+    /// order writes were accepted by the ADR PM controller, or — for
+    /// designs that persist at coherence visibility (eADR) — the order
+    /// persistent stores retired.
     pub pm_write_order: Vec<sw_pmem::LineAddr>,
     /// Frozen metrics-registry values (empty unless the machine ran with
     /// `Machine::enable_metrics`).

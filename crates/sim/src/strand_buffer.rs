@@ -1,0 +1,277 @@
+//! The strand buffer unit of Section IV: an array of strand buffers
+//! adjacent to the L1 that drains CLWBs from different strands
+//! concurrently while persist barriers order each strand internally.
+
+use std::collections::VecDeque;
+
+use sw_pmem::LineAddr;
+
+use crate::persist::ClwbState;
+
+/// One strand-buffer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SbuEntry {
+    /// A persist barrier: entries behind it may not issue until it retires.
+    Pb,
+    /// A CLWB for `line`.
+    Clwb {
+        /// Line being flushed.
+        line: LineAddr,
+        /// Flush progress.
+        state: ClwbState,
+    },
+}
+
+/// The strand buffer unit: an array of strand buffers adjacent to the L1.
+///
+/// CLWBs and persist barriers append to the *ongoing* buffer; `NewStrand`
+/// advances the ongoing index round-robin. CLWBs in different buffers issue
+/// concurrently; within a buffer, a persist barrier blocks later entries
+/// until everything before it has completed and retired. Each buffer keeps
+/// a monotonic retirement counter so the write-back and snoop buffers can
+/// record tail indexes and wait for the unit to drain past them.
+#[derive(Debug, Clone)]
+pub struct Sbu {
+    buffers: Vec<VecDeque<SbuEntry>>,
+    entries_per_buffer: usize,
+    ongoing: usize,
+    retired: Vec<u64>,
+}
+
+impl Sbu {
+    /// Creates a unit with `buffers` buffers of `entries_per_buffer` each.
+    pub fn new(buffers: usize, entries_per_buffer: usize) -> Self {
+        assert!(buffers > 0 && entries_per_buffer > 0);
+        Self {
+            buffers: vec![VecDeque::new(); buffers],
+            entries_per_buffer,
+            ongoing: 0,
+            retired: vec![0; buffers],
+        }
+    }
+
+    /// Number of buffers.
+    pub fn num_buffers(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// `true` if the ongoing buffer can accept an entry.
+    pub fn has_space(&self) -> bool {
+        self.buffers[self.ongoing].len() < self.entries_per_buffer
+    }
+
+    /// Appends a CLWB to the ongoing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ongoing buffer is full (check [`Sbu::has_space`]).
+    pub fn push_clwb(&mut self, line: LineAddr) {
+        assert!(self.has_space(), "ongoing strand buffer is full");
+        self.buffers[self.ongoing].push_back(SbuEntry::Clwb {
+            line,
+            state: ClwbState::Waiting,
+        });
+    }
+
+    /// Appends a persist barrier to the ongoing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ongoing buffer is full.
+    pub fn push_pb(&mut self) {
+        assert!(self.has_space(), "ongoing strand buffer is full");
+        self.buffers[self.ongoing].push_back(SbuEntry::Pb);
+    }
+
+    /// Begins a new strand: the ongoing index advances round-robin
+    /// (completes immediately; the paper acknowledges `NewStrand` when the
+    /// index is updated).
+    pub fn new_strand(&mut self) {
+        self.ongoing = (self.ongoing + 1) % self.buffers.len();
+    }
+
+    /// Index of the ongoing (append-target) buffer.
+    pub fn ongoing_index(&self) -> usize {
+        self.ongoing
+    }
+
+    /// Occupancy of buffer `b`.
+    pub fn buffer_len(&self, b: usize) -> usize {
+        self.buffers[b].len()
+    }
+
+    /// Per-buffer occupancies, in buffer order.
+    pub fn occupancies(&self) -> Vec<usize> {
+        self.buffers.iter().map(VecDeque::len).collect()
+    }
+
+    /// `true` when every buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.iter().all(VecDeque::is_empty)
+    }
+
+    /// Total entries across buffers.
+    pub fn len(&self) -> usize {
+        self.buffers.iter().map(VecDeque::len).sum()
+    }
+
+    /// The CLWBs that are ready to issue this cycle: for each buffer, the
+    /// `Waiting` entries ahead of the first persist barrier. Returns
+    /// `(buffer index, entry index, line)` tuples.
+    pub fn issuable(&self) -> Vec<(usize, usize, LineAddr)> {
+        let mut out = Vec::new();
+        for (b, buf) in self.buffers.iter().enumerate() {
+            for (e, entry) in buf.iter().enumerate() {
+                match entry {
+                    SbuEntry::Pb => break,
+                    SbuEntry::Clwb {
+                        line,
+                        state: ClwbState::Waiting,
+                    } => {
+                        out.push((b, e, *line));
+                    }
+                    SbuEntry::Clwb { .. } => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Marks the entry at `(buffer, index)` as pending with the given
+    /// completion cycle.
+    pub fn mark_pending(&mut self, buffer: usize, index: usize, done_at: u64) {
+        if let Some(SbuEntry::Clwb { state, .. }) = self.buffers[buffer].get_mut(index) {
+            *state = ClwbState::Pending { done_at };
+        }
+    }
+
+    /// Advances completions and retirements at `cycle`. Returns the number
+    /// of entries retired.
+    pub fn tick_retire(&mut self, cycle: u64) -> usize {
+        let mut total = 0;
+        for (b, buf) in self.buffers.iter_mut().enumerate() {
+            for entry in buf.iter_mut() {
+                if let SbuEntry::Clwb { state, .. } = entry {
+                    if matches!(*state, ClwbState::Pending { done_at } if done_at <= cycle) {
+                        *state = ClwbState::Done;
+                    }
+                }
+            }
+            while let Some(
+                SbuEntry::Pb
+                | SbuEntry::Clwb {
+                    state: ClwbState::Done,
+                    ..
+                },
+            ) = buf.front()
+            {
+                buf.pop_front();
+                self.retired[b] += 1;
+                total += 1;
+            }
+        }
+        total
+    }
+
+    /// Snapshot of the drain targets a write-back or snoop buffer records:
+    /// for each buffer, the retirement count it must reach for all entries
+    /// currently present to have drained.
+    pub fn drain_targets(&self) -> Vec<u64> {
+        self.retired
+            .iter()
+            .zip(&self.buffers)
+            .map(|(r, b)| r + b.len() as u64)
+            .collect()
+    }
+
+    /// `true` once every buffer has retired past `targets` (as returned by
+    /// [`Sbu::drain_targets`] earlier).
+    pub fn drained_past(&self, targets: &[u64]) -> bool {
+        self.retired.iter().zip(targets).all(|(r, t)| r >= t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr(n)
+    }
+
+    #[test]
+    fn clwbs_before_barrier_are_issuable() {
+        let mut s = Sbu::new(2, 4);
+        s.push_clwb(l(1));
+        s.push_clwb(l(2));
+        s.push_pb();
+        s.push_clwb(l(3));
+        assert_eq!(s.issuable().len(), 2, "entry behind the barrier must wait");
+    }
+
+    #[test]
+    fn new_strand_routes_to_next_buffer() {
+        let mut s = Sbu::new(2, 1);
+        s.push_clwb(l(1));
+        assert!(!s.has_space());
+        s.new_strand();
+        assert!(s.has_space());
+        s.push_clwb(l(2));
+        // Both on different buffers: both issuable concurrently.
+        assert_eq!(s.issuable().len(), 2);
+    }
+
+    #[test]
+    fn barrier_retires_after_predecessors() {
+        let mut s = Sbu::new(1, 4);
+        s.push_clwb(l(1));
+        s.push_pb();
+        s.push_clwb(l(2));
+        assert_eq!(s.issuable(), vec![(0, 0, l(1))]);
+        s.mark_pending(0, 0, 100);
+        assert_eq!(s.tick_retire(50), 0, "ack not yet arrived");
+        // At 100 the CLWB completes; it and the barrier retire; entry 2
+        // becomes issuable.
+        assert_eq!(s.tick_retire(100), 2);
+        assert_eq!(s.issuable(), vec![(0, 0, l(2))]);
+    }
+
+    #[test]
+    fn drain_targets_round_trip() {
+        let mut s = Sbu::new(2, 4);
+        s.push_clwb(l(1));
+        s.new_strand();
+        s.push_clwb(l(2));
+        let targets = s.drain_targets();
+        assert!(!s.drained_past(&targets));
+        s.mark_pending(0, 0, 10);
+        s.mark_pending(1, 0, 10);
+        s.tick_retire(10);
+        assert!(s.drained_past(&targets));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn drained_past_ignores_entries_added_later() {
+        let mut s = Sbu::new(1, 4);
+        s.push_clwb(l(1));
+        let targets = s.drain_targets();
+        s.push_clwb(l(2)); // arrived after the snapshot
+        s.mark_pending(0, 0, 5);
+        s.tick_retire(5);
+        assert!(s.drained_past(&targets), "only the snapshot must drain");
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn round_robin_wraps() {
+        let mut s = Sbu::new(2, 4);
+        s.push_clwb(l(1));
+        s.new_strand();
+        s.new_strand(); // back to buffer 0
+        assert!(!s.is_empty());
+        s.push_clwb(l(2));
+        assert_eq!(s.issuable().len(), 2);
+        assert_eq!(s.len(), 2);
+    }
+}

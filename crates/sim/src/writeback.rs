@@ -1,0 +1,115 @@
+//! The design-agnostic back-end tail: store-queue retirement, the CLWB
+//! flush action, and the write-back buffer. Non-store persist ops in the
+//! store queue (present only under designs that route them there) drain
+//! through the engine's [`drain_sq_persist_op`] hook.
+//!
+//! [`drain_sq_persist_op`]: crate::engines::PersistEngine::drain_sq_persist_op
+
+use sw_pmem::LineAddr;
+
+use crate::core::{PendingAccess, SqOp};
+use crate::machine::Machine;
+
+/// How many store-queue bookkeeping entries (CLWB/PB/NS) may drain per
+/// cycle in designs that route persist ops through the store queue.
+const SQ_DRAIN_WIDTH: usize = 4;
+
+impl Machine {
+    /// Performs the flush action of a CLWB for `line` on core `i`: L1
+    /// lookup; dirty lines go to the PM controller, others complete after
+    /// the lookup. Returns the completion cycle, or `None` on controller
+    /// back-pressure.
+    pub(crate) fn flush_access(&mut self, i: usize, line: LineAddr) -> Option<u64> {
+        let lookup_done = self.cycle + self.cfg.l1_hit_cycles;
+        if self.cores[i].l1.is_dirty(line) && self.is_persistent_line(line) {
+            let ack = self.pm.try_write(line, lookup_done)?;
+            self.note_pm_accept(line);
+            self.cores[i].l1.mark_clean(line);
+            self.dir.clear_dirty_owner(line);
+            Some(ack)
+        } else {
+            // Clean, absent, or volatile: nothing to persist.
+            self.cores[i].l1.mark_clean(line);
+            Some(lookup_done)
+        }
+    }
+
+    /// Store queue: complete the in-flight head, start the next entry.
+    pub(crate) fn backend_sq(&mut self, i: usize) {
+        if let Some(p) = self.cores[i].store_pending {
+            match p.ready_at {
+                Some(t) if t <= self.cycle => {
+                    self.cores[i].store_pending = None;
+                    // Battery-backed designs: the store is durable the
+                    // moment it retires (coherence visibility).
+                    if self.engine.persists_at_visibility() && self.is_persistent_line(p.line) {
+                        self.visibility_order.push(p.line);
+                        self.note_persist_visible(i, p.line);
+                    }
+                }
+                _ => return, // still retiring (or waiting on a steal)
+            }
+        }
+        let engine = self.engine;
+        for _ in 0..SQ_DRAIN_WIDTH {
+            let Some(&op) = self.cores[i].sq.front() else {
+                break;
+            };
+            match op {
+                SqOp::Store(line) => {
+                    self.cores[i].sq.pop_front();
+                    if self.cores[i].l1.access(line, true) {
+                        if self.is_persistent_line(line) {
+                            self.dir.set_dirty_owner(line, i);
+                        }
+                        // Pipelined hit: one store per cycle.
+                        self.cores[i].store_pending = Some(PendingAccess {
+                            line,
+                            write: true,
+                            ready_at: Some(self.cycle + 1),
+                        });
+                    } else {
+                        let ready_at = self.start_fetch(i, line, true);
+                        self.cores[i].store_pending = Some(PendingAccess {
+                            line,
+                            write: true,
+                            ready_at,
+                        });
+                    }
+                    break; // one store in flight at a time
+                }
+                SqOp::Clwb(_) | SqOp::Pb | SqOp::Ns => {
+                    if !engine.drain_sq_persist_op(self, i, op) {
+                        break;
+                    }
+                    self.cores[i].sq.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Write-back buffer: entries drain to the PM controller once the
+    /// strand buffers have drained past the recorded tail indexes.
+    pub(crate) fn backend_wb(&mut self, i: usize) {
+        let mut k = 0;
+        while k < self.cores[i].wb.len() {
+            let ready = match (&self.cores[i].wb[k].targets, self.cores[i].sbu.as_ref()) {
+                (Some(t), Some(sbu)) => sbu.drained_past(t),
+                _ => true,
+            };
+            if !ready {
+                k += 1;
+                continue;
+            }
+            let line = self.cores[i].wb[k].line;
+            if self.is_persistent_line(line) {
+                if self.pm.try_write(line, self.cycle).is_none() {
+                    k += 1;
+                    continue; // controller back-pressure; retry
+                }
+                self.note_pm_accept(line);
+            }
+            self.cores[i].wb.swap_remove(k);
+        }
+    }
+}

@@ -21,6 +21,16 @@ fn arb_isa_op(design: HwDesign) -> impl Strategy<Value = IsaOp> {
         ],
         HwDesign::IntelX86 | HwDesign::NonAtomic => vec![FenceKind::Sfence],
         HwDesign::Hops => vec![FenceKind::Ofence, FenceKind::Dfence],
+        // eADR needs no fences; stress it with every kind (all either
+        // no-ops or store-queue drains).
+        HwDesign::Eadr => vec![
+            FenceKind::PersistBarrier,
+            FenceKind::NewStrand,
+            FenceKind::JoinStrand,
+            FenceKind::Sfence,
+            FenceKind::Ofence,
+            FenceKind::Dfence,
+        ],
     };
     prop_oneof![
         3 => addr.clone().prop_map(IsaOp::Store),
@@ -42,7 +52,7 @@ proptest! {
     /// and every instruction is accounted for.
     #[test]
     fn random_traces_complete_without_deadlock(
-        design_idx in 0usize..5,
+        design_idx in 0usize..HwDesign::ALL.len(),
         t0 in prop::collection::vec(arb_isa_op(HwDesign::StrandWeaver), 0..60),
         t1 in prop::collection::vec(arb_isa_op(HwDesign::StrandWeaver), 0..60),
     ) {

@@ -184,26 +184,77 @@ impl Experiment {
     }
 }
 
-/// Runs one benchmark × language model across all five hardware designs
-/// with identical logical work, returning `(design, stats)` pairs in the
-/// paper's presentation order. The Figure 7 generator calls this per cell.
+/// Runs one benchmark × language model across every registered hardware
+/// design with identical logical work, returning `(design, stats)` pairs
+/// in the paper's presentation order. The Figure 7 generator calls this
+/// per cell.
 pub fn design_sweep(
     bench: BenchmarkId,
     lang: LangModel,
     scale: &Experiment,
 ) -> Vec<(HwDesign, SimStats)> {
-    HwDesign::ALL
-        .iter()
-        .map(|&design| {
-            let e = Experiment {
-                bench,
-                lang,
-                design,
-                ..scale.clone()
-            };
-            (design, e.run_timing())
-        })
-        .collect()
+    design_sweep_of(&HwDesign::ALL, bench, lang, scale)
+}
+
+/// As [`design_sweep`], restricted to `designs` (the `swctl --design`
+/// filter). Designs run concurrently — each cell drives its own workload
+/// copy and owns its machine, so the only shared state is the read-only
+/// scale template.
+pub fn design_sweep_of(
+    designs: &[HwDesign],
+    bench: BenchmarkId,
+    lang: LangModel,
+    scale: &Experiment,
+) -> Vec<(HwDesign, SimStats)> {
+    // The trace recorder handle is single-threaded (`Rc` inside), so the
+    // whole `Experiment` cannot cross a thread boundary; capture only the
+    // plain scale fields and run every sweep cell untraced.
+    let strategy = scale.strategy;
+    let threads = scale.threads;
+    let total_regions = scale.total_regions;
+    let ops_per_region = scale.ops_per_region;
+    let seed = scale.seed;
+    let sim = &scale.sim;
+    let metrics = scale.metrics;
+    let cell = move |design: HwDesign| {
+        let e = Experiment {
+            bench,
+            lang,
+            design,
+            strategy,
+            threads,
+            total_regions,
+            ops_per_region,
+            seed,
+            sim: sim.clone(),
+            trace: None,
+            metrics,
+        };
+        (design, e.run_timing())
+    };
+    // On a single hardware thread the spawns only add scheduler overhead
+    // (each cell is pure compute); run inline there.
+    if !host_is_multicore() {
+        return designs.iter().map(|&d| cell(d)).collect();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = designs
+            .iter()
+            .map(|&design| s.spawn(move || cell(design)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("design sweep thread panicked"))
+            .collect()
+    })
+}
+
+/// `true` when the host offers more than one hardware thread, i.e. when
+/// fanning sweep cells out across OS threads can actually overlap work.
+/// The sweep helpers (and `sw-bench`'s figure harness) fall back to inline
+/// execution otherwise — same results, no scheduler overhead.
+pub fn host_is_multicore() -> bool {
+    std::thread::available_parallelism().is_ok_and(|n| n.get() > 1)
 }
 
 #[cfg(test)]
@@ -238,7 +289,9 @@ mod tests {
 
     #[test]
     fn crash_campaign_passes_for_recoverable_designs() {
-        for design in [HwDesign::StrandWeaver, HwDesign::IntelX86] {
+        // Eadr is recoverable with zero runtime fences: strict persistency
+        // makes every crash state a prefix of the execution order.
+        for design in [HwDesign::StrandWeaver, HwDesign::IntelX86, HwDesign::Eadr] {
             small(BenchmarkId::Queue, LangModel::Txn, design)
                 .run_crash_campaign(15)
                 .unwrap_or_else(|e| panic!("{design}: {e}"));
@@ -279,6 +332,18 @@ mod tests {
         let results = design_sweep(BenchmarkId::ArraySwap, LangModel::Sfr, &scale);
         assert_eq!(results.len(), HwDesign::ALL.len());
         assert!(results.iter().all(|(_, s)| s.cycles > 0));
+        // Parallel execution must preserve the presentation order.
+        let order: Vec<HwDesign> = results.iter().map(|(d, _)| *d).collect();
+        assert_eq!(order, HwDesign::ALL.to_vec());
+    }
+
+    #[test]
+    fn filtered_sweep_runs_only_requested_designs() {
+        let scale = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver);
+        let designs = [HwDesign::IntelX86, HwDesign::Eadr];
+        let results = design_sweep_of(&designs, BenchmarkId::Queue, LangModel::Txn, &scale);
+        let order: Vec<HwDesign> = results.iter().map(|(d, _)| *d).collect();
+        assert_eq!(order, designs.to_vec());
     }
 }
 

@@ -14,8 +14,9 @@
 //!   images, crash semantics, device timing (Table I).
 //! * [`sim`] (`sw-sim`) — a cycle-level multicore simulator of the
 //!   StrandWeaver microarchitecture (persist queue, strand buffer unit,
-//!   write-back/snoop tail indexes) and the baseline designs (Intel x86
-//!   SFENCE, HOPS ofence/dfence, no-persist-queue, non-atomic).
+//!   write-back/snoop tail indexes) with one pluggable `PersistEngine` per
+//!   design: the baselines (Intel x86 SFENCE, HOPS ofence/dfence,
+//!   no-persist-queue, non-atomic) plus a battery-backed eADR extension.
 //! * [`lang`] (`sw-lang`) — language-level persistency runtimes (TXN, SFR,
 //!   ATLAS) with undo logging lowered per design (Figure 5), recovery
 //!   (Figure 6), and a crash-injection harness.

@@ -119,6 +119,15 @@ pub enum TraceEvent {
         /// Controller write-queue depth after acceptance.
         queue_depth: u32,
     },
+    /// A store became durable at coherence visibility (the durability
+    /// point of battery-backed eADR designs, where the caches are inside
+    /// the persistence domain).
+    PersistVisible {
+        /// Core whose store retired.
+        core: u32,
+        /// Line made durable.
+        line: u64,
+    },
     /// The runtime appended an undo/redo log entry.
     LogAppend {
         /// Logical thread.
@@ -163,6 +172,7 @@ impl TraceEvent {
             TraceEvent::StallEnd { .. } => "stall_end",
             TraceEvent::FenceRetire { .. } => "fence_retire",
             TraceEvent::AdrAccept { .. } => "adr_accept",
+            TraceEvent::PersistVisible { .. } => "persist_visible",
             TraceEvent::LogAppend { .. } => "log_append",
             TraceEvent::LogCommit { .. } => "log_commit",
             TraceEvent::RecoveryBegin { .. } => "recovery_begin",
@@ -225,6 +235,10 @@ impl TimedEvent {
                 push("line", Json::U64(line));
                 push("queue_depth", Json::U64(queue_depth.into()));
             }
+            TraceEvent::PersistVisible { core, line } => {
+                push("core", Json::U64(core.into()));
+                push("line", Json::U64(line));
+            }
             TraceEvent::LogAppend { thread, seq } => {
                 push("thread", Json::U64(thread.into()));
                 push("seq", Json::U64(seq));
@@ -276,6 +290,7 @@ mod tests {
                 queue_depth: 0,
             }
             .kind(),
+            TraceEvent::PersistVisible { core: 0, line: 0 }.kind(),
         ];
         let mut dedup = kinds.to_vec();
         dedup.sort_unstable();

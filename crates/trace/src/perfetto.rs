@@ -188,6 +188,19 @@ pub fn chrome_trace(events: &[TimedEvent]) -> Json {
                 ));
                 out.push(counter(ts, "pm_queue_depth", "depth", queue_depth.into()));
             }
+            TraceEvent::PersistVisible { core, line } => {
+                saw_pm = true;
+                out.push(instant(
+                    ts,
+                    TID_PM_CONTROLLER,
+                    "persist_visible",
+                    "pm",
+                    vec![
+                        ("core".to_string(), Json::U64(core.into())),
+                        ("line".to_string(), Json::U64(line)),
+                    ],
+                ));
+            }
             TraceEvent::LogAppend { thread, seq } => {
                 if !log_threads.contains(&thread) {
                     log_threads.push(thread);

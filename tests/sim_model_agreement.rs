@@ -90,6 +90,14 @@ fn hops_write_order_respects_pmo() {
 }
 
 #[test]
+fn eadr_write_order_respects_pmo() {
+    // eADR's durable order is the store visibility order, which the strict
+    // persistency model constrains most tightly of all: every PMO edge of
+    // the formal model must show up in it.
+    check_agreement(HwDesign::Eadr, LangModel::Txn);
+}
+
+#[test]
 fn figure4_concurrency_is_visible_in_write_order() {
     // CLWB(A); PB; CLWB(B); NS; CLWB(C): C may drain before B (it is on a
     // fresh strand) while B waits for A. The deterministic simulator
