@@ -21,4 +21,30 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== rustfmt (check) =="
 cargo fmt --all -- --check
 
+echo "== swctl (design x lang) compatibility matrix =="
+# One tiny region per legal pair; illegal pairs (the log-free native
+# model off eADR-class designs) must be rejected with exit code 2.
+SWCTL=target/release/swctl
+usage=$({ "$SWCTL" 2>&1 || true; })
+designs=$(sed -n 's/^designs: //p' <<<"$usage")
+langs=$(sed -n 's/^langs: //p' <<<"$usage")
+test -n "$designs" && test -n "$langs"
+for design in $designs; do
+  for lang in $langs; do
+    status=0
+    "$SWCTL" run queue --lang "$lang" --design "$design" \
+      --threads 1 --regions 1 --ops 1 >/dev/null 2>&1 || status=$?
+    if [ "$lang" = native ] && [ "$design" != eadr ]; then
+      if [ "$status" != 2 ]; then
+        echo "ci: $lang on $design exited $status, expected rejection with 2" >&2
+        exit 1
+      fi
+    elif [ "$status" != 0 ]; then
+      echo "ci: $lang on $design exited $status, expected 0" >&2
+      exit 1
+    fi
+  done
+done
+echo "compatibility matrix ok"
+
 echo "ci: all gates passed"

@@ -21,4 +21,5 @@ fn main() {
     println!("{}", fig10_report(scale));
     println!("{}", summary_report(&cells));
     println!("{}", lang_sensitivity_report(&cells));
+    println!("{}", native_bound_report(&native_bound(scale)));
 }

@@ -1,7 +1,11 @@
 //! Prints the paper's headline numbers next to the measured ones.
-use sw_bench::{full_sweep, lang_sensitivity_report, summary_report, Scale};
+use sw_bench::{
+    full_sweep, lang_sensitivity_report, native_bound, native_bound_report, summary_report, Scale,
+};
 fn main() {
-    let cells = full_sweep(Scale::from_env());
+    let scale = Scale::from_env();
+    let cells = full_sweep(scale);
     print!("{}", summary_report(&cells));
     print!("{}", lang_sensitivity_report(&cells));
+    print!("{}", native_bound_report(&native_bound(scale)));
 }

@@ -1,15 +1,21 @@
 //! `swctl` — command-line driver for the StrandWeaver reproduction.
 //!
 //! ```text
-//! swctl run   <benchmark> [--lang txn|sfr|atlas] [--design <d>] [--redo]
+//! swctl run   <benchmark> [--lang txn|sfr|atlas|native] [--design <d>] [--redo]
 //!             [--threads N] [--regions N] [--ops N] [--sq N] [--pq N]
 //!             [--stats] [--json]
 //! swctl crash <benchmark> [--rounds N] [--design <d>] [--lang ...] [--redo]
 //! swctl trace <benchmark> [--out <file.json>] [--jsonl] [run flags]
 //! swctl litmus | fig1 | fig2 | table1
-//! swctl table2|summary [--json]
-//! swctl fig7|fig8|fig9|fig10 [--json] [--design <d>]
+//! swctl table2 [--json]
+//! swctl summary [--json] [--lang <l>]
+//! swctl fig7|fig8 [--json] [--design <d>]
+//! swctl fig9|fig10 [--json] [--design <d>] [--lang <l>]
 //! ```
+//!
+//! The log-free `native` model is legal only on eADR-class designs;
+//! every subcommand rejects an illegal `--lang`/`--design` pair with
+//! exit code 2.
 //!
 //! `trace` writes a Chrome/Perfetto trace-event file (load it at
 //! `ui.perfetto.dev`); `--jsonl` switches to flat JSON-lines. `--json`
@@ -36,8 +42,28 @@ fn parse_design(s: &str) -> HwDesign {
     })
 }
 
-fn parse_lang(s: &str) -> Option<LangModel> {
-    LangModel::ALL.into_iter().find(|l| l.label() == s)
+/// Resolves a `--lang` value, exiting with a named error (not the generic
+/// usage text) on an unknown label.
+fn parse_lang(s: &str) -> LangModel {
+    LangModel::from_label(s).unwrap_or_else(|| {
+        eprintln!(
+            "unknown lang '{s}' (valid: {})",
+            LangModel::ALL.map(|l| l.label()).join(" ")
+        );
+        std::process::exit(2);
+    })
+}
+
+/// Rejects an illegal language model × hardware design combination (the
+/// log-free Native model requires an eADR-class design).
+fn check_legal(lang: LangModel, design: HwDesign) {
+    if !lang.legal_on(design) {
+        eprintln!(
+            "lang '{lang}' is not legal on design '{design}': it needs a design that \
+             persists stores at visibility (eADR-class)"
+        );
+        std::process::exit(2);
+    }
 }
 
 fn usage() -> ! {
@@ -50,6 +76,9 @@ fn usage() -> ! {
          \n  table1|table2|fig1|fig2|fig7|fig8|fig9|fig10|summary  regenerate a table/figure (--json where tabular)\
          \n                     fig7/fig8 take --design <d> to sweep only Intel + <d>;\
          \n                     fig9/fig10 take --design <d> to measure <d> instead of strandweaver\
+         \n                     and --lang <l> to measure <l> instead of sfr;\
+         \n                     summary takes --lang <l> to sweep only that model\
+         \n                     (illegal lang x design pairs are rejected: native needs eadr)\
          \n\nbenchmarks: {}\ndesigns: {}\nlangs: {}",
         BenchmarkId::ALL.map(|b| b.label()).join(" "),
         HwDesign::ALL.map(|d| d.label()).join(" "),
@@ -102,7 +131,7 @@ fn parse_flags(args: &[String]) -> Flags {
                 .clone()
         };
         match a.as_str() {
-            "--lang" => f.lang = parse_lang(&next("--lang")).unwrap_or_else(|| usage()),
+            "--lang" => f.lang = parse_lang(&next("--lang")),
             "--design" => f.design = parse_design(&next("--design")),
             "--redo" => f.redo = true,
             "--stats" => f.stats = true,
@@ -125,6 +154,7 @@ fn parse_flags(args: &[String]) -> Flags {
         eprintln!("--threads, --regions, and --ops must be at least 1");
         std::process::exit(2);
     }
+    check_legal(f.lang, f.design);
     f
 }
 
@@ -150,15 +180,23 @@ fn experiment(bench: BenchmarkId, f: &Flags) -> Experiment {
 struct FigureFlags {
     json: bool,
     design: Option<HwDesign>,
+    lang: Option<LangModel>,
 }
 
 /// Strict flag parser for the table/figure subcommands: `--json` where the
 /// output is tabular, `--design <d>` where a figure can be narrowed to one
-/// design, nothing else. Anything unrecognized is an error.
-fn parse_figure_flags(args: &[String], json_ok: bool, design_ok: bool) -> FigureFlags {
+/// design, `--lang <l>` where it can be narrowed to one language model,
+/// nothing else. Anything unrecognized is an error.
+fn parse_figure_flags(
+    args: &[String],
+    json_ok: bool,
+    design_ok: bool,
+    lang_ok: bool,
+) -> FigureFlags {
     let mut f = FigureFlags {
         json: false,
         design: None,
+        lang: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -170,6 +208,13 @@ fn parse_figure_flags(args: &[String], json_ok: bool, design_ok: bool) -> Figure
                     std::process::exit(2)
                 });
                 f.design = Some(parse_design(v));
+            }
+            "--lang" if lang_ok => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--lang needs a value");
+                    std::process::exit(2)
+                });
+                f.lang = Some(parse_lang(v));
             }
             other => {
                 eprintln!("unknown flag for this subcommand: {other}");
@@ -269,19 +314,19 @@ fn main() {
             );
         }
         "litmus" | "fig2" => {
-            parse_figure_flags(&args[1..], false, false);
+            parse_figure_flags(&args[1..], false, false, false);
             print!("{}", sw_bench::fig2_report());
         }
         "fig1" => {
-            parse_figure_flags(&args[1..], false, false);
+            parse_figure_flags(&args[1..], false, false, false);
             print!("{}", sw_bench::fig1_report());
         }
         "table1" => {
-            parse_figure_flags(&args[1..], false, false);
+            parse_figure_flags(&args[1..], false, false, false);
             print!("{}", sw_bench::table1());
         }
         "table2" => {
-            let f = parse_figure_flags(&args[1..], true, false);
+            let f = parse_figure_flags(&args[1..], true, false, false);
             let rows = sw_bench::table2(Scale::from_env());
             if f.json {
                 println!("{}", sw_bench::table2_json(&rows).render());
@@ -290,7 +335,7 @@ fn main() {
             }
         }
         "fig7" => {
-            let f = parse_figure_flags(&args[1..], true, true);
+            let f = parse_figure_flags(&args[1..], true, true, false);
             let cells = sw_bench::full_sweep_of(Scale::from_env(), &sweep_designs(f.design));
             if f.json {
                 println!("{}", sw_bench::sweep_json(&cells).render());
@@ -299,7 +344,7 @@ fn main() {
             }
         }
         "fig8" => {
-            let f = parse_figure_flags(&args[1..], true, true);
+            let f = parse_figure_flags(&args[1..], true, true, false);
             let cells = sw_bench::full_sweep_of(Scale::from_env(), &sweep_designs(f.design));
             if f.json {
                 println!("{}", sw_bench::sweep_json(&cells).render());
@@ -308,11 +353,14 @@ fn main() {
             }
         }
         "fig9" => {
-            let f = parse_figure_flags(&args[1..], true, true);
-            let m = sw_bench::fig9_matrix(
-                Scale::from_env(),
-                f.design.unwrap_or(HwDesign::StrandWeaver),
-            );
+            let f = parse_figure_flags(&args[1..], true, true, true);
+            let measured = f.design.unwrap_or(HwDesign::StrandWeaver);
+            let lang = f.lang.unwrap_or(LangModel::Sfr);
+            // The matrix normalizes to the Intel baseline, so the model
+            // must be legal both there and on the measured design.
+            check_legal(lang, HwDesign::IntelX86);
+            check_legal(lang, measured);
+            let m = sw_bench::fig9_matrix(Scale::from_env(), measured, lang);
             if f.json {
                 println!("{}", m.to_json().render());
             } else {
@@ -320,11 +368,12 @@ fn main() {
             }
         }
         "fig10" => {
-            let f = parse_figure_flags(&args[1..], true, true);
-            let m = sw_bench::fig10_matrix(
-                Scale::from_env(),
-                f.design.unwrap_or(HwDesign::StrandWeaver),
-            );
+            let f = parse_figure_flags(&args[1..], true, true, true);
+            let measured = f.design.unwrap_or(HwDesign::StrandWeaver);
+            let lang = f.lang.unwrap_or(LangModel::Sfr);
+            check_legal(lang, HwDesign::IntelX86);
+            check_legal(lang, measured);
+            let m = sw_bench::fig10_matrix(Scale::from_env(), measured, lang);
             if f.json {
                 println!("{}", m.to_json().render());
             } else {
@@ -332,13 +381,27 @@ fn main() {
             }
         }
         "summary" => {
-            let f = parse_figure_flags(&args[1..], true, false);
-            let cells = sw_bench::full_sweep(Scale::from_env());
+            let f = parse_figure_flags(&args[1..], true, false, true);
+            let scale = Scale::from_env();
+            // `--lang` narrows the headline sweep to one model; it must be
+            // legal on every design the summary normalizes over.
+            let langs = match f.lang {
+                Some(lang) => {
+                    for d in HwDesign::ALL {
+                        check_legal(lang, d);
+                    }
+                    vec![lang]
+                }
+                None => LangModel::ALL.to_vec(),
+            };
+            let cells = sw_bench::full_sweep_matrix(scale, &HwDesign::ALL, &langs);
+            let native = sw_bench::native_bound(scale);
             if f.json {
-                println!("{}", sw_bench::summary_json(&cells).render());
+                println!("{}", sw_bench::summary_json(&cells, &native).render());
             } else {
                 print!("{}", sw_bench::summary_report(&cells));
                 print!("{}", sw_bench::lang_sensitivity_report(&cells));
+                print!("{}", sw_bench::native_bound_report(&native));
             }
         }
         _ => usage(),

@@ -212,19 +212,37 @@ pub fn full_sweep(scale: Scale) -> Vec<SweepCell> {
 }
 
 /// As [`full_sweep`], restricted to `designs` (the `swctl --design`
-/// filter). The (language model × benchmark) cells run on concurrent
-/// threads — each cell regenerates its own workload from the shared seed
-/// and owns its machines, so the cells are independent — and each cell's
-/// design sweep fans out further inside [`design_sweep_of`].
+/// filter), sweeping every language model legal on all of them.
 pub fn full_sweep_of(scale: Scale, designs: &[HwDesign]) -> Vec<SweepCell> {
+    full_sweep_matrix(scale, designs, &LangModel::ALL)
+}
+
+/// The fully-filtered sweep: `designs` × the subset of `langs` legal on
+/// every swept design (a [`SweepCell`] holds one language model's stats
+/// for *all* designs, so a model that cannot run on one of them — the
+/// log-free Native model off eADR — is skipped; `swctl` validates explicit
+/// filters before calling, so a skip here is never silent). The (language
+/// model × benchmark) cells run on concurrent threads — each cell
+/// regenerates its own workload from the shared seed and owns its
+/// machines, so the cells are independent — and each cell's design sweep
+/// fans out further inside [`design_sweep_of`].
+pub fn full_sweep_matrix(
+    scale: Scale,
+    designs: &[HwDesign],
+    langs: &[LangModel],
+) -> Vec<SweepCell> {
     let mut pairs = Vec::new();
-    for &lang in &LangModel::ALL {
+    for &lang in langs {
+        if !designs.iter().all(|&d| lang.legal_on(d)) {
+            continue;
+        }
         for &bench in &BenchmarkId::ALL {
             pairs.push((lang, bench));
         }
     }
     let cell = |(lang, bench): (LangModel, BenchmarkId)| {
-        let proto = scale.experiment(bench, lang, HwDesign::StrandWeaver);
+        let proto_design = *designs.first().unwrap_or(&HwDesign::StrandWeaver);
+        let proto = scale.experiment(bench, lang, proto_design);
         SweepCell {
             bench,
             lang,
@@ -423,11 +441,14 @@ impl MatrixReport {
     }
 }
 
-/// Figure 9 data: sensitivity to the strand-buffer-unit configuration, SFR
-/// implementation, speedup over Intel x86 per microbenchmark. `measured`
-/// picks the design on the y axis (the paper measures StrandWeaver;
-/// designs without strand buffers are flat across the shapes).
-pub fn fig9_matrix(scale: Scale, measured: HwDesign) -> MatrixReport {
+/// Figure 9 data: sensitivity to the strand-buffer-unit configuration,
+/// speedup over Intel x86 per microbenchmark. `measured` picks the design
+/// on the y axis (the paper measures StrandWeaver; designs without strand
+/// buffers are flat across the shapes) and `lang` the language model (the
+/// paper's figure uses SFR; the `swctl --lang` filter swaps it). The
+/// caller validates `lang` legality on both `measured` and the Intel
+/// baseline.
+pub fn fig9_matrix(scale: Scale, measured: HwDesign, lang: LangModel) -> MatrixReport {
     let cols = FIG9_SHAPES
         .into_iter()
         .map(|(b, e)| format!("({b},{e})"))
@@ -436,13 +457,13 @@ pub fn fig9_matrix(scale: Scale, measured: HwDesign) -> MatrixReport {
         .into_iter()
         .map(|bench| {
             let intel = scale
-                .experiment(bench, LangModel::Sfr, HwDesign::IntelX86)
+                .experiment(bench, lang, HwDesign::IntelX86)
                 .run_timing();
             let vals = FIG9_SHAPES
                 .into_iter()
                 .map(|(b, e)| {
                     let stats = scale
-                        .experiment(bench, LangModel::Sfr, measured)
+                        .experiment(bench, lang, measured)
                         .strand_buffers(b, e)
                         .run_timing();
                     intel.cycles as f64 / stats.cycles as f64
@@ -453,7 +474,8 @@ pub fn fig9_matrix(scale: Scale, measured: HwDesign) -> MatrixReport {
         .collect();
     MatrixReport::from_rows(
         &format!(
-            "Figure 9 — Sensitivity to (strand buffers, entries per buffer), SFR, {}",
+            "Figure 9 — Sensitivity to (strand buffers, entries per buffer), {}, {}",
+            lang.label().to_uppercase(),
             measured.label()
         ),
         cols,
@@ -461,14 +483,16 @@ pub fn fig9_matrix(scale: Scale, measured: HwDesign) -> MatrixReport {
     )
 }
 
-/// Figure 9 rendered as text (the paper's StrandWeaver measurement).
+/// Figure 9 rendered as text (the paper's StrandWeaver/SFR measurement).
 pub fn fig9_report(scale: Scale) -> String {
-    fig9_matrix(scale, HwDesign::StrandWeaver).render()
+    fig9_matrix(scale, HwDesign::StrandWeaver, LangModel::Sfr).render()
 }
 
-/// Figure 10 data: speedup over Intel x86 as operations per SFR vary, for
-/// the `measured` design (the paper measures StrandWeaver).
-pub fn fig10_matrix(scale: Scale, measured: HwDesign) -> MatrixReport {
+/// Figure 10 data: speedup over Intel x86 as operations per region vary,
+/// for the `measured` design under `lang` (the paper measures StrandWeaver
+/// under SFR). The caller validates `lang` legality on both `measured` and
+/// the Intel baseline.
+pub fn fig10_matrix(scale: Scale, measured: HwDesign, lang: LangModel) -> MatrixReport {
     let ops_axis = [2usize, 4, 8, 16, 32];
     let cols = ops_axis.into_iter().map(|o| format!("{o} ops")).collect();
     let rows = MICROBENCHES
@@ -480,7 +504,7 @@ pub fn fig10_matrix(scale: Scale, measured: HwDesign) -> MatrixReport {
                     // Hold total logical work constant across the axis.
                     let regions = (scale.regions * scale.ops_per_region / ops).max(scale.threads);
                     let mk = |design| {
-                        Experiment::new(bench, LangModel::Sfr, design)
+                        Experiment::new(bench, lang, design)
                             .threads(scale.threads)
                             .total_regions(regions)
                             .ops_per_region(ops)
@@ -495,7 +519,8 @@ pub fn fig10_matrix(scale: Scale, measured: HwDesign) -> MatrixReport {
         .collect();
     MatrixReport::from_rows(
         &format!(
-            "Figure 10 — Speedup vs. operations per failure-atomic SFR, {}",
+            "Figure 10 — Speedup vs. operations per failure-atomic {}, {}",
+            lang.label().to_uppercase(),
             measured.label()
         ),
         cols,
@@ -503,9 +528,9 @@ pub fn fig10_matrix(scale: Scale, measured: HwDesign) -> MatrixReport {
     )
 }
 
-/// Figure 10 rendered as text (the paper's StrandWeaver measurement).
+/// Figure 10 rendered as text (the paper's StrandWeaver/SFR measurement).
 pub fn fig10_report(scale: Scale) -> String {
-    fig10_matrix(scale, HwDesign::StrandWeaver).render()
+    fig10_matrix(scale, HwDesign::StrandWeaver, LangModel::Sfr).render()
 }
 
 /// Figure 2: litmus outcomes under the strand persistency model.
@@ -689,8 +714,140 @@ pub fn sweep_json(cells: &[SweepCell]) -> Json {
     )])
 }
 
-/// The headline numbers as JSON (`swctl summary --json`).
-pub fn summary_json(cells: &[SweepCell]) -> Json {
+/// One Native-bound row: cycles of one benchmark on the three runs that
+/// decompose the eADR bound — Intel/TXN (the software+hardware baseline),
+/// eADR/TXN (hardware only: persist-at-visibility caches, log retained),
+/// and eADR/Native (hardware plus the log deleted).
+#[derive(Debug, Clone)]
+pub struct NativeBoundRow {
+    /// Benchmark.
+    pub bench: BenchmarkId,
+    /// Cycles under TXN on the Intel x86 design.
+    pub intel_txn: u64,
+    /// Cycles under TXN on eADR (same logging, no flush/fence lowering).
+    pub eadr_txn: u64,
+    /// Cycles under log-free Native on eADR.
+    pub eadr_native: u64,
+}
+
+impl NativeBoundRow {
+    /// Total eADR+Native speedup over the Intel/TXN baseline.
+    pub fn total(&self) -> f64 {
+        self.intel_txn as f64 / self.eadr_native as f64
+    }
+
+    /// The hardware share: what eADR buys while the log is kept.
+    pub fn hardware(&self) -> f64 {
+        self.intel_txn as f64 / self.eadr_txn as f64
+    }
+
+    /// The software share: what deleting the log buys on top, on eADR.
+    pub fn log_deletion(&self) -> f64 {
+        self.eadr_txn as f64 / self.eadr_native as f64
+    }
+}
+
+/// Runs the Native-bound decomposition for every benchmark: Intel/TXN vs
+/// eADR/TXN vs eADR/Native, with identical logical work. TXN is the
+/// logged comparison point because Native shares its `sync_cost`, so the
+/// eADR/TXN → eADR/Native delta isolates the logging code itself.
+pub fn native_bound(scale: Scale) -> Vec<NativeBoundRow> {
+    BenchmarkId::ALL
+        .iter()
+        .map(|&bench| NativeBoundRow {
+            bench,
+            intel_txn: scale
+                .experiment(bench, LangModel::Txn, HwDesign::IntelX86)
+                .run_timing()
+                .cycles,
+            eadr_txn: scale
+                .experiment(bench, LangModel::Txn, HwDesign::Eadr)
+                .run_timing()
+                .cycles,
+            eadr_native: scale
+                .experiment(bench, LangModel::Native, HwDesign::Eadr)
+                .run_timing()
+                .cycles,
+        })
+        .collect()
+}
+
+/// Formats the Native-bound decomposition (the paper bounds eADR at 2.40x
+/// over Intel x86; this splits that bound into its hardware and software
+/// halves).
+pub fn native_bound_report(rows: &[NativeBoundRow]) -> String {
+    let geo = |xs: &[f64]| xs.iter().product::<f64>().powf(1.0 / xs.len() as f64);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Native on eADR — decomposing the persistent-cache bound (speedup over Intel x86/TXN)"
+    );
+    let _ = writeln!(
+        s,
+        "  {:12} {:>10} {:>10} {:>10}",
+        "benchmark", "hardware", "log-free", "total"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "  {:12} {:>9.2}x {:>9.2}x {:>9.2}x",
+            r.bench.label(),
+            r.hardware(),
+            r.log_deletion(),
+            r.total()
+        );
+    }
+    let hw: Vec<f64> = rows.iter().map(NativeBoundRow::hardware).collect();
+    let lf: Vec<f64> = rows.iter().map(NativeBoundRow::log_deletion).collect();
+    let tot: Vec<f64> = rows.iter().map(NativeBoundRow::total).collect();
+    let _ = writeln!(
+        s,
+        "  {:12} {:>9.2}x {:>9.2}x {:>9.2}x",
+        "geomean",
+        geo(&hw),
+        geo(&lf),
+        geo(&tot)
+    );
+    s
+}
+
+/// The Native-bound decomposition as JSON (the `native_on_eadr` section of
+/// `swctl summary --json`).
+pub fn native_bound_json(rows: &[NativeBoundRow]) -> Json {
+    let geo = |xs: &[f64]| xs.iter().product::<f64>().powf(1.0 / xs.len() as f64);
+    let hw: Vec<f64> = rows.iter().map(NativeBoundRow::hardware).collect();
+    let lf: Vec<f64> = rows.iter().map(NativeBoundRow::log_deletion).collect();
+    let tot: Vec<f64> = rows.iter().map(NativeBoundRow::total).collect();
+    Json::obj([
+        ("lang", Json::Str(LangModel::Native.label().to_string())),
+        ("design", Json::Str(HwDesign::Eadr.label().to_string())),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("benchmark", Json::Str(r.bench.label().to_string())),
+                            ("intel_txn_cycles", Json::U64(r.intel_txn)),
+                            ("eadr_txn_cycles", Json::U64(r.eadr_txn)),
+                            ("eadr_native_cycles", Json::U64(r.eadr_native)),
+                            ("hardware_speedup", Json::F64(r.hardware())),
+                            ("log_free_speedup", Json::F64(r.log_deletion())),
+                            ("total_speedup", Json::F64(r.total())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("hardware_speedup_geomean", Json::F64(geo(&hw))),
+        ("log_free_speedup_geomean", Json::F64(geo(&lf))),
+        ("total_speedup_geomean", Json::F64(geo(&tot))),
+    ])
+}
+
+/// The headline numbers as JSON (`swctl summary --json`); the
+/// Native-bound decomposition lands under `native_on_eadr`.
+pub fn summary_json(cells: &[SweepCell], native: &[NativeBoundRow]) -> Json {
     let geo = |xs: &[f64]| xs.iter().product::<f64>().powf(1.0 / xs.len() as f64);
     let max = |xs: &[f64]| xs.iter().cloned().fold(f64::MIN, f64::max);
     let over_intel: Vec<f64> = cells
@@ -710,18 +867,23 @@ pub fn summary_json(cells: &[SweepCell]) -> Json {
         .map(|c| c.stall_ratio(HwDesign::StrandWeaver))
         .collect();
     let eadr: Vec<f64> = cells.iter().map(|c| c.speedup(HwDesign::Eadr)).collect();
+    // Models absent from the sweep (Native is not legal on the full
+    // design matrix) are skipped rather than reported as an empty mean.
     let per_lang = LangModel::ALL
         .iter()
-        .map(|&lang| {
+        .filter_map(|&lang| {
             let xs: Vec<f64> = cells
                 .iter()
                 .filter(|c| c.lang == lang)
                 .map(|c| c.speedup(HwDesign::StrandWeaver))
                 .collect();
-            Json::obj([
+            if xs.is_empty() {
+                return None;
+            }
+            Some(Json::obj([
                 ("lang", Json::Str(lang.label().to_string())),
                 ("speedup_geomean", Json::F64(geo(&xs))),
-            ])
+            ]))
         })
         .collect();
     Json::obj([
@@ -736,11 +898,15 @@ pub fn summary_json(cells: &[SweepCell]) -> Json {
         ),
         ("eadr_speedup_over_intel_geomean", Json::F64(geo(&eadr))),
         ("per_lang", Json::Arr(per_lang)),
+        ("native_on_eadr", native_bound_json(native)),
     ])
 }
 
 /// Per-language-model speedup averages (Section VI-B "sensitivity to
 /// language-level persistency model": SFR 1.50x > TXN 1.45x > ATLAS 1.40x).
+/// Models absent from the sweep — the log-free Native model cannot run on
+/// the StrandWeaver/Intel designs this report normalizes over — are noted
+/// with a pointer to the Native-bound decomposition instead of a mean.
 pub fn lang_sensitivity_report(cells: &[SweepCell]) -> String {
     let mut s = String::new();
     let _ = writeln!(
@@ -753,6 +919,18 @@ pub fn lang_sensitivity_report(cells: &[SweepCell]) -> String {
             .filter(|c| c.lang == lang)
             .map(|c| c.speedup(HwDesign::StrandWeaver))
             .collect();
+        if xs.is_empty() {
+            // Absent because it cannot run here (vs. filtered out by the
+            // caller): only the former deserves a note.
+            if !lang.legal_on(HwDesign::StrandWeaver) {
+                let _ = writeln!(
+                    s,
+                    "  {:6} (eADR-only; see the Native-on-eADR decomposition)",
+                    lang.label()
+                );
+            }
+            continue;
+        }
         let geo = xs.iter().product::<f64>().powf(1.0 / xs.len() as f64);
         let _ = writeln!(s, "  {:6} {:.2}x", lang.label(), geo);
     }

@@ -1,0 +1,217 @@
+//! Write-ahead log formats as pluggable entry codecs.
+//!
+//! The undo/redo split used to be hardwired through `runtime.rs` and
+//! `recovery.rs`; the [`LogFormat`] trait pulls it out, so recovery is a
+//! single generic pass that asks the owning format what each decoded entry
+//! means ([`recovery_action`]), and the runtime asks its format how to
+//! encode a data store and which fences its protocol needs. [`LogStrategy`]
+//! is the enum the rest of the stack names formats by; adding a format
+//! means one module here and one `ALL` slot.
+
+pub mod redo;
+pub mod undo;
+
+use crate::log::{DecodedEntry, EntryPayload, EntryType};
+use sw_model::isa::FenceKind;
+use sw_model::HwDesign;
+use sw_pmem::Addr;
+
+/// Which write-ahead-logging strategy the runtime uses.
+///
+/// The paper evaluates undo logging and sketches redo logging as future
+/// work (Section VII, "Hardware logging"): *"Under strand persistency,
+/// each failure-atomic transaction may be performed on a separate strand.
+/// Within each strand, transactions can create redo logs, issue a persist
+/// barrier and then perform in-place updates. A group commit operation can
+/// merge strands and commit prior transactions."* [`LogStrategy::Redo`]
+/// implements exactly that sketch:
+///
+/// * each region runs on its own strand: chain stamp, sync entries, redo
+///   entries (new values), persist barrier, a per-region commit record,
+///   persist barrier, then the deferred in-place updates — so an update
+///   can never persist before the commit record that covers it;
+/// * reads inside a region go through `ThreadRuntime::load` for
+///   read-own-writes over the deferred write set;
+/// * a `JoinStrand` **group commit** periodically merges strands and
+///   truncates the log (no per-region drain at all — this is where redo
+///   beats undo under strands);
+/// * recovery *replays* committed redo entries forward instead of rolling
+///   back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogStrategy {
+    /// Undo logging (the paper's evaluated design, Figure 5).
+    Undo,
+    /// Redo logging with strand-based group commit (the Section VII
+    /// extension).
+    Redo,
+}
+
+impl LogStrategy {
+    /// Both strategies.
+    pub const ALL: [LogStrategy; 2] = [LogStrategy::Undo, LogStrategy::Redo];
+
+    /// The format module implementing this strategy — the one place the
+    /// enum is dispatched on.
+    pub fn format(self) -> &'static dyn LogFormat {
+        match self {
+            LogStrategy::Undo => &undo::UndoFormat,
+            LogStrategy::Redo => &redo::RedoFormat,
+        }
+    }
+
+    /// Short label used in benchmark tables.
+    pub fn label(self) -> &'static str {
+        self.format().label()
+    }
+}
+
+impl std::fmt::Display for LogStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What recovery does with one decoded log entry, given the thread's
+/// commit cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Bookkeeping consumed by the scan itself (commit records).
+    None,
+    /// Covered by a commit cut (or superseded): drop the entry.
+    Discard,
+    /// Apply the entry's value forward, in creation order (redo replay).
+    Replay,
+    /// Apply the entry's value backward, in reverse creation order (undo
+    /// rollback).
+    RollBack,
+    /// Happens-before metadata: counted, never applied.
+    Sync,
+}
+
+/// Everything entry encoding and replay ask of a log format. One
+/// implementation per strategy, under this module; the `ThreadRuntime`
+/// core and `recovery` consult the format and never branch on the entry
+/// vocabulary themselves.
+pub trait LogFormat: std::fmt::Debug + Sync {
+    /// Short label used in benchmark tables.
+    fn label(&self) -> &'static str;
+
+    /// `true` when in-place updates are deferred to region end and applied
+    /// after the commit record (write-set semantics); `false` for
+    /// in-place-with-undo semantics.
+    fn defers_updates(&self) -> bool;
+
+    /// Encodes the log entry for one data store (`old` is the pre-store
+    /// value, `new` the stored one; each format keeps the one it replays).
+    fn encode_store(&self, addr: Addr, old: u64, new: u64) -> EntryPayload;
+
+    /// Fence emitted after the lock-word stamp at region begin. Undo needs
+    /// the cross-strand drain (`JoinStrand`/`SFENCE`); redo keeps the whole
+    /// region on one strand, so a persist barrier suffices.
+    fn lock_stamp_fence(&self, design: HwDesign) -> Option<FenceKind>;
+
+    /// Whether this format's recovery owns entries of `etype`. The sync
+    /// vocabulary (acquire/release/begin/end) is shared by both strategies
+    /// and owned by undo, the base format.
+    fn owns(&self, etype: EntryType) -> bool;
+
+    /// Recovery semantics of one owned entry, given the commit cut.
+    fn recovery_action(&self, entry: &DecodedEntry, cut: u64) -> RecoveryAction;
+}
+
+/// Recovery semantics of `entry`: asks the format that owns its entry
+/// type. Logs may mix vocabularies (a redo log carries undo-owned sync
+/// entries), so dispatch is per entry, not per log. Commit records are
+/// owned by neither format — the scan consumes them as cut evidence.
+pub fn recovery_action(entry: &DecodedEntry, cut: u64) -> RecoveryAction {
+    LogStrategy::ALL
+        .iter()
+        .map(|s| s.format())
+        .find(|f| f.owns(entry.etype))
+        .map_or(RecoveryAction::None, |f| f.recovery_action(entry, cut))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(etype: EntryType, seq: u64, value: u64) -> DecodedEntry {
+        DecodedEntry {
+            etype,
+            addr: Addr(0x2000_0000),
+            value,
+            seq,
+            aux: 0,
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(LogStrategy::Undo.label(), LogStrategy::Redo.label());
+    }
+
+    #[test]
+    fn every_entry_type_has_exactly_one_owner_except_commit() {
+        let all = [
+            EntryType::Store,
+            EntryType::Acquire,
+            EntryType::Release,
+            EntryType::TxBegin,
+            EntryType::TxEnd,
+            EntryType::Commit,
+            EntryType::RedoStore,
+        ];
+        for etype in all {
+            let owners = LogStrategy::ALL
+                .iter()
+                .filter(|s| s.format().owns(etype))
+                .count();
+            if etype == EntryType::Commit {
+                assert_eq!(owners, 0, "commit records belong to the scan");
+            } else {
+                assert_eq!(owners, 1, "{etype:?} needs exactly one owner");
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_actions_flip_across_the_cut() {
+        // Undo: committed entries discard, survivors roll back / skip.
+        assert_eq!(
+            recovery_action(&entry(EntryType::Store, 5, 1), 5),
+            RecoveryAction::Discard
+        );
+        assert_eq!(
+            recovery_action(&entry(EntryType::Store, 6, 1), 5),
+            RecoveryAction::RollBack
+        );
+        assert_eq!(
+            recovery_action(&entry(EntryType::Acquire, 6, 1), 5),
+            RecoveryAction::Sync
+        );
+        // Redo: the direction flips — committed entries replay forward.
+        assert_eq!(
+            recovery_action(&entry(EntryType::RedoStore, 5, 1), 5),
+            RecoveryAction::Replay
+        );
+        assert_eq!(
+            recovery_action(&entry(EntryType::RedoStore, 6, 1), 5),
+            RecoveryAction::Discard
+        );
+        assert_eq!(
+            recovery_action(&entry(EntryType::Commit, 3, 1), 5),
+            RecoveryAction::None
+        );
+    }
+
+    #[test]
+    fn encodings_keep_the_value_each_format_replays() {
+        let a = Addr(0x2000_0040);
+        let undo = LogStrategy::Undo.format().encode_store(a, 11, 22);
+        assert_eq!(undo.etype, EntryType::Store);
+        assert_eq!(undo.value, 11, "undo keeps the old value");
+        let redo = LogStrategy::Redo.format().encode_store(a, 11, 22);
+        assert_eq!(redo.etype, EntryType::RedoStore);
+        assert_eq!(redo.value, 22, "redo keeps the new value");
+    }
+}

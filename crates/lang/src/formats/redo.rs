@@ -1,0 +1,53 @@
+//! Redo logging: the Section VII sketch, strand-based group commit.
+//!
+//! A data store appends the *new* value and defers the in-place update to
+//! region end, after the commit record; recovery replays committed entries
+//! forward in creation order (their updates may never have persisted) and
+//! discards uncommitted ones.
+
+use super::{LogFormat, RecoveryAction};
+use crate::log::{DecodedEntry, EntryPayload, EntryType};
+use sw_model::isa::FenceKind;
+use sw_model::HwDesign;
+use sw_pmem::Addr;
+
+/// The redo-log entry format.
+#[derive(Debug)]
+pub struct RedoFormat;
+
+impl LogFormat for RedoFormat {
+    fn label(&self) -> &'static str {
+        "redo"
+    }
+
+    fn defers_updates(&self) -> bool {
+        true
+    }
+
+    fn encode_store(&self, addr: Addr, _old: u64, new: u64) -> EntryPayload {
+        EntryPayload {
+            etype: EntryType::RedoStore,
+            addr,
+            value: new,
+            aux: 0,
+        }
+    }
+
+    fn lock_stamp_fence(&self, design: HwDesign) -> Option<FenceKind> {
+        // The whole region stays on one strand, so a persist barrier
+        // suffices (and avoids the drain — redo's advantage under strands).
+        design.pairwise_fence()
+    }
+
+    fn owns(&self, etype: EntryType) -> bool {
+        etype == EntryType::RedoStore
+    }
+
+    fn recovery_action(&self, entry: &DecodedEntry, cut: u64) -> RecoveryAction {
+        if entry.seq <= cut {
+            RecoveryAction::Replay
+        } else {
+            RecoveryAction::Discard
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Undo logging: the paper's evaluated format (Figure 5).
+//!
+//! A data store appends the *old* value before updating in place; recovery
+//! rolls surviving (uncommitted) entries back in reverse creation order.
+//! This is the base format, so it also owns the shared synchronization
+//! vocabulary (acquire/release/begin/end), which carries happens-before
+//! metadata and is never applied to memory.
+
+use super::{LogFormat, RecoveryAction};
+use crate::log::{DecodedEntry, EntryPayload, EntryType};
+use sw_model::isa::FenceKind;
+use sw_model::HwDesign;
+use sw_pmem::Addr;
+
+/// The undo-log entry format.
+#[derive(Debug)]
+pub struct UndoFormat;
+
+impl LogFormat for UndoFormat {
+    fn label(&self) -> &'static str {
+        "undo"
+    }
+
+    fn defers_updates(&self) -> bool {
+        false
+    }
+
+    fn encode_store(&self, addr: Addr, old: u64, _new: u64) -> EntryPayload {
+        EntryPayload {
+            etype: EntryType::Store,
+            addr,
+            value: old,
+            aux: 0,
+        }
+    }
+
+    fn lock_stamp_fence(&self, design: HwDesign) -> Option<FenceKind> {
+        // Undo regions span strands, so the stamp needs the cross-strand
+        // drain edge (Section III, "Establishing inter-thread persist
+        // order").
+        design.drain_fence()
+    }
+
+    fn owns(&self, etype: EntryType) -> bool {
+        matches!(
+            etype,
+            EntryType::Store
+                | EntryType::Acquire
+                | EntryType::Release
+                | EntryType::TxBegin
+                | EntryType::TxEnd
+        )
+    }
+
+    fn recovery_action(&self, entry: &DecodedEntry, cut: u64) -> RecoveryAction {
+        if entry.seq <= cut {
+            RecoveryAction::Discard
+        } else if entry.etype == EntryType::Store {
+            RecoveryAction::RollBack
+        } else {
+            RecoveryAction::Sync
+        }
+    }
+}

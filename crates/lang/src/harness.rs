@@ -10,9 +10,14 @@
 //!    PMO-down-closed subset of the phase's stores layered over the
 //!    persisted baseline.
 //! 3. [`recover`](crate::recovery::recover()) repairs the image.
-//! 4. [`check_replay_consistency`] verifies the recovered state equals a
-//!    replay of exactly the committed regions: failure atomicity plus
-//!    commit durability.
+//! 4. A consistency check matching the model's contract
+//!    ([`Consistency`](crate::Consistency)) verifies the recovered state:
+//!    [`check_replay_consistency`] for the logged models (the recovered
+//!    image equals a replay of exactly the committed regions — failure
+//!    atomicity plus commit durability), [`check_prefix_consistency`] for
+//!    log-free models (the image equals the baseline plus some prefix of
+//!    the run's stores in execution order — strict persistency, no
+//!    rollback).
 
 use rand::Rng;
 
@@ -120,6 +125,74 @@ pub fn check_replay_consistency(
     Ok(())
 }
 
+/// Checks that the recovered image equals `baseline` plus some *prefix* of
+/// the recorded regions' stores in execution order — the contract of the
+/// log-free ([`Consistency::DurablePrefix`](crate::Consistency)) models on
+/// persist-at-visibility hardware: strict persistency makes every crash
+/// state a prefix of the store order, and with no log there is no rollback,
+/// so a crash may land mid-region but never reorders or tears individual
+/// stores.
+///
+/// The check is over the set of addresses the regions wrote (lock words
+/// and other protocol state are outside the contract).
+///
+/// # Errors
+///
+/// Returns a description of the nearest-miss prefix when no prefix
+/// matches.
+pub fn check_prefix_consistency(
+    outcome: &CrashOutcome,
+    baseline: &PmImage,
+    regions: &[RegionRecord],
+) -> Result<(), String> {
+    let mut ordered: Vec<&RegionRecord> = regions.iter().collect();
+    ordered.sort_unstable_by_key(|r| r.first_seq);
+    let writes: Vec<(sw_pmem::Addr, u64)> = ordered
+        .iter()
+        .flat_map(|r| r.writes.iter().map(|&(addr, _old, new)| (addr, new)))
+        .collect();
+    // Walk the prefixes incrementally: `expected` tracks the image after
+    // the first k writes, `mismatches` how many written addresses differ
+    // from the recovered image.
+    let mut expected: std::collections::HashMap<sw_pmem::Addr, u64> = writes
+        .iter()
+        .map(|&(addr, _)| (addr, baseline.load(addr)))
+        .collect();
+    let mut mismatches = expected
+        .iter()
+        .filter(|&(&addr, &want)| outcome.image.load(addr) != want)
+        .count();
+    let mut best = (mismatches, 0usize);
+    if mismatches == 0 {
+        return Ok(());
+    }
+    for (k, &(addr, new)) in writes.iter().enumerate() {
+        let got = outcome.image.load(addr);
+        let slot = expected.get_mut(&addr).expect("seeded above");
+        if (*slot != got) != (new != got) {
+            if new == got {
+                mismatches -= 1;
+            } else {
+                mismatches += 1;
+            }
+        }
+        *slot = new;
+        if mismatches == 0 {
+            return Ok(());
+        }
+        if mismatches < best.0 {
+            best = (mismatches, k + 1);
+        }
+    }
+    Err(format!(
+        "no store-order prefix matches the recovered image: best prefix \
+         (first {} of {} writes) still differs at {} addresses",
+        best.1,
+        writes.len(),
+        best.0
+    ))
+}
+
 /// Convenience: runs `iterations` crash/recover/check rounds with fresh
 /// randomness and returns the number of failures (0 = all consistent).
 pub fn crash_rounds<R: Rng>(
@@ -145,194 +218,4 @@ pub fn crash_rounds<R: Rng>(
 pub fn baseline(ctx: &mut FuncCtx) -> PmImage {
     ctx.mem_mut().persist_all();
     ctx.mem().persisted_image().clone()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::runtime::{LangModel, RuntimeConfig, ThreadRuntime};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
-    use sw_model::isa::LockId;
-    use sw_pmem::{Addr, PmLayout};
-
-    /// Runs `regions_per_thread` regions on each of `threads` threads, each
-    /// region writing a canary pair (x, y) with x == y.
-    ///
-    /// With `shared_data` every thread updates the *same* pair (exercising
-    /// cross-thread strong persist atomicity); without it each thread owns
-    /// its pair. Eagerly-committing TXN guarantees globally consistent
-    /// commit cuts (a committed region's lock predecessors are committed),
-    /// so it is checked with shared data. The batched SFR/ATLAS runtimes
-    /// guarantee per-thread cuts only — cross-thread cut consistency needs
-    /// the decoupled-SFR log pruner the paper inherits from prior work — so
-    /// they are checked with per-thread data (see DESIGN.md).
-    fn canary_workload(
-        design: HwDesign,
-        lang: LangModel,
-        threads: usize,
-        regions_per_thread: usize,
-        shared_data: bool,
-    ) -> (FuncCtx, PmImage, Vec<RegionRecord>) {
-        let layout = PmLayout::new(threads, 128);
-        let heap = layout.heap_base();
-        let mut ctx = FuncCtx::new(layout.clone(), threads);
-        ctx.set_record_program(false);
-        // Setup phase: nothing to initialize beyond zeroed memory.
-        let base = baseline(&mut ctx);
-        ctx.set_record_program(true);
-        let mut rts: Vec<ThreadRuntime> = (0..threads)
-            .map(|t| ThreadRuntime::new(&layout, t, RuntimeConfig::new(design, lang).recording()))
-            .collect();
-        for round in 0..regions_per_thread {
-            for (t, rt) in rts.iter_mut().enumerate() {
-                // All threads share lock 0.
-                rt.region_begin(&mut ctx, &[LockId(0)]);
-                let pair = if shared_data {
-                    heap
-                } else {
-                    heap.offset_words(16 * t as u64)
-                };
-                let v = (round * threads + t + 1) as u64;
-                rt.store(&mut ctx, pair, v);
-                rt.store(&mut ctx, pair.offset_words(8), v);
-                rt.region_end(&mut ctx);
-            }
-        }
-        let regions: Vec<RegionRecord> = rts
-            .into_iter()
-            .flat_map(ThreadRuntime::into_records)
-            .collect();
-        (ctx, base, regions)
-    }
-
-    #[test]
-    fn strandweaver_crashes_are_always_consistent() {
-        let (ctx, base, regions) =
-            canary_workload(HwDesign::StrandWeaver, LangModel::Txn, 2, 4, true);
-        let mut rng = SmallRng::seed_from_u64(7);
-        assert_eq!(
-            crash_rounds(&ctx, &base, &regions, HwDesign::StrandWeaver, 60, &mut rng),
-            0
-        );
-    }
-
-    #[test]
-    fn intel_and_hops_crashes_are_always_consistent() {
-        for design in [HwDesign::IntelX86, HwDesign::Hops] {
-            let (ctx, base, regions) = canary_workload(design, LangModel::Txn, 2, 4, true);
-            let mut rng = SmallRng::seed_from_u64(11);
-            assert_eq!(
-                crash_rounds(&ctx, &base, &regions, design, 60, &mut rng),
-                0,
-                "{design}"
-            );
-        }
-    }
-
-    #[test]
-    fn batched_models_are_consistent_on_thread_local_data() {
-        for lang in [LangModel::Sfr, LangModel::Atlas] {
-            let (ctx, base, regions) = canary_workload(HwDesign::StrandWeaver, lang, 2, 4, false);
-            let mut rng = SmallRng::seed_from_u64(17);
-            assert_eq!(
-                crash_rounds(&ctx, &base, &regions, HwDesign::StrandWeaver, 60, &mut rng),
-                0,
-                "{lang}"
-            );
-        }
-    }
-
-    #[test]
-    fn coordinated_commits_make_batched_shared_data_consistent() {
-        use crate::runtime::coordinated_commit;
-        // Shared canary pair + batched SFR commits, but committed through
-        // the coordinated (hb-safe) protocol: every sampled crash must be
-        // consistent.
-        let threads = 2;
-        let layout = PmLayout::new(threads, 128);
-        let heap = layout.heap_base();
-        let mut ctx = FuncCtx::new(layout.clone(), threads);
-        let base = baseline(&mut ctx);
-        let mut rts: Vec<ThreadRuntime> = (0..threads)
-            .map(|t| {
-                let mut cfg =
-                    RuntimeConfig::new(HwDesign::StrandWeaver, LangModel::Sfr).recording();
-                cfg.commit_threshold = Some(100); // self-commit disabled
-                ThreadRuntime::new(&layout, t, cfg)
-            })
-            .collect();
-        for round in 0..5usize {
-            for (t, rt) in rts.iter_mut().enumerate() {
-                rt.region_begin(&mut ctx, &[LockId(0)]);
-                let v = (round * threads + t + 1) as u64;
-                rt.store(&mut ctx, heap, v);
-                rt.store(&mut ctx, heap.offset_words(8), v);
-                rt.region_end(&mut ctx);
-            }
-            if round % 2 == 1 {
-                coordinated_commit(&mut ctx, &mut rts);
-            }
-        }
-        let regions: Vec<RegionRecord> = rts
-            .into_iter()
-            .flat_map(ThreadRuntime::into_records)
-            .collect();
-        let mut rng = SmallRng::seed_from_u64(23);
-        assert_eq!(
-            crash_rounds(&ctx, &base, &regions, HwDesign::StrandWeaver, 120, &mut rng),
-            0,
-            "coordinated commits keep per-thread cuts globally consistent"
-        );
-    }
-
-    #[test]
-    fn non_atomic_eventually_violates_consistency() {
-        // The paper's NON-ATOMIC design removes the log→update ordering and
-        // "does not assure correct failure recovery" — the harness must be
-        // able to observe that.
-        let (ctx, base, regions) = canary_workload(HwDesign::NonAtomic, LangModel::Txn, 2, 6, true);
-        let mut rng = SmallRng::seed_from_u64(13);
-        let failures = crash_rounds(&ctx, &base, &regions, HwDesign::NonAtomic, 300, &mut rng);
-        assert!(
-            failures > 0,
-            "non-atomic should break atomicity under crash sampling"
-        );
-    }
-
-    #[test]
-    fn canary_pairs_match_after_recovery() {
-        let (ctx, base, regions) =
-            canary_workload(HwDesign::StrandWeaver, LangModel::Sfr, 2, 4, false);
-        let heap = ctx.mem().layout().heap_base();
-        let mut rng = SmallRng::seed_from_u64(3);
-        for _ in 0..40 {
-            let outcome = crash_and_recover(&ctx, &base, HwDesign::StrandWeaver, &mut rng);
-            check_replay_consistency(&outcome, &base, &regions).unwrap();
-            for t in 0..2u64 {
-                let pair = heap.offset_words(16 * t);
-                assert_eq!(
-                    outcome.image.load(pair),
-                    outcome.image.load(pair.offset_words(8)),
-                    "canary pair must never tear"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn crash_image_layers_over_baseline() {
-        let layout = PmLayout::new(1, 64);
-        let heap = layout.heap_base();
-        let mut ctx = FuncCtx::new(layout.clone(), 1);
-        ctx.set_record_program(false);
-        ctx.store(0, heap.offset_words(100), 55); // setup data
-        let base = baseline(&mut ctx);
-        ctx.set_record_program(true);
-        let mut rng = SmallRng::seed_from_u64(1);
-        let (img, persisted) = crash_image(&ctx, &base, HwDesign::StrandWeaver, &mut rng);
-        assert_eq!(persisted, 0, "no phase stores were executed");
-        assert_eq!(img.load(heap.offset_words(100)), 55, "baseline survives");
-        assert_eq!(img.load(Addr(0x1000_0000)), 0);
-    }
 }

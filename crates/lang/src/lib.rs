@@ -1,18 +1,26 @@
 //! Language-level persistency runtimes for the StrandWeaver reproduction
 //! (paper Section V).
 //!
-//! This crate implements the software half of the paper: undo logging built
-//! on the ISA primitives of a chosen hardware design, integrated with three
-//! language-level persistency models:
+//! This crate implements the software half of the paper: write-ahead
+//! logging built on the ISA primitives of a chosen hardware design,
+//! integrated with four language-level persistency models:
 //!
 //! * **TXN** — failure-atomic transactions (PMDK-style, eager commit),
 //! * **SFR** — synchronization-free regions (batched commits),
 //! * **ATLAS** — outermost critical sections (batched commits, heavier
 //!   lock bookkeeping),
+//! * **Native** — log-free regions, legal only on eADR-class designs that
+//!   persist stores at visibility,
 //!
-//! each lowered onto any of the five hardware designs of the evaluation
+//! each lowered onto any of the hardware designs of the evaluation
 //! ([`HwDesign`]): Intel x86, HOPS, StrandWeaver without a persist queue,
-//! full StrandWeaver, and the non-atomic upper bound.
+//! full StrandWeaver, the non-atomic upper bound, and battery-backed eADR.
+//!
+//! The crate is layered like the simulator: a model-agnostic
+//! [`ThreadRuntime`] core owns the region lifecycle and delegates every
+//! per-model decision to a [`CommitPolicy`] (one module per model under
+//! [`policies`]) and every undo/redo encoding decision to a [`LogFormat`]
+//! (under [`formats`]).
 //!
 //! The crate also provides post-failure [`recovery`] and a crash-injection
 //! [`harness`] that samples formally-allowed crash states (via `sw-model`)
@@ -41,14 +49,18 @@
 #![warn(missing_debug_implementations)]
 
 mod ctx;
+pub mod formats;
 pub mod harness;
 pub mod log;
+pub mod policies;
 pub mod recovery;
 pub(crate) mod runtime;
 
 pub use ctx::{CtxStats, FuncCtx};
+pub use formats::{LogFormat, LogStrategy, RecoveryAction};
+pub use policies::{CommitPolicy, Consistency, LangModel};
 pub use runtime::{
-    coordinated_commit, LangModel, LogStrategy, RegionRecord, RuntimeConfig, ThreadRuntime,
-    COMMIT_TOKEN_LOCK, GLOBAL_CUT_LOCK, REDO_CHAIN_LOCK_BASE,
+    coordinated_commit, RegionRecord, RuntimeConfig, ThreadRuntime, COMMIT_TOKEN_LOCK,
+    GLOBAL_CUT_LOCK, REDO_CHAIN_LOCK_BASE,
 };
 pub use sw_model::HwDesign;

@@ -1,0 +1,90 @@
+//! ATLAS: outermost critical sections.
+//!
+//! Same batched-commit structure as SFR, but with heavier-weight
+//! happens-before bookkeeping per lock operation (ATLAS maintains a lock
+//! graph to compute globally consistent cut points).
+
+use super::CommitPolicy;
+use crate::log::EntryType;
+
+/// The batched outermost-critical-section policy.
+#[derive(Debug)]
+pub struct Atlas;
+
+impl CommitPolicy for Atlas {
+    fn label(&self) -> &'static str {
+        "atlas"
+    }
+
+    fn sync_cost(&self) -> u32 {
+        42
+    }
+
+    fn begin_entry(&self) -> Option<EntryType> {
+        Some(EntryType::Acquire)
+    }
+
+    fn end_entry(&self) -> Option<EntryType> {
+        Some(EntryType::Release)
+    }
+
+    fn commit_at_region_end(&self, _region_had_stores: bool, live: u64, threshold: u64) -> bool {
+        live >= threshold
+    }
+
+    fn needs_commit(&self, live: u64, threshold: u64) -> bool {
+        live >= threshold
+    }
+
+    fn batches_commits(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ctx::FuncCtx;
+    use crate::{LangModel, RuntimeConfig, ThreadRuntime};
+    use sw_model::isa::LockId;
+    use sw_model::HwDesign;
+    use sw_pmem::PmLayout;
+
+    #[test]
+    fn lock_words_are_stamped_in_pm() {
+        let layout = PmLayout::new(1, 256);
+        let heap = layout.heap_base();
+        let mut ctx = FuncCtx::new(layout.clone(), 1);
+        let mut rt = ThreadRuntime::new(
+            &layout,
+            0,
+            RuntimeConfig::new(HwDesign::StrandWeaver, LangModel::Atlas),
+        );
+        let la = ctx.mem().layout().lock_addr(3);
+        rt.region_begin(&mut ctx, &[LockId(3)]);
+        let acquire_stamp = ctx.mem().load(la);
+        assert!(acquire_stamp > 0);
+        rt.store(&mut ctx, heap, 1);
+        rt.region_end(&mut ctx);
+        assert!(ctx.mem().load(la) > acquire_stamp, "release stamps again");
+    }
+
+    #[test]
+    fn atlas_pays_more_sync_compute_than_sfr() {
+        let cycles = |lang: LangModel| {
+            let layout = PmLayout::new(1, 256);
+            let mut ctx = FuncCtx::new(layout.clone(), 1);
+            let mut rt =
+                ThreadRuntime::new(&layout, 0, RuntimeConfig::new(HwDesign::StrandWeaver, lang));
+            rt.region_begin(&mut ctx, &[LockId(0)]);
+            rt.region_end(&mut ctx);
+            ctx.traces()[0]
+                .iter()
+                .map(|op| match op {
+                    sw_model::isa::IsaOp::Compute(c) => u64::from(*c),
+                    _ => 0,
+                })
+                .sum::<u64>()
+        };
+        assert!(cycles(LangModel::Atlas) > cycles(LangModel::Sfr));
+    }
+}

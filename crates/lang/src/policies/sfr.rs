@@ -1,0 +1,93 @@
+//! SFR: synchronization-free regions.
+//!
+//! Regions are delimited by lock acquire/release; the runtime logs
+//! happens-before metadata at every synchronization point and commits only
+//! when the log fills (batched commits). Shared data additionally needs the
+//! cross-thread [`coordinated_commit`](crate::coordinated_commit) so commit
+//! cuts stay globally consistent.
+
+use super::CommitPolicy;
+use crate::log::EntryType;
+
+/// The batched synchronization-free-region policy.
+#[derive(Debug)]
+pub struct Sfr;
+
+impl CommitPolicy for Sfr {
+    fn label(&self) -> &'static str {
+        "sfr"
+    }
+
+    fn sync_cost(&self) -> u32 {
+        14
+    }
+
+    fn begin_entry(&self) -> Option<EntryType> {
+        Some(EntryType::Acquire)
+    }
+
+    fn end_entry(&self) -> Option<EntryType> {
+        Some(EntryType::Release)
+    }
+
+    fn commit_at_region_end(&self, _region_had_stores: bool, live: u64, threshold: u64) -> bool {
+        live >= threshold
+    }
+
+    fn needs_commit(&self, live: u64, threshold: u64) -> bool {
+        live >= threshold
+    }
+
+    fn batches_commits(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ctx::FuncCtx;
+    use crate::{LangModel, RuntimeConfig, ThreadRuntime};
+    use sw_model::isa::LockId;
+    use sw_model::HwDesign;
+    use sw_pmem::PmLayout;
+
+    #[test]
+    fn sfr_batches_commits() {
+        let layout = PmLayout::new(1, 256);
+        let heap = layout.heap_base();
+        let mut ctx = FuncCtx::new(layout.clone(), 1);
+        let mut rt = ThreadRuntime::new(
+            &layout,
+            0,
+            RuntimeConfig::new(HwDesign::StrandWeaver, LangModel::Sfr),
+        );
+        rt.region_begin(&mut ctx, &[LockId(0)]);
+        rt.store(&mut ctx, heap, 7);
+        rt.region_end(&mut ctx);
+        assert!(
+            rt.live_log_entries() > 0,
+            "SFR does not commit at region end"
+        );
+        rt.shutdown(&mut ctx);
+        assert_eq!(rt.live_log_entries(), 0);
+    }
+
+    #[test]
+    fn batched_commit_triggers_at_threshold() {
+        let layout = PmLayout::new(1, 32);
+        let heap = layout.heap_base();
+        let mut ctx = FuncCtx::new(layout.clone(), 1);
+        let mut cfg = RuntimeConfig::new(HwDesign::StrandWeaver, LangModel::Sfr);
+        cfg.commit_threshold = Some(8);
+        let mut rt = ThreadRuntime::new(&layout, 0, cfg);
+        for i in 0..6 {
+            rt.region_begin(&mut ctx, &[LockId(0)]);
+            rt.store(&mut ctx, heap.offset_words(i * 8), i);
+            rt.region_end(&mut ctx);
+        }
+        assert!(
+            rt.live_log_entries() < 8 + 4,
+            "log must have committed at least once"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! TXN: failure-atomic transactions (PMDK-style).
+//!
+//! Every region is a transaction delimited by `TxBegin`/`TxEnd` entries and
+//! committed eagerly at region end — unless the region performed no PM
+//! store, in which case its sync entries are swept up by a later commit
+//! (PMDK likewise skips commit machinery for read-only transactions).
+
+use super::CommitPolicy;
+use crate::log::EntryType;
+
+/// The eager-commit transaction policy.
+#[derive(Debug)]
+pub struct Txn;
+
+impl CommitPolicy for Txn {
+    fn label(&self) -> &'static str {
+        "txn"
+    }
+
+    fn sync_cost(&self) -> u32 {
+        8
+    }
+
+    fn begin_entry(&self) -> Option<EntryType> {
+        Some(EntryType::TxBegin)
+    }
+
+    fn end_entry(&self) -> Option<EntryType> {
+        Some(EntryType::TxEnd)
+    }
+
+    fn commit_at_region_end(&self, region_had_stores: bool, _live: u64, _threshold: u64) -> bool {
+        region_had_stores
+    }
+
+    fn needs_commit(&self, live: u64, threshold: u64) -> bool {
+        // Eager commit keeps the log near-empty; read-only regions can
+        // still accumulate sync entries, so the threshold backstop remains.
+        live >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ctx::FuncCtx;
+    use crate::{LangModel, RuntimeConfig, ThreadRuntime};
+    use sw_model::isa::LockId;
+    use sw_model::HwDesign;
+    use sw_pmem::PmLayout;
+
+    #[test]
+    fn txn_region_executes_stores() {
+        let layout = PmLayout::new(1, 256);
+        let heap = layout.heap_base();
+        let mut ctx = FuncCtx::new(layout.clone(), 1);
+        let mut rt = ThreadRuntime::new(
+            &layout,
+            0,
+            RuntimeConfig::new(HwDesign::StrandWeaver, LangModel::Txn),
+        );
+        rt.region_begin(&mut ctx, &[LockId(0)]);
+        rt.store(&mut ctx, heap, 7);
+        rt.store(&mut ctx, heap.offset_words(8), 8);
+        rt.region_end(&mut ctx);
+        assert_eq!(ctx.mem().load(heap), 7);
+        assert_eq!(ctx.mem().load(heap.offset_words(8)), 8);
+    }
+
+    #[test]
+    fn txn_commits_eagerly() {
+        let layout = PmLayout::new(1, 256);
+        let heap = layout.heap_base();
+        let mut ctx = FuncCtx::new(layout.clone(), 1);
+        let mut rt = ThreadRuntime::new(
+            &layout,
+            0,
+            RuntimeConfig::new(HwDesign::StrandWeaver, LangModel::Txn),
+        );
+        rt.region_begin(&mut ctx, &[LockId(0)]);
+        rt.store(&mut ctx, heap, 7);
+        rt.region_end(&mut ctx);
+        assert_eq!(rt.live_log_entries(), 0);
+    }
+
+    #[test]
+    fn read_only_region_leaves_sync_entries_uncommitted() {
+        let layout = PmLayout::new(1, 256);
+        let mut ctx = FuncCtx::new(layout.clone(), 1);
+        let mut rt = ThreadRuntime::new(
+            &layout,
+            0,
+            RuntimeConfig::new(HwDesign::StrandWeaver, LangModel::Txn),
+        );
+        rt.region_begin(&mut ctx, &[LockId(0)]);
+        rt.region_end(&mut ctx);
+        assert!(
+            rt.live_log_entries() > 0,
+            "sync entries await a later sweep"
+        );
+    }
+}

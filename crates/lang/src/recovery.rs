@@ -1,27 +1,31 @@
-//! Post-failure recovery (paper Figure 6(b)).
+//! Post-failure recovery (paper Figure 6(b)) — one generic pass over the
+//! log formats.
 //!
 //! Recovery inspects every per-thread log region in the crashed PM image:
 //!
 //! 1. For each thread, find the highest persisted commit cut (the paper's
-//!    commit-intent marker): entries at or below the cut belong to regions
-//!    whose commit was in progress or complete — they are discarded, never
-//!    rolled back (Figure 6(b) step 2).
-//! 2. Every surviving `Store` entry is rolled back — the old value is
-//!    written over the in-place update — in reverse order of creation
-//!    across **all** threads (Figure 6(b) step 3; global reverse sequence
-//!    order unwinds same-address overwrites by later regions correctly).
-//! 3. Synchronization entries (acquire/release/begin/end) carry
-//!    happens-before metadata and are skipped by rollback.
-//! 4. Under the redo extension ([`LogStrategy::Redo`]) the direction
-//!    flips: committed `RedoStore` entries (at or below the cut) are
-//!    *replayed forward* in creation order — their in-place updates may
-//!    not have persisted — and uncommitted ones are discarded.
+//!    commit-intent marker): the max over commit-record values, the global
+//!    coordinated-commit cut word, and the durable-cut header word.
+//! 2. Every other decoded entry is classified by the [`LogFormat`] that
+//!    owns its entry type ([`formats::recovery_action`]): entries covered
+//!    by the cut are discarded (undo) or queued for forward *replay* in
+//!    creation order (redo — their in-place updates may not have
+//!    persisted); survivors are queued for *rollback* in reverse creation
+//!    order (undo stores) or counted as synchronization metadata.
+//! 3. Replay applies before rollback; both are global across threads
+//!    (global reverse sequence order unwinds same-address overwrites by
+//!    later regions correctly — Figure 6(b) step 3).
 //!
-//! [`LogStrategy::Redo`]: crate::LogStrategy::Redo
+//! Recovery itself never branches on the entry vocabulary: adding a log
+//! format extends `formats/`, not this pass. A log-free (Native) run has
+//! an empty log region, so recovery is trivially clean.
+//!
+//! [`LogFormat`]: crate::LogFormat
 
 use sw_pmem::{PmImage, PmLayout};
 use sw_trace::{TraceEvent, TraceSink};
 
+use crate::formats::{self, RecoveryAction};
 use crate::log::{scan_log, DecodedEntry, EntryType};
 
 /// Statistics about one recovery pass.
@@ -78,8 +82,10 @@ fn recover_inner(
 ) -> RecoveryReport {
     let mut t = 0u64;
     let mut cuts = vec![0u64; layout.threads()];
-    let mut survivors: Vec<DecodedEntry> = Vec::new();
+    let mut rollback: Vec<DecodedEntry> = Vec::new();
+    let mut replayable: Vec<DecodedEntry> = Vec::new();
     let mut discarded = 0usize;
+    let mut sync_entries = 0usize;
 
     // The coordinated-commit protocol publishes a machine-wide cut in a
     // dedicated PM word; it covers every thread.
@@ -91,7 +97,6 @@ fn recover_inner(
         TraceEvent::RecoveryBegin { phase: "scan" },
     );
     let mut scanned = 0u64;
-    let mut replayable: Vec<DecodedEntry> = Vec::new();
     for (tid, cut_slot) in cuts.iter_mut().enumerate() {
         let region = layout.log_region(tid);
         let entries: Vec<DecodedEntry> = scan_log(img, region).collect();
@@ -111,23 +116,12 @@ fn recover_inner(
         *cut_slot = cut;
         scanned += entries.len() as u64;
         for e in entries {
-            if e.etype == EntryType::Commit {
-                continue;
-            }
-            if e.etype == EntryType::RedoStore {
-                // Redo direction: committed entries replay, uncommitted
-                // ones are dropped.
-                if e.seq <= cut {
-                    replayable.push(e);
-                } else {
-                    discarded += 1;
-                }
-                continue;
-            }
-            if e.seq <= cut {
-                discarded += 1;
-            } else {
-                survivors.push(e);
+            match formats::recovery_action(&e, cut) {
+                RecoveryAction::None => {}
+                RecoveryAction::Discard => discarded += 1,
+                RecoveryAction::Replay => replayable.push(e),
+                RecoveryAction::RollBack => rollback.push(e),
+                RecoveryAction::Sync => sync_entries += 1,
             }
         }
     }
@@ -167,18 +161,10 @@ fn recover_inner(
         &mut t,
         TraceEvent::RecoveryBegin { phase: "undo" },
     );
-    survivors.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
-    let mut rolled_back = 0usize;
-    let mut sync_entries = 0usize;
-    for e in &survivors {
-        match e.etype {
-            EntryType::Store => {
-                img.store(e.addr, e.value);
-                rolled_back += 1;
-            }
-            EntryType::Commit => unreachable!("filtered above"),
-            _ => sync_entries += 1,
-        }
+    rollback.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
+    let rolled_back = rollback.len();
+    for e in &rollback {
+        img.store(e.addr, e.value);
     }
     note(
         &mut sink,
@@ -195,141 +181,5 @@ fn recover_inner(
         rolled_back_stores: rolled_back,
         replayed_redo,
         sync_entries,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::ctx::FuncCtx;
-    use crate::runtime::{LangModel, RuntimeConfig, ThreadRuntime};
-    use sw_model::isa::LockId;
-    use sw_model::HwDesign;
-
-    fn run_one_region(design: HwDesign, lang: LangModel, commit: bool) -> (FuncCtx, PmLayout) {
-        let layout = PmLayout::new(1, 256);
-        let heap = layout.heap_base();
-        let mut ctx = FuncCtx::new(layout.clone(), 1);
-        let mut rt = ThreadRuntime::new(&layout, 0, RuntimeConfig::new(design, lang));
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        rt.store(&mut ctx, heap, 7);
-        rt.store(&mut ctx, heap.offset_words(8), 8);
-        rt.region_end(&mut ctx);
-        if commit {
-            rt.shutdown(&mut ctx);
-        }
-        (ctx, layout)
-    }
-
-    #[test]
-    fn rollback_of_uncommitted_region() {
-        // SFR leaves the region uncommitted; persist everything, crash,
-        // recover: the region must be undone (entries valid, no commit).
-        let (mut ctx, layout) = run_one_region(HwDesign::StrandWeaver, LangModel::Sfr, false);
-        ctx.mem_mut().persist_all();
-        let mut img = ctx.mem().persisted_image().clone();
-        let report = recover(&mut img, &layout);
-        assert_eq!(report.rolled_back_stores, 2);
-        assert_eq!(
-            img.load(layout.heap_base()),
-            0,
-            "update rolled back to old value"
-        );
-        assert_eq!(img.load(layout.heap_base().offset_words(8)), 0);
-    }
-
-    #[test]
-    fn committed_region_is_not_rolled_back() {
-        let (mut ctx, layout) = run_one_region(HwDesign::StrandWeaver, LangModel::Txn, false);
-        ctx.mem_mut().persist_all();
-        let mut img = ctx.mem().persisted_image().clone();
-        let report = recover(&mut img, &layout);
-        assert!(report.was_clean());
-        assert_eq!(img.load(layout.heap_base()), 7);
-        assert_eq!(img.load(layout.heap_base().offset_words(8)), 8);
-    }
-
-    #[test]
-    fn nothing_persisted_recovers_to_initial_state() {
-        let (ctx, layout) = run_one_region(HwDesign::StrandWeaver, LangModel::Txn, false);
-        let mut img = ctx.mem().persisted_image().clone(); // nothing persisted
-        let report = recover(&mut img, &layout);
-        assert!(report.was_clean());
-        assert_eq!(img.load(layout.heap_base()), 0);
-    }
-
-    #[test]
-    fn reverse_order_rollback_unwinds_overwrites() {
-        // Two uncommitted regions writing the same word: rollback must land
-        // on the value before the first region.
-        let layout = PmLayout::new(1, 256);
-        let heap = layout.heap_base();
-        let mut ctx = FuncCtx::new(layout.clone(), 1);
-        let mut rt = ThreadRuntime::new(
-            &layout,
-            0,
-            RuntimeConfig::new(HwDesign::StrandWeaver, LangModel::Sfr),
-        );
-        for v in [5, 9] {
-            rt.region_begin(&mut ctx, &[LockId(0)]);
-            rt.store(&mut ctx, heap, v);
-            rt.region_end(&mut ctx);
-        }
-        ctx.mem_mut().persist_all();
-        let mut img = ctx.mem().persisted_image().clone();
-        let report = recover(&mut img, &layout);
-        assert_eq!(report.rolled_back_stores, 2);
-        assert_eq!(img.load(heap), 0);
-    }
-
-    #[test]
-    fn report_tracks_commit_cuts() {
-        let (mut ctx, layout) = run_one_region(HwDesign::StrandWeaver, LangModel::Txn, false);
-        ctx.mem_mut().persist_all();
-        let mut img = ctx.mem().persisted_image().clone();
-        let report = recover(&mut img, &layout);
-        assert!(report.per_thread_cut[0] > 0);
-    }
-
-    #[test]
-    fn traced_recovery_emits_phase_events() {
-        let (mut ctx, layout) = run_one_region(HwDesign::StrandWeaver, LangModel::Sfr, false);
-        ctx.mem_mut().persist_all();
-        let mut img = ctx.mem().persisted_image().clone();
-        let mut rec = sw_trace::RingRecorder::new(64);
-        let report = recover_traced(&mut img, &layout, &mut rec);
-        assert_eq!(report.rolled_back_stores, 2);
-        let events = rec.events();
-        let begins = events
-            .iter()
-            .filter(|e| e.event.kind() == "recovery_begin")
-            .count();
-        let ends = events
-            .iter()
-            .filter(|e| e.event.kind() == "recovery_end")
-            .count();
-        assert_eq!(begins, 3, "scan, redo, undo each open a phase");
-        assert_eq!(ends, 3, "every phase closes");
-        assert!(
-            events.iter().any(|e| matches!(
-                e.event,
-                TraceEvent::RecoveryEnd {
-                    phase: "undo",
-                    items: 2
-                }
-            )),
-            "undo phase reports the two rolled-back stores"
-        );
-    }
-
-    #[test]
-    fn recovery_is_idempotent() {
-        let (mut ctx, layout) = run_one_region(HwDesign::StrandWeaver, LangModel::Sfr, false);
-        ctx.mem_mut().persist_all();
-        let mut img = ctx.mem().persisted_image().clone();
-        recover(&mut img, &layout);
-        let snapshot = img.clone();
-        recover(&mut img, &layout);
-        assert_eq!(img, snapshot);
     }
 }

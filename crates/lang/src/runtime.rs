@@ -1,8 +1,12 @@
-//! Language-level persistency runtimes: failure-atomic transactions (TXN),
-//! synchronization-free regions (SFR), and ATLAS outermost critical
-//! sections, lowered onto a hardware design's ISA primitives (Section V).
+//! The model-agnostic region runtime: lifecycle, lock handling, and
+//! store/load instrumentation, lowered onto a hardware design's ISA
+//! primitives (Section V).
 //!
-//! All three share the undo-log instrumentation of Figure 5:
+//! Every per-model decision is delegated to the configured
+//! [`CommitPolicy`](crate::CommitPolicy) (one module per language-level
+//! model under `policies/`) and every undo/redo encoding decision to the
+//! configured [`LogFormat`](crate::LogFormat) (under `formats/`). The
+//! logged models share the instrumentation of Figure 5:
 //!
 //! ```text
 //! region begin:  lock; lock-word store; CLWB; sync fence; begin entry
@@ -16,7 +20,9 @@
 //! to language-level persistency model"): TXN commits eagerly at every
 //! region end; SFR and ATLAS batch commits, logging happens-before metadata
 //! at synchronization points and committing only when the log fills. ATLAS
-//! additionally pays heavier-weight bookkeeping per lock operation.
+//! additionally pays heavier-weight bookkeeping per lock operation. The
+//! log-free Native policy skips the log entirely (legal only on designs
+//! that persist stores at visibility).
 //!
 //! Locks live in PM (`PmLayout::lock_addr`): acquire and release write the
 //! lock word, so strong persist atomicity orders persists across threads
@@ -28,114 +34,10 @@ use sw_model::isa::LockId;
 use sw_pmem::{Addr, PmLayout};
 
 use crate::ctx::FuncCtx;
+use crate::formats::{LogFormat, LogStrategy};
 use crate::log::{EntryPayload, EntryType, UndoLog};
+use crate::policies::{CommitPolicy, LangModel};
 use sw_model::HwDesign;
-
-/// A language-level persistency model from the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum LangModel {
-    /// Failure-atomic transactions (PMDK-style); eager commit at region end.
-    Txn,
-    /// Synchronization-free regions; batched commits, light sync logging.
-    Sfr,
-    /// ATLAS outermost critical sections; batched commits, heavier-weight
-    /// happens-before bookkeeping per lock operation.
-    Atlas,
-}
-
-impl LangModel {
-    /// All models, in the paper's presentation order.
-    pub const ALL: [LangModel; 3] = [LangModel::Txn, LangModel::Sfr, LangModel::Atlas];
-
-    /// Short label used in benchmark tables.
-    pub fn label(self) -> &'static str {
-        match self {
-            LangModel::Txn => "txn",
-            LangModel::Sfr => "sfr",
-            LangModel::Atlas => "atlas",
-        }
-    }
-
-    /// Cycles of bookkeeping work per synchronization operation (modelled
-    /// as `Compute`): ATLAS's lock-graph maintenance is the heaviest, SFR's
-    /// acquire/release logging lighter, TXN's begin/end lightest.
-    fn sync_compute(self) -> u32 {
-        match self {
-            LangModel::Txn => 8,
-            LangModel::Sfr => 14,
-            LangModel::Atlas => 42,
-        }
-    }
-
-    fn begin_entry(self) -> EntryType {
-        match self {
-            LangModel::Txn => EntryType::TxBegin,
-            LangModel::Sfr | LangModel::Atlas => EntryType::Acquire,
-        }
-    }
-
-    fn end_entry(self) -> EntryType {
-        match self {
-            LangModel::Txn => EntryType::TxEnd,
-            LangModel::Sfr | LangModel::Atlas => EntryType::Release,
-        }
-    }
-}
-
-impl std::fmt::Display for LangModel {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
-    }
-}
-
-/// Which write-ahead-logging strategy the runtime uses.
-///
-/// The paper evaluates undo logging and sketches redo logging as future
-/// work (Section VII, "Hardware logging"): *"Under strand persistency,
-/// each failure-atomic transaction may be performed on a separate strand.
-/// Within each strand, transactions can create redo logs, issue a persist
-/// barrier and then perform in-place updates. A group commit operation can
-/// merge strands and commit prior transactions."* [`LogStrategy::Redo`]
-/// implements exactly that sketch:
-///
-/// * each region runs on its own strand: chain stamp, sync entries, redo
-///   entries (new values), persist barrier, a per-region commit record,
-///   persist barrier, then the deferred in-place updates — so an update
-///   can never persist before the commit record that covers it;
-/// * reads inside a region go through [`ThreadRuntime::load`] for
-///   read-own-writes over the deferred write set;
-/// * a `JoinStrand` **group commit** periodically merges strands and
-///   truncates the log (no per-region drain at all — this is where redo
-///   beats undo under strands);
-/// * recovery *replays* committed redo entries forward instead of rolling
-///   back.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum LogStrategy {
-    /// Undo logging (the paper's evaluated design, Figure 5).
-    Undo,
-    /// Redo logging with strand-based group commit (the Section VII
-    /// extension).
-    Redo,
-}
-
-impl LogStrategy {
-    /// Both strategies.
-    pub const ALL: [LogStrategy; 2] = [LogStrategy::Undo, LogStrategy::Redo];
-
-    /// Short label used in benchmark tables.
-    pub fn label(self) -> &'static str {
-        match self {
-            LogStrategy::Undo => "undo",
-            LogStrategy::Redo => "redo",
-        }
-    }
-}
-
-impl std::fmt::Display for LogStrategy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
-    }
-}
 
 /// Configuration of a [`ThreadRuntime`].
 #[derive(Debug, Clone, Copy)]
@@ -155,7 +57,19 @@ pub struct RuntimeConfig {
 
 impl RuntimeConfig {
     /// A configuration with default thresholds and no region recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lang` may not run on `design` — log-free models
+    /// require persist-at-visibility (eADR-class) hardware. Front ends
+    /// (`swctl`) check [`LangModel::legal_on`] first and report the pair
+    /// gracefully; reaching this assert means a driver skipped that check.
     pub fn new(design: HwDesign, lang: LangModel) -> Self {
+        assert!(
+            lang.legal_on(design),
+            "language model '{lang}' requires a design that persists stores at visibility \
+             (eADR-class); '{design}' does not"
+        );
         Self {
             design,
             lang,
@@ -193,7 +107,7 @@ pub struct RegionRecord {
     pub writes: Vec<(Addr, u64, u64)>,
 }
 
-/// Per-thread runtime: an undo log plus the region state machine.
+/// Per-thread runtime: a write-ahead log plus the region state machine.
 #[derive(Debug)]
 pub struct ThreadRuntime {
     tid: usize,
@@ -207,10 +121,10 @@ pub struct ThreadRuntime {
     logged: HashSet<Addr>,
     /// Whether the current region performed any PM store.
     region_had_stores: bool,
-    /// Redo strategy: the region's deferred in-place updates, in order
+    /// Deferring formats (redo): the region's in-place updates, in order
     /// (applied after the commit record at region end).
     write_set: Vec<(Addr, u64)>,
-    /// Redo strategy: read-own-writes index over `write_set`.
+    /// Deferring formats: read-own-writes index over `write_set`.
     write_index: std::collections::HashMap<Addr, u64>,
     current: Option<RegionRecord>,
     records: Vec<RegionRecord>,
@@ -246,6 +160,16 @@ impl ThreadRuntime {
         &self.cfg
     }
 
+    /// The commit policy of the configured language model.
+    fn policy(&self) -> &'static dyn CommitPolicy {
+        self.cfg.lang.policy()
+    }
+
+    /// The entry format of the configured log strategy.
+    fn format(&self) -> &'static dyn LogFormat {
+        self.cfg.strategy.format()
+    }
+
     /// Recorded region write sets (empty unless `record_regions` is set).
     pub fn records(&self) -> &[RegionRecord] {
         &self.records
@@ -276,7 +200,8 @@ impl ThreadRuntime {
         self.region_had_stores = false;
         self.write_set.clear();
         self.write_index.clear();
-        if self.cfg.strategy == LogStrategy::Redo {
+        let uses_log = self.policy().uses_log();
+        if uses_log && self.format().defers_updates() {
             // SPA chain stamp: strand-orders this region's commit record
             // after the previous region's (prefix property of the cut).
             let layout = ctx.mem().layout().clone();
@@ -292,19 +217,30 @@ impl ThreadRuntime {
         for (i, &l) in locks.iter().enumerate() {
             ctx.lock(self.tid, l);
             let la = layout.lock_addr(l.0);
-            // Happens-before predecessor: the last release stamped on the
-            // lock word (ATLAS/SFR log it in the acquire entry).
-            let hb_pred = ctx.load(self.tid, la);
-            ctx.compute(self.tid, self.cfg.lang.sync_compute());
-            let seq = self.log.append(
-                ctx,
-                EntryPayload {
-                    etype: self.cfg.lang.begin_entry(),
-                    addr: la,
-                    value: hb_pred,
-                    aux: l.0 as u64,
-                },
-            );
+            let seq = match self.policy().begin_entry() {
+                Some(etype) => {
+                    // Happens-before predecessor: the last release stamped
+                    // on the lock word (ATLAS/SFR log it in the acquire
+                    // entry).
+                    let hb_pred = ctx.load(self.tid, la);
+                    ctx.compute(self.tid, self.policy().sync_cost());
+                    self.log.append(
+                        ctx,
+                        EntryPayload {
+                            etype,
+                            addr: la,
+                            value: hb_pred,
+                            aux: l.0 as u64,
+                        },
+                    )
+                }
+                // Log-free: no entry, but the stamp still needs a fresh
+                // sequence number.
+                None => {
+                    ctx.compute(self.tid, self.policy().sync_cost());
+                    ctx.next_seq()
+                }
+            };
             if i == 0 {
                 first_seq = seq;
             }
@@ -314,32 +250,34 @@ impl ThreadRuntime {
             // (Section III, "Establishing inter-thread persist order").
             // The flush is required: hardware only orders *flushed*
             // persists at a JoinStrand/SFENCE, so an unflushed stamp would
-            // leave the formal Eq. 2 edge unenforced. Undo needs the
-            // cross-strand JoinStrand edge; redo keeps the whole region on
-            // one strand, so a persist barrier suffices (and avoids the
-            // drain).
+            // leave the formal Eq. 2 edge unenforced. The fence class is
+            // the format's call (undo drains across strands, redo stays on
+            // one); log-free runtimes run on designs with no fences.
             ctx.store(self.tid, la, seq);
             ctx.clwb(self.tid, la);
-            let fence = match self.cfg.strategy {
-                LogStrategy::Undo => self.cfg.design.drain_fence(),
-                LogStrategy::Redo => self.cfg.design.pairwise_fence(),
-            };
-            self.emit(ctx, fence);
+            if uses_log {
+                self.emit(ctx, self.format().lock_stamp_fence(self.cfg.design));
+            }
         }
         if locks.is_empty() {
             // Lock-free region (e.g. a single-threaded transaction): still
             // log the begin entry.
-            ctx.compute(self.tid, self.cfg.lang.sync_compute());
-            first_seq = self.log.append(
-                ctx,
-                EntryPayload {
-                    etype: self.cfg.lang.begin_entry(),
-                    addr: Addr::NULL,
-                    value: 0,
-                    aux: 0,
-                },
-            );
-            self.emit(ctx, self.cfg.design.pairwise_fence());
+            ctx.compute(self.tid, self.policy().sync_cost());
+            first_seq = match self.policy().begin_entry() {
+                Some(etype) => self.log.append(
+                    ctx,
+                    EntryPayload {
+                        etype,
+                        addr: Addr::NULL,
+                        value: 0,
+                        aux: 0,
+                    },
+                ),
+                None => ctx.next_seq(),
+            };
+            if uses_log {
+                self.emit(ctx, self.cfg.design.pairwise_fence());
+            }
         }
         if self.cfg.record_regions {
             self.current = Some(RegionRecord {
@@ -351,17 +289,35 @@ impl ThreadRuntime {
         }
     }
 
-    /// Performs a failure-atomic PM store: undo-log the old value, flush the
-    /// entry, pairwise fence, in-place update, flush, after-update fence
-    /// (Figure 5's `log_store` + update instrumentation).
+    /// Performs a failure-atomic PM store, instrumented per the configured
+    /// format: undo logs the old value, flushes the entry, pairwise-fences,
+    /// updates in place, flushes, after-update-fences (Figure 5's
+    /// `log_store` + update); redo appends the new value and defers the
+    /// update; log-free policies store in place, durably at visibility.
     ///
     /// # Panics
     ///
     /// Panics if no region is open.
     pub fn store(&mut self, ctx: &mut FuncCtx, addr: Addr, value: u64) {
         assert!(self.in_region, "store outside a failure-atomic region");
-        if self.cfg.strategy == LogStrategy::Redo {
-            self.redo_store(ctx, addr, value);
+        if !self.policy().uses_log() {
+            // Log-free: the design persists the store at visibility; no
+            // entry, no flush, no fence. Regions are not failure-atomic —
+            // the policy's consistency contract is DurablePrefix.
+            self.region_had_stores = true;
+            let old = if self.cfg.record_regions {
+                ctx.load(self.tid, addr)
+            } else {
+                0
+            };
+            ctx.store(self.tid, addr, value);
+            if let Some(cur) = self.current.as_mut() {
+                cur.writes.push((addr, old, value));
+            }
+            return;
+        }
+        if self.format().defers_updates() {
+            self.deferred_store(ctx, addr, value);
             return;
         }
         let old = ctx.load(self.tid, addr);
@@ -374,15 +330,8 @@ impl ThreadRuntime {
         // updates are ordered behind it by strong persist atomicity.
         self.region_had_stores = true;
         if self.logged.insert(addr) {
-            self.log.append(
-                ctx,
-                EntryPayload {
-                    etype: EntryType::Store,
-                    addr,
-                    value: old,
-                    aux: 0,
-                },
-            );
+            self.log
+                .append(ctx, self.format().encode_store(addr, old, value));
             self.emit(ctx, self.cfg.design.pairwise_fence());
         }
         ctx.store(self.tid, addr, value);
@@ -393,11 +342,11 @@ impl ThreadRuntime {
         }
     }
 
-    /// Redo-strategy store: append a redo entry with the *new* value and
-    /// defer the in-place update to region end (after the commit record).
-    /// Entries within the region share the strand with no barrier between
-    /// them, so they drain concurrently.
-    fn redo_store(&mut self, ctx: &mut FuncCtx, addr: Addr, value: u64) {
+    /// Deferring-format store (redo): append an entry with the *new* value
+    /// and defer the in-place update to region end (after the commit
+    /// record). Entries within the region share the strand with no barrier
+    /// between them, so they drain concurrently.
+    fn deferred_store(&mut self, ctx: &mut FuncCtx, addr: Addr, value: u64) {
         self.region_had_stores = true;
         let old = if self.cfg.record_regions {
             self.write_index
@@ -407,15 +356,8 @@ impl ThreadRuntime {
         } else {
             0
         };
-        self.log.append(
-            ctx,
-            EntryPayload {
-                etype: EntryType::RedoStore,
-                addr,
-                value,
-                aux: 0,
-            },
-        );
+        self.log
+            .append(ctx, self.format().encode_store(addr, old, value));
         self.write_set.push((addr, value));
         self.write_index.insert(addr, value);
         if let Some(cur) = self.current.as_mut() {
@@ -424,11 +366,11 @@ impl ThreadRuntime {
     }
 
     /// Reads a word, honoring the current region's deferred write set under
-    /// the redo strategy (read-own-writes). Equivalent to a plain context
+    /// a deferring format (read-own-writes). Equivalent to a plain context
     /// load under undo logging. Use this for all reads inside regions so
     /// workloads run unchanged under either strategy.
     pub fn load(&mut self, ctx: &mut FuncCtx, addr: Addr) -> u64 {
-        if self.cfg.strategy == LogStrategy::Redo && self.in_region {
+        if self.in_region && !self.write_index.is_empty() {
             if let Some(&v) = self.write_index.get(&addr) {
                 return v;
             }
@@ -436,7 +378,7 @@ impl ThreadRuntime {
         ctx.load(self.tid, addr)
     }
 
-    /// Ends the current region: end entry, drain, commit (eager or batched),
+    /// Ends the current region: end entry, drain, commit (per the policy),
     /// release locks.
     ///
     /// # Panics
@@ -444,45 +386,41 @@ impl ThreadRuntime {
     /// Panics if no region is open.
     pub fn region_end(&mut self, ctx: &mut FuncCtx) {
         assert!(self.in_region, "region_end without region_begin");
-        if self.cfg.strategy == LogStrategy::Redo {
-            self.redo_region_end(ctx);
+        if !self.policy().uses_log() {
+            self.log_free_region_end(ctx);
+            return;
+        }
+        if self.format().defers_updates() {
+            self.deferred_region_end(ctx);
             return;
         }
         let layout = ctx.mem().layout().clone();
-        ctx.compute(self.tid, self.cfg.lang.sync_compute());
+        ctx.compute(self.tid, self.policy().sync_cost());
         let lock_aux = self.locks_held.first().map_or(0, |l| l.0 as u64);
-        let end_seq = self.log.append(
-            ctx,
-            EntryPayload {
-                etype: self.cfg.lang.end_entry(),
-                addr: Addr::NULL,
-                value: 0,
-                aux: lock_aux,
-            },
-        );
+        let end_seq = match self.policy().end_entry() {
+            Some(etype) => self.log.append(
+                ctx,
+                EntryPayload {
+                    etype,
+                    addr: Addr::NULL,
+                    value: 0,
+                    aux: lock_aux,
+                },
+            ),
+            None => ctx.next_seq(),
+        };
         // Persists of this region must not leak past the region end
         // (Figure 5: the region is enclosed in JoinStrand operations), and
         // must complete before the lock release is visible.
         self.emit(ctx, self.cfg.design.drain_fence());
-        let commit_now = match self.cfg.lang {
-            // Read-only transactions have nothing to make durable; their
-            // sync entries are swept up by a later commit (PMDK likewise
-            // skips commit machinery for read-only transactions).
-            LangModel::Txn => self.region_had_stores,
-            LangModel::Sfr | LangModel::Atlas => self.log.live() >= self.threshold,
-        };
-        if commit_now {
+        if self.policy().commit_at_region_end(
+            self.region_had_stores,
+            self.log.live(),
+            self.threshold,
+        ) {
             self.log.commit_all(ctx, self.cfg.design);
         }
-        for &l in self.locks_held.clone().iter().rev() {
-            let la = layout.lock_addr(l.0);
-            ctx.compute(self.tid, self.cfg.lang.sync_compute());
-            let stamp = ctx.next_seq();
-            ctx.store(self.tid, la, stamp);
-            ctx.clwb(self.tid, la);
-            ctx.unlock(self.tid, l);
-        }
-        self.locks_held.clear();
+        self.release_locks(ctx, &layout);
         self.in_region = false;
         if let Some(mut cur) = self.current.take() {
             cur.last_seq = end_seq;
@@ -490,23 +428,25 @@ impl ThreadRuntime {
         }
     }
 
-    /// Redo region end (the Section VII sketch): end entry, persist
-    /// barrier, per-region commit record, persist barrier, deferred
+    /// Deferring-format region end (the Section VII sketch): end entry,
+    /// persist barrier, per-region commit record, persist barrier, deferred
     /// in-place updates, lock releases — all on this region's strand, with
     /// no durability drain. Group commit runs only when the log fills.
-    fn redo_region_end(&mut self, ctx: &mut FuncCtx) {
+    fn deferred_region_end(&mut self, ctx: &mut FuncCtx) {
         let layout = ctx.mem().layout().clone();
-        ctx.compute(self.tid, self.cfg.lang.sync_compute());
+        ctx.compute(self.tid, self.policy().sync_cost());
         let lock_aux = self.locks_held.first().map_or(0, |l| l.0 as u64);
-        self.log.append(
-            ctx,
-            EntryPayload {
-                etype: self.cfg.lang.end_entry(),
-                addr: Addr::NULL,
-                value: 0,
-                aux: lock_aux,
-            },
-        );
+        if let Some(etype) = self.policy().end_entry() {
+            self.log.append(
+                ctx,
+                EntryPayload {
+                    etype,
+                    addr: Addr::NULL,
+                    value: 0,
+                    aux: lock_aux,
+                },
+            );
+        }
         // All redo entries persist before the commit record...
         self.emit(ctx, self.cfg.design.pairwise_fence());
         let cut = self.log.last_seq();
@@ -536,15 +476,7 @@ impl ThreadRuntime {
             ctx.clwb(self.tid, addr);
         }
         self.write_index.clear();
-        for &l in self.locks_held.clone().iter().rev() {
-            let la = layout.lock_addr(l.0);
-            ctx.compute(self.tid, self.cfg.lang.sync_compute());
-            let stamp = ctx.next_seq();
-            ctx.store(self.tid, la, stamp);
-            ctx.clwb(self.tid, la);
-            ctx.unlock(self.tid, l);
-        }
-        self.locks_held.clear();
+        self.release_locks(ctx, &layout);
         self.in_region = false;
         self.emit(ctx, self.cfg.design.after_update_fence());
         if let Some(mut cur) = self.current.take() {
@@ -556,12 +488,53 @@ impl ThreadRuntime {
         }
     }
 
+    /// Log-free region end: nothing to log or commit — stamp and release
+    /// the lock words so the SPA ordering protocol is preserved.
+    fn log_free_region_end(&mut self, ctx: &mut FuncCtx) {
+        let layout = ctx.mem().layout().clone();
+        ctx.compute(self.tid, self.policy().sync_cost());
+        let end_seq = ctx.next_seq();
+        self.release_locks(ctx, &layout);
+        self.in_region = false;
+        if let Some(mut cur) = self.current.take() {
+            cur.last_seq = end_seq;
+            self.records.push(cur);
+        }
+    }
+
+    /// Stamps, flushes, and releases the held locks in reverse acquisition
+    /// order (shared tail of every region-end path).
+    fn release_locks(&mut self, ctx: &mut FuncCtx, layout: &PmLayout) {
+        for &l in self.locks_held.clone().iter().rev() {
+            let la = layout.lock_addr(l.0);
+            ctx.compute(self.tid, self.policy().sync_cost());
+            let stamp = ctx.next_seq();
+            ctx.store(self.tid, la, stamp);
+            ctx.clwb(self.tid, la);
+            ctx.unlock(self.tid, l);
+        }
+        self.locks_held.clear();
+    }
+
     /// Redo group commit: merge all strands (everything durable), then
     /// truncate the log. The durable cut is published by
     /// [`UndoLog::discard_all`] before any entry disappears.
     fn group_commit(&mut self, ctx: &mut FuncCtx) {
         self.emit(ctx, self.cfg.design.drain_fence());
         self.log.discard_all(ctx, self.cfg.design);
+    }
+
+    /// Commits (or discards, for deferring formats) any batched log
+    /// entries; a no-op for log-free policies.
+    fn flush_log(&mut self, ctx: &mut FuncCtx) {
+        if !self.policy().uses_log() {
+            return;
+        }
+        if self.format().defers_updates() {
+            self.group_commit(ctx);
+        } else {
+            self.log.commit_all(ctx, self.cfg.design);
+        }
     }
 
     /// Commits any batched log entries (clean shutdown).
@@ -571,10 +544,7 @@ impl ThreadRuntime {
     /// Panics if a region is still open.
     pub fn shutdown(&mut self, ctx: &mut FuncCtx) {
         assert!(!self.in_region, "shutdown inside a region");
-        match self.cfg.strategy {
-            LogStrategy::Undo => self.log.commit_all(ctx, self.cfg.design),
-            LogStrategy::Redo => self.group_commit(ctx),
-        }
+        self.flush_log(ctx);
     }
 
     /// Thread id this runtime belongs to.
@@ -591,9 +561,10 @@ impl ThreadRuntime {
 
     /// `true` when the batched log has reached its commit threshold —
     /// drivers of shared data structures should then run a
-    /// [`coordinated_commit`] across all threads.
+    /// [`coordinated_commit`] across all threads. Always `false` for
+    /// policies that commit eagerly per region or keep no log.
     pub fn needs_commit(&self) -> bool {
-        self.log.live() >= self.threshold
+        self.policy().needs_commit(self.log.live(), self.threshold)
     }
 
     /// Commits this thread's log immediately (used by
@@ -604,10 +575,7 @@ impl ThreadRuntime {
     /// Panics if a region is open.
     pub fn commit_now(&mut self, ctx: &mut FuncCtx) {
         assert!(!self.in_region, "commit inside a region");
-        match self.cfg.strategy {
-            LogStrategy::Undo => self.log.commit_all(ctx, self.cfg.design),
-            LogStrategy::Redo => self.group_commit(ctx),
-        }
+        self.flush_log(ctx);
     }
 }
 
@@ -640,10 +608,18 @@ pub const GLOBAL_CUT_LOCK: u32 = 4094;
 /// entries intact (full rollback of the batch), or a visible cut proving
 /// all covered data durable (batch committed) — never a mixture.
 ///
+/// Calling it again with no new appends is a no-op: neither the token
+/// chain nor a new cut is published, so back-to-back coordinations (e.g. a
+/// degenerate `coordination_threshold`) cannot double-commit.
+///
 /// # Panics
 ///
 /// Panics if any runtime has an open region.
 pub fn coordinated_commit(ctx: &mut FuncCtx, rts: &mut [ThreadRuntime]) {
+    assert!(
+        rts.iter().all(|rt| !rt.in_region),
+        "coordinated commit with an open region"
+    );
     if rts.iter().all(|rt| rt.live_log_entries() == 0) {
         return;
     }
@@ -688,357 +664,5 @@ pub fn coordinated_commit(ctx: &mut FuncCtx, rts: &mut [ThreadRuntime]) {
             ctx.fence(tid, f);
         }
         rt.log.discard_all(ctx, design);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use sw_model::isa::{FenceKind, IsaOp};
-
-    fn setup(design: HwDesign, lang: LangModel) -> (FuncCtx, ThreadRuntime, Addr) {
-        let layout = PmLayout::new(1, 256);
-        let heap = layout.heap_base();
-        let ctx = FuncCtx::new(layout.clone(), 1);
-        let rt = ThreadRuntime::new(&layout, 0, RuntimeConfig::new(design, lang).recording());
-        (ctx, rt, heap)
-    }
-
-    #[test]
-    fn txn_region_executes_stores() {
-        let (mut ctx, mut rt, heap) = setup(HwDesign::StrandWeaver, LangModel::Txn);
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        rt.store(&mut ctx, heap, 7);
-        rt.store(&mut ctx, heap.offset_words(8), 8);
-        rt.region_end(&mut ctx);
-        assert_eq!(ctx.mem().load(heap), 7);
-        assert_eq!(ctx.mem().load(heap.offset_words(8)), 8);
-    }
-
-    #[test]
-    fn txn_commits_eagerly() {
-        let (mut ctx, mut rt, heap) = setup(HwDesign::StrandWeaver, LangModel::Txn);
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        rt.store(&mut ctx, heap, 7);
-        rt.region_end(&mut ctx);
-        assert_eq!(rt.live_log_entries(), 0);
-    }
-
-    #[test]
-    fn sfr_batches_commits() {
-        let (mut ctx, mut rt, heap) = setup(HwDesign::StrandWeaver, LangModel::Sfr);
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        rt.store(&mut ctx, heap, 7);
-        rt.region_end(&mut ctx);
-        assert!(
-            rt.live_log_entries() > 0,
-            "SFR does not commit at region end"
-        );
-        rt.shutdown(&mut ctx);
-        assert_eq!(rt.live_log_entries(), 0);
-    }
-
-    #[test]
-    fn batched_commit_triggers_at_threshold() {
-        let layout = PmLayout::new(1, 32);
-        let heap = layout.heap_base();
-        let mut ctx = FuncCtx::new(layout.clone(), 1);
-        let mut cfg = RuntimeConfig::new(HwDesign::StrandWeaver, LangModel::Sfr);
-        cfg.commit_threshold = Some(8);
-        let mut rt = ThreadRuntime::new(&layout, 0, cfg);
-        for i in 0..6 {
-            rt.region_begin(&mut ctx, &[LockId(0)]);
-            rt.store(&mut ctx, heap.offset_words(i * 8), i);
-            rt.region_end(&mut ctx);
-        }
-        assert!(
-            rt.live_log_entries() < 8 + 4,
-            "log must have committed at least once"
-        );
-    }
-
-    #[test]
-    fn strandweaver_store_lowering_matches_figure5() {
-        let (mut ctx, mut rt, heap) = setup(HwDesign::StrandWeaver, LangModel::Txn);
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        let trace_start = ctx.traces()[0].len();
-        rt.store(&mut ctx, heap, 7);
-        let trace: Vec<IsaOp> = ctx.traces()[0][trace_start..].to_vec();
-        // load(old) .. 6 entry stores .. clwb(entry) .. PB .. store .. clwb .. NS
-        let fences: Vec<FenceKind> = trace
-            .iter()
-            .filter_map(|op| match op {
-                IsaOp::Fence(f) => Some(*f),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(
-            fences,
-            vec![FenceKind::PersistBarrier, FenceKind::NewStrand]
-        );
-        let clwbs = trace.iter().filter(|op| op.is_clwb()).count();
-        assert_eq!(
-            clwbs, 2,
-            "one flush for the entry line, one for the data line"
-        );
-        assert!(matches!(
-            trace.last(),
-            Some(IsaOp::Fence(FenceKind::NewStrand))
-        ));
-    }
-
-    #[test]
-    fn intel_store_lowering_uses_sfences() {
-        let (mut ctx, mut rt, heap) = setup(HwDesign::IntelX86, LangModel::Txn);
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        let trace_start = ctx.traces()[0].len();
-        rt.store(&mut ctx, heap, 7);
-        let fences: Vec<FenceKind> = ctx.traces()[0][trace_start..]
-            .iter()
-            .filter_map(|op| match op {
-                IsaOp::Fence(f) => Some(*f),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(fences, vec![FenceKind::Sfence, FenceKind::Sfence]);
-    }
-
-    #[test]
-    fn non_atomic_emits_no_fences_at_store() {
-        let (mut ctx, mut rt, heap) = setup(HwDesign::NonAtomic, LangModel::Txn);
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        let trace_start = ctx.traces()[0].len();
-        rt.store(&mut ctx, heap, 7);
-        let fence_count = ctx.traces()[0][trace_start..]
-            .iter()
-            .filter(|op| matches!(op, IsaOp::Fence(_)))
-            .count();
-        assert_eq!(fence_count, 0);
-    }
-
-    #[test]
-    fn region_records_capture_old_and_new() {
-        let (mut ctx, mut rt, heap) = setup(HwDesign::StrandWeaver, LangModel::Txn);
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        rt.store(&mut ctx, heap, 7);
-        rt.region_end(&mut ctx);
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        rt.store(&mut ctx, heap, 9);
-        rt.region_end(&mut ctx);
-        let recs = rt.records();
-        assert_eq!(recs.len(), 2);
-        assert_eq!(recs[0].writes, vec![(heap, 0, 7)]);
-        assert_eq!(recs[1].writes, vec![(heap, 7, 9)]);
-        assert!(recs[0].first_seq < recs[0].last_seq);
-        assert!(recs[0].last_seq < recs[1].first_seq);
-    }
-
-    #[test]
-    fn lock_words_are_stamped_in_pm() {
-        let (mut ctx, mut rt, heap) = setup(HwDesign::StrandWeaver, LangModel::Atlas);
-        let la = ctx.mem().layout().lock_addr(3);
-        rt.region_begin(&mut ctx, &[LockId(3)]);
-        let acquire_stamp = ctx.mem().load(la);
-        assert!(acquire_stamp > 0);
-        rt.store(&mut ctx, heap, 1);
-        rt.region_end(&mut ctx);
-        assert!(ctx.mem().load(la) > acquire_stamp, "release stamps again");
-    }
-
-    #[test]
-    #[should_panic(expected = "outside a failure-atomic region")]
-    fn store_outside_region_panics() {
-        let (mut ctx, mut rt, heap) = setup(HwDesign::StrandWeaver, LangModel::Txn);
-        rt.store(&mut ctx, heap, 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "do not nest")]
-    fn nested_region_panics() {
-        let (mut ctx, mut rt, _) = setup(HwDesign::StrandWeaver, LangModel::Txn);
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        rt.region_begin(&mut ctx, &[LockId(1)]);
-    }
-}
-
-#[cfg(test)]
-mod redo_tests {
-    use super::*;
-    use sw_model::isa::{FenceKind, IsaOp};
-
-    fn setup(design: HwDesign) -> (FuncCtx, ThreadRuntime, Addr) {
-        let layout = PmLayout::new(1, 256);
-        let heap = layout.heap_base();
-        let ctx = FuncCtx::new(layout.clone(), 1);
-        let rt = ThreadRuntime::new(
-            &layout,
-            0,
-            RuntimeConfig::new(design, LangModel::Txn)
-                .redo()
-                .recording(),
-        );
-        (ctx, rt, heap)
-    }
-
-    #[test]
-    fn redo_region_executes_and_defers_updates() {
-        let (mut ctx, mut rt, heap) = setup(HwDesign::StrandWeaver);
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        rt.store(&mut ctx, heap, 7);
-        // Deferred: not yet visible in memory, but read-own-writes sees it.
-        assert_eq!(ctx.mem().load(heap), 0, "in-place update deferred");
-        assert_eq!(rt.load(&mut ctx, heap), 7, "read-own-writes");
-        rt.region_end(&mut ctx);
-        assert_eq!(ctx.mem().load(heap), 7, "applied at region end");
-    }
-
-    #[test]
-    fn redo_overwrites_in_one_region_apply_in_order() {
-        let (mut ctx, mut rt, heap) = setup(HwDesign::StrandWeaver);
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        rt.store(&mut ctx, heap, 1);
-        rt.store(&mut ctx, heap, 2);
-        assert_eq!(rt.load(&mut ctx, heap), 2);
-        rt.region_end(&mut ctx);
-        assert_eq!(ctx.mem().load(heap), 2);
-    }
-
-    #[test]
-    fn redo_emits_no_drain_at_region_end() {
-        let (mut ctx, mut rt, heap) = setup(HwDesign::StrandWeaver);
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        rt.store(&mut ctx, heap, 7);
-        rt.region_end(&mut ctx);
-        let joins = ctx.traces()[0]
-            .iter()
-            .filter(|o| matches!(o, IsaOp::Fence(FenceKind::JoinStrand)))
-            .count();
-        assert_eq!(joins, 0, "redo defers durability to group commit");
-    }
-
-    #[test]
-    fn redo_commit_record_precedes_updates_in_trace() {
-        let (mut ctx, mut rt, heap) = setup(HwDesign::StrandWeaver);
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        rt.store(&mut ctx, heap, 7);
-        rt.region_end(&mut ctx);
-        // The in-place store to `heap` must appear after the last persist
-        // barrier (which follows the commit record).
-        let trace = &ctx.traces()[0];
-        let update_pos = trace
-            .iter()
-            .position(|o| matches!(o, IsaOp::Store(a) if *a == heap))
-            .expect("in-place update present");
-        let last_pb_before = trace[..update_pos]
-            .iter()
-            .rposition(|o| matches!(o, IsaOp::Fence(FenceKind::PersistBarrier)))
-            .expect("a persist barrier precedes the update");
-        assert!(last_pb_before < update_pos);
-    }
-
-    #[test]
-    fn redo_recovery_replays_committed_but_unapplied_region() {
-        let (mut ctx, mut rt, heap) = setup(HwDesign::StrandWeaver);
-        let base = crate::harness::baseline(&mut ctx);
-        rt.region_begin(&mut ctx, &[LockId(0)]);
-        rt.store(&mut ctx, heap, 7);
-        rt.region_end(&mut ctx);
-        // Craft the adversarial crash: everything persisted EXCEPT the
-        // in-place update. Find the update via the execution and verify the
-        // formal model + recovery handle it: sample many crashes and check
-        // that whenever recovery reports a replay, the value is correct.
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
-        use rand::SeedableRng;
-        let mut saw_replay = false;
-        for _ in 0..200 {
-            let outcome =
-                crate::harness::crash_and_recover(&ctx, &base, HwDesign::StrandWeaver, &mut rng);
-            let v = outcome.image.load(heap);
-            assert!(
-                v == 0 || v == 7,
-                "redo recovery must be all-or-nothing, got {v}"
-            );
-            if outcome.report.replayed_redo > 0 {
-                assert_eq!(v, 7, "committed region must be fully applied after replay");
-                saw_replay = true;
-            }
-        }
-        assert!(
-            saw_replay,
-            "sampling should hit committed-but-unapplied states"
-        );
-    }
-
-    #[test]
-    fn redo_group_commit_truncates_log_and_stays_recoverable() {
-        let layout = PmLayout::new(1, 64);
-        let heap = layout.heap_base();
-        let mut ctx = FuncCtx::new(layout.clone(), 1);
-        let mut cfg = RuntimeConfig::new(HwDesign::StrandWeaver, LangModel::Txn).redo();
-        cfg.commit_threshold = Some(10);
-        let mut rt = ThreadRuntime::new(&layout, 0, cfg);
-        for k in 0..8u64 {
-            rt.region_begin(&mut ctx, &[LockId(0)]);
-            rt.store(&mut ctx, heap.offset_words(k * 8), k + 1);
-            rt.region_end(&mut ctx);
-        }
-        assert!(
-            rt.live_log_entries() < 10 + 6,
-            "group commit must have truncated"
-        );
-        // Clean shutdown and recovery: all values durable.
-        rt.shutdown(&mut ctx);
-        ctx.mem_mut().persist_all();
-        let mut img = ctx.mem().persisted_image().clone();
-        let report = crate::recovery::recover(&mut img, &layout);
-        let _ = report;
-        for k in 0..8u64 {
-            assert_eq!(img.load(heap.offset_words(k * 8)), k + 1);
-        }
-    }
-
-    #[test]
-    fn redo_crashes_are_always_consistent_across_threads() {
-        use rand::SeedableRng;
-        let threads = 2;
-        let layout = PmLayout::new(threads, 128);
-        let heap = layout.heap_base();
-        let mut ctx = FuncCtx::new(layout.clone(), threads);
-        let base = crate::harness::baseline(&mut ctx);
-        let mut rts: Vec<ThreadRuntime> = (0..threads)
-            .map(|t| {
-                ThreadRuntime::new(
-                    &layout,
-                    t,
-                    RuntimeConfig::new(HwDesign::StrandWeaver, LangModel::Txn)
-                        .redo()
-                        .recording(),
-                )
-            })
-            .collect();
-        for round in 0..5usize {
-            for (t, rt) in rts.iter_mut().enumerate() {
-                rt.region_begin(&mut ctx, &[LockId(0)]);
-                let v = (round * threads + t + 1) as u64;
-                rt.store(&mut ctx, heap, v);
-                rt.store(&mut ctx, heap.offset_words(8), v);
-                rt.region_end(&mut ctx);
-            }
-        }
-        let regions: Vec<RegionRecord> = rts
-            .into_iter()
-            .flat_map(ThreadRuntime::into_records)
-            .collect();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(31);
-        for _ in 0..120 {
-            let outcome =
-                crate::harness::crash_and_recover(&ctx, &base, HwDesign::StrandWeaver, &mut rng);
-            crate::harness::check_replay_consistency(&outcome, &base, &regions).unwrap();
-            assert_eq!(
-                outcome.image.load(heap),
-                outcome.image.load(heap.offset_words(8)),
-                "canary pair must never tear under redo"
-            );
-        }
     }
 }

@@ -1,0 +1,127 @@
+//! Model-agnostic runtime behavior: Figure 5 lowering per design, region
+//! recording, and lifecycle assertions.
+
+use sw_lang::{FuncCtx, HwDesign, LangModel, RuntimeConfig, ThreadRuntime};
+use sw_model::isa::{FenceKind, IsaOp, LockId};
+use sw_pmem::{Addr, PmLayout};
+
+fn setup(design: HwDesign, lang: LangModel) -> (FuncCtx, ThreadRuntime, Addr) {
+    let layout = PmLayout::new(1, 256);
+    let heap = layout.heap_base();
+    let ctx = FuncCtx::new(layout.clone(), 1);
+    let rt = ThreadRuntime::new(&layout, 0, RuntimeConfig::new(design, lang).recording());
+    (ctx, rt, heap)
+}
+
+#[test]
+fn strandweaver_store_lowering_matches_figure5() {
+    let (mut ctx, mut rt, heap) = setup(HwDesign::StrandWeaver, LangModel::Txn);
+    rt.region_begin(&mut ctx, &[LockId(0)]);
+    let trace_start = ctx.traces()[0].len();
+    rt.store(&mut ctx, heap, 7);
+    let trace: Vec<IsaOp> = ctx.traces()[0][trace_start..].to_vec();
+    // load(old) .. 6 entry stores .. clwb(entry) .. PB .. store .. clwb .. NS
+    let fences: Vec<FenceKind> = trace
+        .iter()
+        .filter_map(|op| match op {
+            IsaOp::Fence(f) => Some(*f),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        fences,
+        vec![FenceKind::PersistBarrier, FenceKind::NewStrand]
+    );
+    let clwbs = trace.iter().filter(|op| op.is_clwb()).count();
+    assert_eq!(
+        clwbs, 2,
+        "one flush for the entry line, one for the data line"
+    );
+    assert!(matches!(
+        trace.last(),
+        Some(IsaOp::Fence(FenceKind::NewStrand))
+    ));
+}
+
+#[test]
+fn intel_store_lowering_uses_sfences() {
+    let (mut ctx, mut rt, heap) = setup(HwDesign::IntelX86, LangModel::Txn);
+    rt.region_begin(&mut ctx, &[LockId(0)]);
+    let trace_start = ctx.traces()[0].len();
+    rt.store(&mut ctx, heap, 7);
+    let fences: Vec<FenceKind> = ctx.traces()[0][trace_start..]
+        .iter()
+        .filter_map(|op| match op {
+            IsaOp::Fence(f) => Some(*f),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(fences, vec![FenceKind::Sfence, FenceKind::Sfence]);
+}
+
+#[test]
+fn non_atomic_emits_no_fences_at_store() {
+    let (mut ctx, mut rt, heap) = setup(HwDesign::NonAtomic, LangModel::Txn);
+    rt.region_begin(&mut ctx, &[LockId(0)]);
+    let trace_start = ctx.traces()[0].len();
+    rt.store(&mut ctx, heap, 7);
+    let fence_count = ctx.traces()[0][trace_start..]
+        .iter()
+        .filter(|op| matches!(op, IsaOp::Fence(_)))
+        .count();
+    assert_eq!(fence_count, 0);
+}
+
+#[test]
+fn native_lowering_is_a_bare_store() {
+    let (mut ctx, mut rt, heap) = setup(HwDesign::Eadr, LangModel::Native);
+    rt.region_begin(&mut ctx, &[LockId(0)]);
+    let trace_start = ctx.traces()[0].len();
+    rt.store(&mut ctx, heap, 7);
+    let trace: Vec<IsaOp> = ctx.traces()[0][trace_start..].to_vec();
+    // Recording mode adds the old-value load; the store itself is bare.
+    assert_eq!(
+        trace,
+        vec![IsaOp::Load(heap), IsaOp::Store(heap)],
+        "log-free: no entry, no flush, no fence"
+    );
+}
+
+#[test]
+fn region_records_capture_old_and_new() {
+    for lang in LangModel::ALL {
+        let design = if lang.legal_on(HwDesign::StrandWeaver) {
+            HwDesign::StrandWeaver
+        } else {
+            HwDesign::Eadr
+        };
+        let (mut ctx, mut rt, heap) = setup(design, lang);
+        rt.region_begin(&mut ctx, &[LockId(0)]);
+        rt.store(&mut ctx, heap, 7);
+        rt.region_end(&mut ctx);
+        rt.region_begin(&mut ctx, &[LockId(0)]);
+        rt.store(&mut ctx, heap, 9);
+        rt.region_end(&mut ctx);
+        let recs = rt.records();
+        assert_eq!(recs.len(), 2, "{lang}");
+        assert_eq!(recs[0].writes, vec![(heap, 0, 7)], "{lang}");
+        assert_eq!(recs[1].writes, vec![(heap, 7, 9)], "{lang}");
+        assert!(recs[0].first_seq < recs[0].last_seq, "{lang}");
+        assert!(recs[0].last_seq < recs[1].first_seq, "{lang}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "outside a failure-atomic region")]
+fn store_outside_region_panics() {
+    let (mut ctx, mut rt, heap) = setup(HwDesign::StrandWeaver, LangModel::Txn);
+    rt.store(&mut ctx, heap, 1);
+}
+
+#[test]
+#[should_panic(expected = "do not nest")]
+fn nested_region_panics() {
+    let (mut ctx, mut rt, _) = setup(HwDesign::StrandWeaver, LangModel::Txn);
+    rt.region_begin(&mut ctx, &[LockId(0)]);
+    rt.region_begin(&mut ctx, &[LockId(1)]);
+}

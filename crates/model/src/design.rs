@@ -183,6 +183,17 @@ impl HwDesign {
         self.spec().label
     }
 
+    /// `true` for eADR-class designs: every store is durable the moment it
+    /// becomes visible, so the runtime lowering needs no ordering or drain
+    /// fences at all. Derived from the spec so a future battery-backed
+    /// design is classified by what it guarantees, not by name. Log-free
+    /// language models (`sw-lang`'s `Native`) are legal only on these
+    /// designs.
+    pub fn persists_at_visibility(self) -> bool {
+        let low = self.spec().lowering;
+        low.pairwise.is_none() && low.after_update.is_none() && low.drain.is_none()
+    }
+
     /// Looks a design up by its [`label`](HwDesign::label).
     pub fn from_label(s: &str) -> Option<HwDesign> {
         HwDesign::ALL.into_iter().find(|d| d.label() == s)

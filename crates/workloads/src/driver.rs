@@ -151,30 +151,27 @@ pub fn drive(workload: &mut dyn Workload, params: &DriverParams) -> DriverOutput
         })
         .collect();
 
+    // A threshold of 0 would fire the coordination check after every
+    // region even when every log is empty; normalize to "at least one
+    // live entry" so the protocol only runs when there is work.
+    let threshold = params.coordination_threshold.max(1);
+    let coordinates = params.strategy == LogStrategy::Undo && params.lang.batches_commits();
     let mut rng = SmallRng::seed_from_u64(params.seed);
     for r in 0..params.total_regions {
         // Round-robin with a random start per round keeps the interleaving
         // fair without starving any thread.
         let t = (r + rng.gen_range(0..params.threads)) % params.threads;
         workload.run_region(&mut ctx, &mut rts[t], &mut rng, params.ops_per_region);
-        if params.strategy == LogStrategy::Undo
-            && params.lang != LangModel::Txn
-            && rts
-                .iter()
-                .any(|rt| rt.live_log_entries() >= params.coordination_threshold)
-        {
+        if coordinates && rts.iter().any(|rt| rt.live_log_entries() >= threshold) {
             coordinated_commit(&mut ctx, &mut rts);
         }
     }
     if params.clean_shutdown {
-        match (params.strategy, params.lang) {
-            (LogStrategy::Undo, LangModel::Sfr | LangModel::Atlas) => {
-                coordinated_commit(&mut ctx, &mut rts)
-            }
-            _ => {
-                for rt in &mut rts {
-                    rt.shutdown(&mut ctx);
-                }
+        if coordinates {
+            coordinated_commit(&mut ctx, &mut rts);
+        } else {
+            for rt in &mut rts {
+                rt.shutdown(&mut ctx);
             }
         }
     }
@@ -230,5 +227,54 @@ mod tests {
         // A coordination ran: the global-cut word was published.
         let cut_addr = out.layout.lock_addr(sw_lang::GLOBAL_CUT_LOCK);
         assert!(out.ctx.mem().load(cut_addr) > 0);
+    }
+
+    /// Degenerate thresholds: 0 (normalized to 1) and 1 both coordinate
+    /// after every region that logs anything. The run must terminate, must
+    /// not re-commit an already-empty log (the protocol's early return),
+    /// and must stay crash-consistent.
+    #[test]
+    fn degenerate_coordination_thresholds_terminate_and_stay_consistent() {
+        for threshold in [0u64, 1] {
+            let mut w = BenchmarkId::Queue.instantiate();
+            let mut p = DriverParams::new(HwDesign::StrandWeaver, LangModel::Sfr)
+                .threads(2)
+                .total_regions(24)
+                .clean_shutdown();
+            p.coordination_threshold = threshold;
+            let out = drive(w.as_mut(), &p);
+            // Every region committed; after the shutdown commit no live
+            // entries remain anywhere (a double commit would have tripped
+            // the log's commit-of-empty assertions or re-published cuts).
+            assert_eq!(out.regions.len(), 24, "threshold {threshold}");
+            let mut rng = SmallRng::seed_from_u64(threshold ^ 0x5eed);
+            for _ in 0..20 {
+                let outcome = harness::crash_and_recover(
+                    &out.ctx,
+                    &out.baseline,
+                    HwDesign::StrandWeaver,
+                    &mut rng,
+                );
+                harness::check_replay_consistency(&outcome, &out.baseline, &out.regions)
+                    .unwrap_or_else(|e| panic!("threshold {threshold}: {e}"));
+            }
+        }
+    }
+
+    /// The log-free Native model never coordinates (nothing to commit) and
+    /// drives cleanly end to end on eADR-class hardware.
+    #[test]
+    fn native_drives_without_coordination() {
+        let mut w = BenchmarkId::Queue.instantiate();
+        let mut p = DriverParams::new(HwDesign::Eadr, LangModel::Native)
+            .threads(2)
+            .total_regions(20)
+            .clean_shutdown();
+        p.coordination_threshold = 1; // would fire every region if logged
+        let out = drive(w.as_mut(), &p);
+        assert_eq!(out.regions.len(), 20);
+        // No commit protocol ran: the global-cut word was never published.
+        let cut_addr = out.layout.lock_addr(sw_lang::GLOBAL_CUT_LOCK);
+        assert_eq!(out.ctx.mem().load(cut_addr), 0);
     }
 }

@@ -184,8 +184,13 @@ mod tests {
     use sw_lang::{HwDesign, LangModel};
 
     fn run_clean(lang: LangModel) -> (HashmapWorkload, PmImage) {
+        let design = if lang.legal_on(HwDesign::StrandWeaver) {
+            HwDesign::StrandWeaver
+        } else {
+            HwDesign::Eadr
+        };
         let mut w = HashmapWorkload::new();
-        let p = DriverParams::new(HwDesign::StrandWeaver, lang)
+        let p = DriverParams::new(design, lang)
             .threads(4)
             .total_regions(60)
             .clean_shutdown();

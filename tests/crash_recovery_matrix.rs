@@ -21,8 +21,11 @@ fn queue_survives_crashes_under_all_models_and_designs() {
             HwDesign::NoPersistQueue,
             HwDesign::IntelX86,
             HwDesign::Hops,
+            HwDesign::Eadr,
         ] {
-            campaign(BenchmarkId::Queue, lang, design, 16, 8);
+            if lang.legal_on(design) {
+                campaign(BenchmarkId::Queue, lang, design, 16, 8);
+            }
         }
     }
 }
@@ -30,7 +33,12 @@ fn queue_survives_crashes_under_all_models_and_designs() {
 #[test]
 fn hashmap_survives_crashes() {
     for lang in LangModel::ALL {
-        campaign(BenchmarkId::Hashmap, lang, HwDesign::StrandWeaver, 16, 8);
+        let design = if lang.legal_on(HwDesign::StrandWeaver) {
+            HwDesign::StrandWeaver
+        } else {
+            HwDesign::Eadr
+        };
+        campaign(BenchmarkId::Hashmap, lang, design, 16, 8);
     }
     campaign(
         BenchmarkId::Hashmap,

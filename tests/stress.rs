@@ -10,7 +10,12 @@ use strandweaver::{BenchmarkId, HwDesign, LangModel};
 fn full_scale_crash_matrix() {
     for bench in BenchmarkId::ALL {
         for lang in LangModel::ALL {
-            Experiment::new(bench, lang, HwDesign::StrandWeaver)
+            let design = if lang.legal_on(HwDesign::StrandWeaver) {
+                HwDesign::StrandWeaver
+            } else {
+                HwDesign::Eadr
+            };
+            Experiment::new(bench, lang, design)
                 .threads(8)
                 .total_regions(120)
                 .ops_per_region(2)
