@@ -47,4 +47,21 @@ for design in $designs; do
 done
 echo "compatibility matrix ok"
 
+echo "== swctl faults (fixed-seed injection smoke) =="
+# Deterministic campaign: every injected fault (including the bitflip
+# class — checksum corruption) must be detected at its exact location,
+# and any Strict rejection of an uninjected control image would fail the
+# whole campaign (zero false positives).
+faults_out=$("$SWCTL" faults queue --lang txn --design strandweaver \
+  --threads 2 --regions 16 --ops 2 --rounds 9 --seed 42 --json)
+if ! grep -q '"fully_detected":true' <<<"$faults_out"; then
+  echo "ci: fault campaign missed an injection: $faults_out" >&2
+  exit 1
+fi
+if ! grep -q '"class":"bitflip","injected":3,"detected":3' <<<"$faults_out"; then
+  echo "ci: bitflip (checksum corruption) tally unexpected: $faults_out" >&2
+  exit 1
+fi
+echo "fault smoke ok"
+
 echo "ci: all gates passed"

@@ -1,11 +1,12 @@
 //! `swctl` — command-line driver for the StrandWeaver reproduction.
 //!
 //! ```text
-//! swctl run   <benchmark> [--lang txn|sfr|atlas|native] [--design <d>] [--redo]
-//!             [--threads N] [--regions N] [--ops N] [--sq N] [--pq N]
-//!             [--stats] [--json]
-//! swctl crash <benchmark> [--rounds N] [--design <d>] [--lang ...] [--redo]
-//! swctl trace <benchmark> [--out <file.json>] [--jsonl] [run flags]
+//! swctl run    <benchmark> [--lang txn|sfr|atlas|native] [--design <d>] [--redo]
+//!              [--threads N] [--regions N] [--ops N] [--sq N] [--pq N]
+//!              [--stats] [--json] [--seed N]
+//! swctl crash  <benchmark> [--rounds N] [--design <d>] [--lang ...] [--redo]
+//! swctl faults <benchmark> [--rounds N] [--json] [crash flags]
+//! swctl trace  <benchmark> [--out <file.json>] [--jsonl] [run flags]
 //! swctl litmus | fig1 | fig2 | table1
 //! swctl table2 [--json]
 //! swctl summary [--json] [--lang <l>]
@@ -21,6 +22,12 @@
 //! `ui.perfetto.dev`); `--jsonl` switches to flat JSON-lines. `--json`
 //! emits machine-readable results instead of the formatted report.
 //! Unknown flags are an error on every subcommand.
+//!
+//! `faults` runs the fault-injection campaign: each sampled crash image is
+//! perturbed (torn entry, bit flip, or poisoned line) and recovery must
+//! detect every injection, salvage around it, and reconverge when itself
+//! interrupted. A failure prints a one-line reproducer (seed + flags) and
+//! exits 1. `--seed N` pins the whole campaign for replay.
 
 use strandweaver::experiment::Experiment;
 use strandweaver::{BenchmarkId, HwDesign, LangModel};
@@ -69,8 +76,11 @@ fn check_legal(lang: LangModel, design: HwDesign) {
 fn usage() -> ! {
     eprintln!(
         "usage: swctl <command>\n\
-         \n  run <benchmark>    simulate one cell (flags: --lang --design --redo --threads --regions --ops --sq --pq --stats --json)\
+         \n  run <benchmark>    simulate one cell (flags: --lang --design --redo --threads --regions --ops --sq --pq --stats --json --seed)\
          \n  crash <benchmark>  crash-consistency campaign (flags as above plus --rounds)\
+         \n  faults <benchmark> fault-injection campaign: inject torn/bitflip/poison damage into\
+         \n                     sampled crash images and verify detection, salvage, and convergence\
+         \n                     (crash flags plus --json; failures print a seeded reproducer)\
          \n  trace <benchmark>  simulate with event tracing, write a Perfetto timeline (--out FILE, --jsonl)\
          \n  litmus             run the Figure 2 litmus suite\
          \n  table1|table2|fig1|fig2|fig7|fig8|fig9|fig10|summary  regenerate a table/figure (--json where tabular)\
@@ -101,6 +111,7 @@ struct Flags {
     out: Option<String>,
     sq: Option<usize>,
     pq: Option<usize>,
+    seed: Option<u64>,
 }
 
 fn parse_flags(args: &[String]) -> Flags {
@@ -119,6 +130,7 @@ fn parse_flags(args: &[String]) -> Flags {
         out: None,
         sq: None,
         pq: None,
+        seed: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -144,6 +156,7 @@ fn parse_flags(args: &[String]) -> Flags {
             "--rounds" => f.rounds = next("--rounds").parse().unwrap_or_else(|_| usage()),
             "--sq" => f.sq = Some(next("--sq").parse().unwrap_or_else(|_| usage())),
             "--pq" => f.pq = Some(next("--pq").parse().unwrap_or_else(|_| usage())),
+            "--seed" => f.seed = Some(next("--seed").parse().unwrap_or_else(|_| usage())),
             other => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
@@ -163,6 +176,9 @@ fn experiment(bench: BenchmarkId, f: &Flags) -> Experiment {
         .threads(f.threads)
         .total_regions(f.regions)
         .ops_per_region(f.ops);
+    if let Some(seed) = f.seed {
+        e = e.seed(seed);
+    }
     if let Some(sq) = f.sq {
         e.sim.store_queue_entries = sq.max(1);
     }
@@ -279,6 +295,25 @@ fn main() {
                 Ok(()) => println!("{bench}: {} crash states recovered consistently", f.rounds),
                 Err(e) => {
                     println!("{bench}: INCONSISTENT — {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "faults" => {
+            let Some(bench) = args.get(1).and_then(|s| parse_bench(s)) else {
+                usage()
+            };
+            let f = parse_flags(&args[2..]);
+            match experiment(bench, &f).run_fault_campaign(f.rounds) {
+                Ok(report) => {
+                    if f.json {
+                        println!("{}", report.to_json().render());
+                    } else {
+                        print!("{bench}: fault campaign passed\n{}", report.render());
+                    }
+                }
+                Err(e) => {
+                    println!("{bench}: FAULT CAMPAIGN FAILED — {e}");
                     std::process::exit(1);
                 }
             }

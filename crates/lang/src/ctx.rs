@@ -61,6 +61,9 @@ struct CtxMetrics {
     /// Per-thread live (uncommitted) log-entry gauge; `max` is the
     /// log high-water mark of the run.
     log_live: Vec<GaugeId>,
+    faults_injected: CounterId,
+    faults_detected: CounterId,
+    faults_salvaged: CounterId,
 }
 
 impl FuncCtx {
@@ -86,13 +89,16 @@ impl FuncCtx {
         self.trace = Some(sink);
     }
 
-    /// Enables the runtime metrics registry: log append/commit counters
-    /// plus a per-thread live-entry gauge whose `max` is the log
-    /// high-water mark.
+    /// Enables the runtime metrics registry: log append/commit and
+    /// fault-campaign counters plus a per-thread live-entry gauge whose
+    /// `max` is the log high-water mark.
     pub fn enable_metrics(&mut self) {
         let mut reg = MetricsRegistry::new();
         let log_appends = reg.counter("log.appends");
         let log_commits = reg.counter("log.commits");
+        let faults_injected = reg.counter("faults.injected");
+        let faults_detected = reg.counter("faults.detected");
+        let faults_salvaged = reg.counter("faults.salvaged");
         let log_live = (0..self.traces.len())
             .map(|t| reg.gauge(&format!("thread{t}.log_live")))
             .collect();
@@ -101,6 +107,9 @@ impl FuncCtx {
             log_appends,
             log_commits,
             log_live,
+            faults_injected,
+            faults_detected,
+            faults_salvaged,
         });
     }
 
@@ -119,6 +128,9 @@ impl FuncCtx {
             match event {
                 TraceEvent::LogAppend { .. } => m.reg.inc(m.log_appends),
                 TraceEvent::LogCommit { .. } => m.reg.inc(m.log_commits),
+                TraceEvent::FaultInjected { .. } => m.reg.inc(m.faults_injected),
+                TraceEvent::CorruptionDetected { .. } => m.reg.inc(m.faults_detected),
+                TraceEvent::RegionSalvaged { .. } => m.reg.inc(m.faults_salvaged),
                 _ => {}
             }
         }

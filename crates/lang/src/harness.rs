@@ -19,14 +19,18 @@
 //!    the run's stores in execution order — strict persistency, no
 //!    rollback).
 
+use std::collections::HashSet;
+
 use rand::Rng;
 
 use sw_model::crash::sample_set;
 use sw_model::{crash, Pmo};
-use sw_pmem::PmImage;
+use sw_pmem::{Addr, PmImage, PmLayout};
 
 use crate::ctx::FuncCtx;
-use crate::recovery::{recover, RecoveryReport};
+use crate::recovery::{
+    recover, recover_with_policy, PolicyOutcome, RecoveryPolicy, RecoveryReport,
+};
 use crate::runtime::RegionRecord;
 use sw_model::HwDesign;
 
@@ -191,6 +195,115 @@ pub fn check_prefix_consistency(
         writes.len(),
         best.0
     ))
+}
+
+/// [`check_replay_consistency`] restricted to the data a `Salvage`-policy
+/// recovery still vouches for: every address written by a region of a
+/// salvaged thread is dropped from the contract (the salvaged thread's log
+/// was damaged, so neither its rollback nor its commit evidence can be
+/// trusted — including on addresses it shares with healthy threads).
+///
+/// `image` is the recovered image `recover_with_policy` produced.
+///
+/// # Errors
+///
+/// Returns a description of the first mismatching in-contract address.
+pub fn check_salvage_consistency(
+    image: &PmImage,
+    outcome: &PolicyOutcome,
+    baseline: &PmImage,
+    regions: &[RegionRecord],
+) -> Result<(), String> {
+    let salvaged: HashSet<usize> = outcome.salvaged_threads.iter().copied().collect();
+    let excluded: HashSet<Addr> = regions
+        .iter()
+        .filter(|r| salvaged.contains(&r.tid))
+        .flat_map(|r| r.writes.iter().map(|&(addr, _, _)| addr))
+        .collect();
+    let cuts = &outcome.report.per_thread_cut;
+    let mut expected = baseline.clone();
+    let mut ordered: Vec<&RegionRecord> = regions.iter().collect();
+    ordered.sort_unstable_by_key(|r| r.first_seq);
+    for region in &ordered {
+        let cut = cuts.get(region.tid).copied().unwrap_or(0);
+        if region.last_seq <= cut {
+            for &(addr, _old, new) in &region.writes {
+                expected.store(addr, new);
+            }
+        }
+    }
+    for region in &ordered {
+        if salvaged.contains(&region.tid) {
+            continue;
+        }
+        for &(addr, _, _) in &region.writes {
+            if excluded.contains(&addr) {
+                continue;
+            }
+            let want = expected.load(addr);
+            let got = image.load(addr);
+            if want != got {
+                return Err(format!(
+                    "salvage mismatch at {addr}: expected {want}, recovered {got} \
+                     (salvaged threads {:?}, cuts {:?})",
+                    outcome.salvaged_threads, cuts
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that recovery converges when it is itself interrupted by a
+/// crash: recover `crash` fully; then, on a fresh copy, persist only a
+/// random subset of recovery's writes (the crash-during-recovery state)
+/// and recover again. Both paths must land on the identical image.
+///
+/// This holds because recovery never mutates log regions (see
+/// `sw-lang::recovery` module docs): the second pass recomputes the same
+/// write list from the untouched logs and overwrites whatever subset the
+/// interrupted pass had persisted.
+///
+/// # Errors
+///
+/// Returns a description when either recovery fails under `policy` or the
+/// two recovered images differ.
+pub fn recovery_reconverges<R: Rng>(
+    crash: &PmImage,
+    layout: &PmLayout,
+    policy: RecoveryPolicy,
+    rng: &mut R,
+) -> Result<(), String> {
+    let mut full = crash.clone();
+    let outcome = recover_with_policy(&mut full, layout, policy)
+        .map_err(|e| format!("baseline recovery failed: {e}"))?;
+    let mut interrupted = crash.clone();
+    let mut persisted = 0usize;
+    for &(addr, value) in &outcome.writes {
+        if rng.gen_bool(0.5) {
+            interrupted.store(addr, value);
+            persisted += 1;
+        }
+    }
+    let second = recover_with_policy(&mut interrupted, layout, policy)
+        .map_err(|e| format!("re-recovery after interruption failed: {e}"))?;
+    if second.report != outcome.report {
+        return Err(format!(
+            "re-recovery diverged in its report after {persisted}/{} partial \
+             writes: {:?} vs {:?}",
+            outcome.writes.len(),
+            second.report,
+            outcome.report
+        ));
+    }
+    if interrupted != full {
+        return Err(format!(
+            "re-recovery diverged from the uninterrupted image after \
+             {persisted}/{} partial writes persisted",
+            outcome.writes.len()
+        ));
+    }
+    Ok(())
 }
 
 /// Convenience: runs `iterations` crash/recover/check rounds with fresh

@@ -58,7 +58,11 @@ pub(crate) mod runtime;
 
 pub use ctx::{CtxStats, FuncCtx};
 pub use formats::{LogFormat, LogStrategy, RecoveryAction};
+pub use log::{classify_slot, scan_log_detailed, DetailedScan, SlotState};
 pub use policies::{CommitPolicy, Consistency, LangModel};
+pub use recovery::{
+    FaultCounts, PolicyOutcome, RecoveryError, RecoveryFault, RecoveryPolicy, RecoveryReport,
+};
 pub use runtime::{
     coordinated_commit, RegionRecord, RuntimeConfig, ThreadRuntime, COMMIT_TOKEN_LOCK,
     GLOBAL_CUT_LOCK, REDO_CHAIN_LOCK_BASE,

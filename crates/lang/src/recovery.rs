@@ -20,13 +20,62 @@
 //! format extends `formats/`, not this pass. A log-free (Native) run has
 //! an empty log region, so recovery is trivially clean.
 //!
+//! ## Fault awareness
+//!
+//! The scan classifies every log slot ([`crate::log::classify_slot`]) and
+//! reports damage in a [`FaultCounts`] taxonomy. [`recover_with_policy`]
+//! layers a [`RecoveryPolicy`] on top:
+//!
+//! * `Strict` — fail fast (before mutating anything) on damage that cannot
+//!   occur in a natural crash state: corrupt slots and poisoned lines.
+//!   Torn slots are benign (every crash image can contain them) and never
+//!   fail `Strict`.
+//! * `Salvage` — proceed on any damage: recover every checksum-valid
+//!   entry as usual, and report each thread whose log region holds a
+//!   damaged slot as *salvaged*. A salvaged region's log may be
+//!   incomplete, so consistency is only guaranteed for data untouched by
+//!   salvaged threads (`sw-lang::harness::check_salvage_consistency`).
+//!
+//! Under either policy recovery **never writes to log regions** — damaged
+//! slots are reported, not repaired. This keeps recovery idempotent: a
+//! crash *during* recovery persists some prefix-subset of recovery's
+//! (data-region) writes, and re-running recovery recomputes the identical
+//! write set from the untouched logs, converging to the same image
+//! (`sw-lang::harness::recovery_reconverges`).
+//!
 //! [`LogFormat`]: crate::LogFormat
 
-use sw_pmem::{PmImage, PmLayout};
+use sw_pmem::{Addr, PmImage, PmLayout};
 use sw_trace::{TraceEvent, TraceSink};
 
 use crate::formats::{self, RecoveryAction};
-use crate::log::{scan_log, DecodedEntry, EntryType};
+use crate::log::{scan_log_detailed, DecodedEntry, DetailedScan, EntryType};
+
+/// Counts of damaged log slots discovered by recovery's scan, by damage
+/// class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Torn slots: checksum mismatch explainable as a partial persist.
+    pub torn: usize,
+    /// Corrupt slots: checksum mismatch no tear can explain.
+    pub checksum_mismatch: usize,
+    /// Poisoned lines (uncorrectable media errors), including log header
+    /// and commit-metadata lines.
+    pub poisoned: usize,
+}
+
+impl FaultCounts {
+    /// Total damaged slots across all classes.
+    pub fn total(&self) -> usize {
+        self.torn + self.checksum_mismatch + self.poisoned
+    }
+
+    /// Damage that cannot arise in a natural crash state (corruption or
+    /// media failure, as opposed to benign tears).
+    pub fn fatal(&self) -> usize {
+        self.checksum_mismatch + self.poisoned
+    }
+}
 
 /// Statistics about one recovery pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +91,8 @@ pub struct RecoveryReport {
     pub replayed_redo: usize,
     /// Synchronization entries skipped during rollback.
     pub sync_entries: usize,
+    /// Damaged log slots discovered by the scan, by class.
+    pub detected: FaultCounts,
 }
 
 impl RecoveryReport {
@@ -49,6 +100,127 @@ impl RecoveryReport {
     pub fn was_clean(&self) -> bool {
         self.rolled_back_stores == 0 && self.replayed_redo == 0
     }
+}
+
+/// How [`recover_with_policy`] responds to damaged log slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryPolicy {
+    /// Fail fast — before mutating the image — on damage that a natural
+    /// crash cannot produce (corrupt slots, poisoned lines). Benign tears
+    /// do not fail `Strict`.
+    Strict,
+    /// Recover everything checksum-valid and report threads whose log
+    /// regions held damage as salvaged; their data is dropped from the
+    /// consistency contract.
+    Salvage,
+}
+
+/// One damaged location discovered by the recovery scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryFault {
+    /// A torn log slot (benign: partial persist of a fresh entry).
+    TornEntry {
+        /// Owning thread.
+        tid: usize,
+        /// Slot index within the thread's log region (line offset; slot 0
+        /// is the header).
+        slot: u64,
+    },
+    /// A corrupt log slot: checksum mismatch no tear can explain.
+    ChecksumMismatch {
+        /// Owning thread.
+        tid: usize,
+        /// Slot index within the thread's log region.
+        slot: u64,
+    },
+    /// A poisoned line inside a thread's log region (data slot or header).
+    PoisonedLine {
+        /// Owning thread.
+        tid: usize,
+        /// Cache-line index (`LineAddr` raw value).
+        line: u64,
+    },
+    /// The machine-wide commit-metadata line (global coordinated-commit
+    /// cut) is poisoned: no thread's cut can be trusted.
+    PoisonedMeta {
+        /// Cache-line index (`LineAddr` raw value).
+        line: u64,
+    },
+}
+
+impl RecoveryFault {
+    /// `true` for damage that fails the `Strict` policy (anything a
+    /// natural crash state cannot contain).
+    pub fn is_fatal(self) -> bool {
+        !matches!(self, RecoveryFault::TornEntry { .. })
+    }
+
+    /// Owning thread, when the fault lies inside one thread's log region.
+    pub fn tid(self) -> Option<usize> {
+        match self {
+            RecoveryFault::TornEntry { tid, .. }
+            | RecoveryFault::ChecksumMismatch { tid, .. }
+            | RecoveryFault::PoisonedLine { tid, .. } => Some(tid),
+            RecoveryFault::PoisonedMeta { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            RecoveryFault::TornEntry { tid, slot } => {
+                write!(f, "torn log entry (thread {tid}, slot {slot})")
+            }
+            RecoveryFault::ChecksumMismatch { tid, slot } => {
+                write!(f, "log checksum mismatch (thread {tid}, slot {slot})")
+            }
+            RecoveryFault::PoisonedLine { tid, line } => {
+                write!(f, "poisoned log line {line} (thread {tid})")
+            }
+            RecoveryFault::PoisonedMeta { line } => {
+                write!(f, "poisoned commit-metadata line {line}")
+            }
+        }
+    }
+}
+
+/// Structured failure of a `Strict`-policy recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryError {
+    /// The first fatal fault encountered (scan order).
+    pub first: RecoveryFault,
+    /// Everything the scan detected, by class.
+    pub detected: FaultCounts,
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "strict recovery refused a damaged image: {} \
+             ({} torn, {} corrupt, {} poisoned)",
+            self.first, self.detected.torn, self.detected.checksum_mismatch, self.detected.poisoned
+        )
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Result of a policy-aware recovery pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyOutcome {
+    /// The usual recovery statistics.
+    pub report: RecoveryReport,
+    /// Every damaged location, in scan order.
+    pub faults: Vec<RecoveryFault>,
+    /// Threads whose log regions held damage (always empty under
+    /// `Strict`, which errors instead). Sorted ascending.
+    pub salvaged_threads: Vec<usize>,
+    /// Recovery's data-region writes in application order (replay then
+    /// rollback). Re-applying any prefix-closed subset and re-running
+    /// recovery converges to the same image (see module docs).
+    pub writes: Vec<(Addr, u64)>,
 }
 
 /// Runs recovery over a crashed PM image, mutating it to the recovered
@@ -68,10 +240,136 @@ pub fn recover_traced(
     recover_inner(img, layout, Some(sink))
 }
 
+/// Runs fault-aware recovery under `policy`.
+///
+/// `Strict` returns an error — leaving `img` untouched — when the scan
+/// finds fatal damage; otherwise both policies mutate `img` to the
+/// recovered state and describe what happened in the [`PolicyOutcome`].
+/// On an undamaged image the mutation and the embedded
+/// [`RecoveryReport`] are identical to [`recover`]'s.
+///
+/// # Errors
+///
+/// [`RecoveryError`] under [`RecoveryPolicy::Strict`] when a corrupt slot
+/// or poisoned line is detected. `Salvage` never errors.
+pub fn recover_with_policy(
+    img: &mut PmImage,
+    layout: &PmLayout,
+    policy: RecoveryPolicy,
+) -> Result<PolicyOutcome, RecoveryError> {
+    recover_policy_inner(img, layout, policy, None)
+}
+
+/// As [`recover_with_policy`], tracing recovery phases plus one
+/// `CorruptionDetected` event per damaged slot and one `RegionSalvaged`
+/// event per salvaged thread.
+pub fn recover_with_policy_traced(
+    img: &mut PmImage,
+    layout: &PmLayout,
+    policy: RecoveryPolicy,
+    sink: &mut dyn TraceSink,
+) -> Result<PolicyOutcome, RecoveryError> {
+    recover_policy_inner(img, layout, policy, Some(sink))
+}
+
 fn note(sink: &mut Option<&mut dyn TraceSink>, t: &mut u64, event: TraceEvent) {
     if let Some(s) = sink.as_deref_mut() {
         s.record(*t, event);
         *t += 1;
+    }
+}
+
+/// Shared scan state: per-thread cuts plus the classified work lists.
+struct ScanState {
+    cuts: Vec<u64>,
+    rollback: Vec<DecodedEntry>,
+    replayable: Vec<DecodedEntry>,
+    discarded: usize,
+    sync_entries: usize,
+    scanned: u64,
+    detected: FaultCounts,
+}
+
+/// Folds one thread's detailed scan into the work lists. `header_cut` and
+/// `global_cut` participate in the cut computation exactly as in the
+/// legacy pass.
+fn fold_thread_scan(state: &mut ScanState, tid: usize, scan: &DetailedScan, extra_cut: u64) {
+    let cut = scan
+        .entries
+        .iter()
+        .filter(|e| e.etype == EntryType::Commit)
+        .map(|e| e.value)
+        .max()
+        .unwrap_or(0)
+        .max(extra_cut);
+    state.cuts[tid] = cut;
+    state.scanned += scan.entries.len() as u64;
+    state.detected.torn += scan.torn.len();
+    state.detected.checksum_mismatch += scan.corrupt.len();
+    state.detected.poisoned += scan.poisoned.len();
+    for e in &scan.entries {
+        match formats::recovery_action(e, cut) {
+            RecoveryAction::None => {}
+            RecoveryAction::Discard => state.discarded += 1,
+            RecoveryAction::Replay => state.replayable.push(*e),
+            RecoveryAction::RollBack => state.rollback.push(*e),
+            RecoveryAction::Sync => state.sync_entries += 1,
+        }
+    }
+}
+
+/// Orders the work lists and applies them to `img`, tracing the `redo` and
+/// `undo` phases. Returns the writes in application order.
+fn apply_writes(
+    img: &mut PmImage,
+    state: &mut ScanState,
+    sink: &mut Option<&mut dyn TraceSink>,
+    t: &mut u64,
+) -> Vec<(Addr, u64)> {
+    let mut writes = Vec::with_capacity(state.replayable.len() + state.rollback.len());
+    // Replay committed redo entries forward, in creation order.
+    note(sink, t, TraceEvent::RecoveryBegin { phase: "redo" });
+    state.replayable.sort_unstable_by_key(|e| e.seq);
+    for e in &state.replayable {
+        img.store(e.addr, e.value);
+        writes.push((e.addr, e.value));
+    }
+    note(
+        sink,
+        t,
+        TraceEvent::RecoveryEnd {
+            phase: "redo",
+            items: state.replayable.len() as u64,
+        },
+    );
+    // Roll back in reverse order of creation, across all threads.
+    note(sink, t, TraceEvent::RecoveryBegin { phase: "undo" });
+    state
+        .rollback
+        .sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
+    for e in &state.rollback {
+        img.store(e.addr, e.value);
+        writes.push((e.addr, e.value));
+    }
+    note(
+        sink,
+        t,
+        TraceEvent::RecoveryEnd {
+            phase: "undo",
+            items: state.rollback.len() as u64,
+        },
+    );
+    writes
+}
+
+fn report_of(state: ScanState) -> RecoveryReport {
+    RecoveryReport {
+        per_thread_cut: state.cuts,
+        discarded_committed: state.discarded,
+        rolled_back_stores: state.rollback.len(),
+        replayed_redo: state.replayable.len(),
+        sync_entries: state.sync_entries,
+        detected: state.detected,
     }
 }
 
@@ -81,11 +379,15 @@ fn recover_inner(
     mut sink: Option<&mut dyn TraceSink>,
 ) -> RecoveryReport {
     let mut t = 0u64;
-    let mut cuts = vec![0u64; layout.threads()];
-    let mut rollback: Vec<DecodedEntry> = Vec::new();
-    let mut replayable: Vec<DecodedEntry> = Vec::new();
-    let mut discarded = 0usize;
-    let mut sync_entries = 0usize;
+    let mut state = ScanState {
+        cuts: vec![0u64; layout.threads()],
+        rollback: Vec::new(),
+        replayable: Vec::new(),
+        discarded: 0,
+        sync_entries: 0,
+        scanned: 0,
+        detected: FaultCounts::default(),
+    };
 
     // The coordinated-commit protocol publishes a machine-wide cut in a
     // dedicated PM word; it covers every thread.
@@ -96,90 +398,375 @@ fn recover_inner(
         &mut t,
         TraceEvent::RecoveryBegin { phase: "scan" },
     );
-    let mut scanned = 0u64;
-    for (tid, cut_slot) in cuts.iter_mut().enumerate() {
+    for tid in 0..layout.threads() {
         let region = layout.log_region(tid);
-        let entries: Vec<DecodedEntry> = scan_log(img, region).collect();
+        let scan = scan_log_detailed(img, region);
         // Commit records carry the cut in their value field; stale records
         // from earlier batches have smaller cuts, so the max is correct.
         // The durable-cut header word covers entries truncated by a group
         // commit or coordinated commit.
-        let header_cut = img.load(layout.log_region(tid).base.offset_words(1));
-        let cut = entries
-            .iter()
-            .filter(|e| e.etype == EntryType::Commit)
-            .map(|e| e.value)
-            .max()
-            .unwrap_or(0)
-            .max(global_cut)
-            .max(header_cut);
-        *cut_slot = cut;
-        scanned += entries.len() as u64;
-        for e in entries {
-            match formats::recovery_action(&e, cut) {
-                RecoveryAction::None => {}
-                RecoveryAction::Discard => discarded += 1,
-                RecoveryAction::Replay => replayable.push(e),
-                RecoveryAction::RollBack => rollback.push(e),
-                RecoveryAction::Sync => sync_entries += 1,
-            }
-        }
+        let header_cut = img.load(region.base.offset_words(1));
+        fold_thread_scan(&mut state, tid, &scan, global_cut.max(header_cut));
     }
-
     note(
         &mut sink,
         &mut t,
         TraceEvent::RecoveryEnd {
             phase: "scan",
-            items: scanned,
+            items: state.scanned,
         },
     );
 
-    // Replay committed redo entries forward, in creation order.
+    apply_writes(img, &mut state, &mut sink, &mut t);
+    report_of(state)
+}
+
+fn recover_policy_inner(
+    img: &mut PmImage,
+    layout: &PmLayout,
+    policy: RecoveryPolicy,
+    mut sink: Option<&mut dyn TraceSink>,
+) -> Result<PolicyOutcome, RecoveryError> {
+    let mut t = 0u64;
+    let mut state = ScanState {
+        cuts: vec![0u64; layout.threads()],
+        rollback: Vec::new(),
+        replayable: Vec::new(),
+        discarded: 0,
+        sync_entries: 0,
+        scanned: 0,
+        detected: FaultCounts::default(),
+    };
+    let mut faults: Vec<RecoveryFault> = Vec::new();
+    let mut salvaged: Vec<usize> = Vec::new();
+
+    // The fault-aware pass refuses to trust a poisoned metadata line: the
+    // global cut reads as 0 and the damage is reported. (The legacy pass
+    // reads through poison.)
+    let global_cut_addr = layout.lock_addr(crate::runtime::GLOBAL_CUT_LOCK);
+    let meta_poisoned = img.is_poisoned(global_cut_addr.line());
+    let global_cut = if meta_poisoned {
+        faults.push(RecoveryFault::PoisonedMeta {
+            line: global_cut_addr.line().raw(),
+        });
+        0
+    } else {
+        img.load(global_cut_addr)
+    };
+
     note(
         &mut sink,
         &mut t,
-        TraceEvent::RecoveryBegin { phase: "redo" },
+        TraceEvent::RecoveryBegin { phase: "scan" },
     );
-    replayable.sort_unstable_by_key(|e| e.seq);
-    let replayed_redo = replayable.len();
-    for e in &replayable {
-        img.store(e.addr, e.value);
+    let mut scans = Vec::with_capacity(layout.threads());
+    for tid in 0..layout.threads() {
+        let region = layout.log_region(tid);
+        let scan = scan_log_detailed(img, region);
+        let region_line = region.base.line().raw();
+        // Lines per slot == 1: slot i lives at region line + i.
+        for &slot in &scan.torn {
+            faults.push(RecoveryFault::TornEntry { tid, slot });
+        }
+        for &slot in &scan.corrupt {
+            faults.push(RecoveryFault::ChecksumMismatch { tid, slot });
+        }
+        for &slot in &scan.poisoned {
+            faults.push(RecoveryFault::PoisonedLine {
+                tid,
+                line: region_line + slot,
+            });
+        }
+        // A poisoned header hides the durable-cut word; treat the cut as
+        // unknown (0) and report the damage.
+        let header_poisoned = img.is_poisoned(region.base.line());
+        let header_cut = if header_poisoned {
+            faults.push(RecoveryFault::PoisonedLine {
+                tid,
+                line: region_line,
+            });
+            0
+        } else {
+            img.load(region.base.offset_words(1))
+        };
+        if scan.damaged() || header_poisoned || meta_poisoned {
+            salvaged.push(tid);
+        }
+        scans.push((scan, global_cut.max(header_cut), header_poisoned));
+    }
+    for (tid, (scan, extra_cut, header_poisoned)) in scans.iter().enumerate() {
+        fold_thread_scan(&mut state, tid, scan, *extra_cut);
+        if *header_poisoned {
+            state.detected.poisoned += 1;
+        }
+    }
+    if meta_poisoned {
+        state.detected.poisoned += 1;
     }
     note(
         &mut sink,
         &mut t,
         TraceEvent::RecoveryEnd {
-            phase: "redo",
-            items: replayed_redo as u64,
+            phase: "scan",
+            items: state.scanned,
         },
     );
 
-    // Roll back in reverse order of creation, across all threads.
-    note(
-        &mut sink,
-        &mut t,
-        TraceEvent::RecoveryBegin { phase: "undo" },
-    );
-    rollback.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
-    let rolled_back = rollback.len();
-    for e in &rollback {
-        img.store(e.addr, e.value);
+    // Surface every damage site as a trace event, whatever the policy.
+    for f in &faults {
+        let (thread, line, kind) = match *f {
+            RecoveryFault::TornEntry { tid, slot } => {
+                let region_line = layout.log_region(tid).base.line().raw();
+                (tid as u32, region_line + slot, "torn")
+            }
+            RecoveryFault::ChecksumMismatch { tid, slot } => {
+                let region_line = layout.log_region(tid).base.line().raw();
+                (tid as u32, region_line + slot, "checksum")
+            }
+            RecoveryFault::PoisonedLine { tid, line } => (tid as u32, line, "poison"),
+            RecoveryFault::PoisonedMeta { line } => (u32::MAX, line, "poison"),
+        };
+        note(
+            &mut sink,
+            &mut t,
+            TraceEvent::CorruptionDetected { thread, line, kind },
+        );
     }
-    note(
-        &mut sink,
-        &mut t,
-        TraceEvent::RecoveryEnd {
-            phase: "undo",
-            items: rolled_back as u64,
-        },
-    );
 
-    RecoveryReport {
-        per_thread_cut: cuts,
-        discarded_committed: discarded,
-        rolled_back_stores: rolled_back,
-        replayed_redo,
-        sync_entries,
+    match policy {
+        RecoveryPolicy::Strict => {
+            if let Some(&first) = faults.iter().find(|f| f.is_fatal()) {
+                // Fail before mutating: `img` still holds the crash state.
+                return Err(RecoveryError {
+                    first,
+                    detected: state.detected,
+                });
+            }
+            salvaged.clear();
+        }
+        RecoveryPolicy::Salvage => {
+            for &tid in &salvaged {
+                let dropped = {
+                    let (scan, _, header_poisoned) = &scans[tid];
+                    (scan.torn.len() + scan.corrupt.len() + scan.poisoned.len()) as u64
+                        + u64::from(*header_poisoned)
+                };
+                note(
+                    &mut sink,
+                    &mut t,
+                    TraceEvent::RegionSalvaged {
+                        thread: tid as u32,
+                        dropped,
+                    },
+                );
+            }
+        }
+    }
+
+    let writes = apply_writes(img, &mut state, &mut sink, &mut t);
+    Ok(PolicyOutcome {
+        report: report_of(state),
+        faults,
+        salvaged_threads: salvaged,
+        writes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::FuncCtx;
+    use crate::log::{EntryPayload, EntryType, UndoLog, W_AUX, W_CHECKSUM};
+    use sw_pmem::CACHE_LINE_BYTES;
+
+    /// One thread, two uncommitted undo entries: x (5 → 9) in slot 1 and
+    /// y (6 → 8) in slot 2. Returns the crashed (fully persisted) image.
+    fn fixture() -> (PmImage, PmLayout, Addr, Addr) {
+        let layout = PmLayout::new(1, 64);
+        let mut ctx = FuncCtx::new(layout.clone(), 1);
+        let mut log = UndoLog::new(layout.log_region(0), 0);
+        let x = layout.heap_base();
+        let y = x.offset_words(8);
+        ctx.store(0, x, 5);
+        ctx.store(0, y, 6);
+        log.append(
+            &mut ctx,
+            EntryPayload {
+                etype: EntryType::Store,
+                addr: x,
+                value: 5,
+                aux: 0,
+            },
+        );
+        ctx.store(0, x, 9);
+        log.append(
+            &mut ctx,
+            EntryPayload {
+                etype: EntryType::Store,
+                addr: y,
+                value: 6,
+                aux: 0,
+            },
+        );
+        ctx.store(0, y, 8);
+        ctx.mem_mut().persist_all();
+        let img = ctx.mem().persisted_image().clone();
+        (img, layout, x, y)
+    }
+
+    fn slot_base(layout: &PmLayout, slot: u64) -> Addr {
+        Addr(layout.log_region(0).base.raw() + slot * CACHE_LINE_BYTES)
+    }
+
+    #[test]
+    fn strict_matches_legacy_on_clean_image() {
+        let (img, layout, x, y) = fixture();
+        let mut legacy = img.clone();
+        let legacy_report = recover(&mut legacy, &layout);
+        let mut strict = img.clone();
+        let out =
+            recover_with_policy(&mut strict, &layout, RecoveryPolicy::Strict).expect("clean image");
+        assert_eq!(strict, legacy, "identical recovered images");
+        assert_eq!(out.report, legacy_report, "identical reports");
+        assert!(out.faults.is_empty());
+        assert!(out.salvaged_threads.is_empty());
+        assert_eq!(out.report.rolled_back_stores, 2);
+        assert_eq!(out.report.detected, FaultCounts::default());
+        assert_eq!(strict.load(x), 5, "uncommitted x rolled back");
+        assert_eq!(strict.load(y), 6, "uncommitted y rolled back");
+        assert_eq!(out.writes.len(), 2);
+    }
+
+    #[test]
+    fn strict_fails_fast_on_corruption_without_mutating() {
+        let (mut img, layout, _, _) = fixture();
+        // Flip the zero AUX word of slot 2: every word nonzero, checksum
+        // stale — corruption no tear can explain.
+        img.store(slot_base(&layout, 2).offset_words(W_AUX), 0xbad);
+        let mut target = img.clone();
+        let err = recover_with_policy(&mut target, &layout, RecoveryPolicy::Strict)
+            .expect_err("corrupt slot must fail strict recovery");
+        assert_eq!(
+            err.first,
+            RecoveryFault::ChecksumMismatch { tid: 0, slot: 2 }
+        );
+        assert_eq!(err.detected.checksum_mismatch, 1);
+        assert_eq!(target, img, "strict failure leaves the image untouched");
+        assert!(err.to_string().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn salvage_recovers_valid_entries_and_reports_damage() {
+        let (mut img, layout, x, y) = fixture();
+        img.store(slot_base(&layout, 2).offset_words(W_AUX), 0xbad);
+        let out = recover_with_policy(&mut img, &layout, RecoveryPolicy::Salvage)
+            .expect("salvage never errors");
+        assert_eq!(out.salvaged_threads, vec![0]);
+        assert_eq!(out.report.detected.checksum_mismatch, 1);
+        assert_eq!(
+            out.faults,
+            vec![RecoveryFault::ChecksumMismatch { tid: 0, slot: 2 }]
+        );
+        // The intact undo entry still rolls back; the damaged one is lost.
+        assert_eq!(img.load(x), 5);
+        assert_eq!(img.load(y), 8, "y's undo entry was destroyed");
+    }
+
+    #[test]
+    fn torn_slot_is_benign_under_strict() {
+        let (mut img, layout, x, y) = fixture();
+        // Tear slot 2's publication: its checksum word never persisted.
+        img.store(slot_base(&layout, 2).offset_words(W_CHECKSUM), 0);
+        let out = recover_with_policy(&mut img, &layout, RecoveryPolicy::Strict)
+            .expect("tears occur naturally and must not fail strict");
+        assert_eq!(out.report.detected.torn, 1);
+        assert_eq!(
+            out.faults,
+            vec![RecoveryFault::TornEntry { tid: 0, slot: 2 }]
+        );
+        assert!(out.salvaged_threads.is_empty());
+        assert_eq!(img.load(x), 5);
+        assert_eq!(img.load(y), 8);
+    }
+
+    #[test]
+    fn poisoned_slot_fails_strict_and_salvages() {
+        let (mut img, layout, _, _) = fixture();
+        let line = slot_base(&layout, 2).line();
+        img.poison_line(line);
+        let err = recover_with_policy(&mut img.clone(), &layout, RecoveryPolicy::Strict)
+            .expect_err("poison must fail strict recovery");
+        assert_eq!(
+            err.first,
+            RecoveryFault::PoisonedLine {
+                tid: 0,
+                line: line.raw()
+            }
+        );
+        let out = recover_with_policy(&mut img, &layout, RecoveryPolicy::Salvage).unwrap();
+        assert_eq!(out.salvaged_threads, vec![0]);
+        assert_eq!(out.report.detected.poisoned, 1);
+    }
+
+    #[test]
+    fn poisoned_header_zeroes_cut_and_salvages() {
+        let (mut img, layout, _, _) = fixture();
+        img.poison_line(layout.log_region(0).base.line());
+        let out = recover_with_policy(&mut img, &layout, RecoveryPolicy::Salvage).unwrap();
+        assert_eq!(out.salvaged_threads, vec![0]);
+        assert_eq!(out.report.per_thread_cut, vec![0]);
+        assert!(out
+            .faults
+            .iter()
+            .any(|f| matches!(f, RecoveryFault::PoisonedLine { tid: 0, .. })));
+    }
+
+    #[test]
+    fn poisoned_meta_line_salvages_every_thread() {
+        let layout = PmLayout::new(2, 64);
+        let ctx = FuncCtx::new(layout.clone(), 2);
+        let mut img = ctx.mem().persisted_image().clone();
+        let meta = layout.lock_addr(crate::runtime::GLOBAL_CUT_LOCK).line();
+        img.poison_line(meta);
+        let err = recover_with_policy(&mut img.clone(), &layout, RecoveryPolicy::Strict)
+            .expect_err("meta poison must fail strict recovery");
+        assert_eq!(err.first, RecoveryFault::PoisonedMeta { line: meta.raw() });
+        let out = recover_with_policy(&mut img, &layout, RecoveryPolicy::Salvage).unwrap();
+        assert_eq!(out.salvaged_threads, vec![0, 1]);
+    }
+
+    #[test]
+    fn traced_policy_recovery_emits_detection_and_salvage_events() {
+        use sw_trace::RingRecorder;
+        let (mut img, layout, _, _) = fixture();
+        img.store(slot_base(&layout, 2).offset_words(W_AUX), 0xbad);
+        let rec = RingRecorder::new(64);
+        let mut sink = rec.clone();
+        recover_with_policy_traced(&mut img, &layout, RecoveryPolicy::Salvage, &mut sink)
+            .expect("salvage never errors");
+        let events = rec.events();
+        assert!(events
+            .iter()
+            .any(|e| e.event.kind() == "corruption_detected"));
+        assert!(events.iter().any(|e| matches!(
+            e.event,
+            TraceEvent::RegionSalvaged {
+                thread: 0,
+                dropped: 1
+            }
+        )));
+    }
+
+    #[test]
+    fn interrupted_recovery_reconverges() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let (mut img, layout, _, _) = fixture();
+        let mut rng = SmallRng::seed_from_u64(7);
+        crate::harness::recovery_reconverges(&img, &layout, RecoveryPolicy::Strict, &mut rng)
+            .expect("strict reconvergence on a clean image");
+        img.store(slot_base(&layout, 2).offset_words(W_AUX), 0xbad);
+        crate::harness::recovery_reconverges(&img, &layout, RecoveryPolicy::Salvage, &mut rng)
+            .expect("salvage reconvergence on a damaged image");
     }
 }

@@ -142,4 +142,41 @@ proptest! {
             }
         }
     }
+
+    /// On naturally sampled (uninjected) crash images, `Strict`-policy
+    /// recovery is bit-identical to the legacy pass for every language
+    /// model × log strategy: same recovered image, same report, no fatal
+    /// faults, nothing salvaged. Natural crash states can contain torn
+    /// slots, but never checksum-valid garbage or poison, so `Strict`
+    /// must never refuse one.
+    #[test]
+    fn strict_policy_matches_legacy_on_natural_images(plan in arb_regions(), seed in 0u64..10_000) {
+        for lang in LangModel::ALL {
+            for strategy in LogStrategy::ALL {
+                let design = if lang.legal_on(HwDesign::StrandWeaver) {
+                    HwDesign::StrandWeaver
+                } else {
+                    HwDesign::Eadr
+                };
+                let (ctx, base, _records) = run_plan_with(&plan, design, lang, strategy);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let (img, _) = sw_lang::harness::crash_image(&ctx, &base, design, &mut rng);
+                let layout = ctx.mem().layout().clone();
+                let mut legacy = img.clone();
+                let legacy_report = sw_lang::recovery::recover(&mut legacy, &layout);
+                let mut strict = img.clone();
+                let outcome = sw_lang::recovery::recover_with_policy(
+                    &mut strict,
+                    &layout,
+                    sw_lang::RecoveryPolicy::Strict,
+                );
+                prop_assert!(outcome.is_ok(), "{}/{}: {:?}", lang, strategy, outcome);
+                let outcome = outcome.unwrap();
+                prop_assert_eq!(&strict, &legacy, "{}/{} image diverged", lang, strategy);
+                prop_assert_eq!(&outcome.report, &legacy_report);
+                prop_assert!(outcome.salvaged_threads.is_empty());
+                prop_assert!(outcome.faults.iter().all(|f| !f.is_fatal()));
+            }
+        }
+    }
 }

@@ -194,6 +194,17 @@ impl HwDesign {
         low.pairwise.is_none() && low.after_update.is_none() && low.drain.is_none()
     }
 
+    /// `true` when logged runtimes can recover crash states of this
+    /// design: the design either enforces the pairwise log→update
+    /// ordering recovery relies on, or persists stores at visibility
+    /// (where the ordering holds for free). Only the deliberately broken
+    /// `NonAtomic` upper bound fails this — crash-consistency matrices
+    /// iterate `HwDesign::ALL` filtered by this predicate instead of
+    /// hand-listing designs.
+    pub fn recoverable(self) -> bool {
+        self.spec().lowering.pairwise.is_some() || self.persists_at_visibility()
+    }
+
     /// Looks a design up by its [`label`](HwDesign::label).
     pub fn from_label(s: &str) -> Option<HwDesign> {
         HwDesign::ALL.into_iter().find(|d| d.label() == s)
@@ -267,6 +278,13 @@ mod tests {
         assert_eq!(low.pairwise, None);
         assert_eq!(low.after_update, None);
         assert_eq!(low.drain, None, "durability is free at visibility");
+    }
+
+    #[test]
+    fn only_non_atomic_is_unrecoverable() {
+        for d in HwDesign::ALL {
+            assert_eq!(d.recoverable(), d != HwDesign::NonAtomic, "{d}");
+        }
     }
 
     #[test]

@@ -1,8 +1,22 @@
 //! Durable PM contents at word granularity.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::addr::{Addr, LineAddr, WORDS_PER_LINE};
+
+/// Error returned by [`PmImage::try_load`] when the addressed line is
+/// poisoned: the media would signal an uncorrectable error instead of
+/// returning data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoisonedLine(pub LineAddr);
+
+impl std::fmt::Display for PoisonedLine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "uncorrectable media error reading line {}", self.0)
+    }
+}
+
+impl std::error::Error for PoisonedLine {}
 
 /// The contents of persistent memory as recovery would observe them.
 ///
@@ -24,6 +38,11 @@ use crate::addr::{Addr, LineAddr, WORDS_PER_LINE};
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PmImage {
     lines: HashMap<LineAddr, [u64; WORDS_PER_LINE]>,
+    /// Lines the media reports as uncorrectable: [`PmImage::try_load`]
+    /// errors on them. A store (which rewrites the location) heals the
+    /// line, as does a full-line persist ([`PmImage::absorb_line`] /
+    /// [`PmImage::set_line_words`]).
+    poisoned: HashSet<LineAddr>,
 }
 
 impl PmImage {
@@ -33,22 +52,61 @@ impl PmImage {
     }
 
     /// Reads the word at `addr`. Unwritten memory reads as zero.
+    ///
+    /// This is the legacy infallible surface: it ignores poison and returns
+    /// whatever bits the image holds. Fault-aware readers (recovery) use
+    /// [`PmImage::try_load`] instead.
     pub fn load(&self, addr: Addr) -> u64 {
         self.lines
             .get(&addr.line())
             .map_or(0, |line| line[addr.word_in_line()])
     }
 
-    /// Writes the word at `addr`.
+    /// Reads the word at `addr`, failing if the containing line is
+    /// poisoned (an uncorrectable media error).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoisonedLine`] when the line was poisoned and not healed
+    /// by a subsequent store.
+    pub fn try_load(&self, addr: Addr) -> Result<u64, PoisonedLine> {
+        let line = addr.line();
+        if self.poisoned.contains(&line) {
+            return Err(PoisonedLine(line));
+        }
+        Ok(self.load(addr))
+    }
+
+    /// Writes the word at `addr`. Rewriting a poisoned line heals it (the
+    /// device replaces the uncorrectable data).
     pub fn store(&mut self, addr: Addr, value: u64) {
+        self.poisoned.remove(&addr.line());
         self.lines.entry(addr.line()).or_insert([0; WORDS_PER_LINE])[addr.word_in_line()] = value;
+    }
+
+    /// Marks `line` as uncorrectable: [`PmImage::try_load`] will fail on
+    /// it until a store or full-line persist heals it. The stored bits are
+    /// left in place (the legacy [`PmImage::load`] still reads them).
+    pub fn poison_line(&mut self, line: LineAddr) {
+        self.poisoned.insert(line);
+    }
+
+    /// `true` when `line` is currently poisoned.
+    pub fn is_poisoned(&self, line: LineAddr) -> bool {
+        self.poisoned.contains(&line)
+    }
+
+    /// Iterates over the currently poisoned lines.
+    pub fn poisoned_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.poisoned.iter().copied()
     }
 
     /// Copies the full contents of `line` from `src` into this image.
     ///
     /// This models a line-granular persist: the entire cache line drains to
-    /// the PM device at once.
+    /// the PM device at once (healing any poison on the destination).
     pub fn absorb_line(&mut self, line: LineAddr, src: &PmImage) {
+        self.poisoned.remove(&line);
         match src.lines.get(&line) {
             Some(words) => {
                 self.lines.insert(line, *words);
@@ -67,8 +125,9 @@ impl PmImage {
             .unwrap_or([0; WORDS_PER_LINE])
     }
 
-    /// Overwrites the words of `line`.
+    /// Overwrites the words of `line` (healing any poison).
     pub fn set_line_words(&mut self, line: LineAddr, words: [u64; WORDS_PER_LINE]) {
+        self.poisoned.remove(&line);
         if words == [0; WORDS_PER_LINE] {
             self.lines.remove(&line);
         } else {
@@ -147,6 +206,51 @@ mod tests {
         img.store(Addr(8), 2);
         img.store(Addr(64), 3);
         assert_eq!(img.line_count(), 2);
+    }
+
+    #[test]
+    fn try_load_fails_on_poisoned_line_until_healed() {
+        let mut img = PmImage::new();
+        img.store(Addr(64), 7);
+        img.poison_line(LineAddr(1));
+        assert!(img.is_poisoned(LineAddr(1)));
+        assert_eq!(img.try_load(Addr(64)), Err(PoisonedLine(LineAddr(1))));
+        assert_eq!(img.try_load(Addr(72)), Err(PoisonedLine(LineAddr(1))));
+        // The legacy surface still reads the stale bits.
+        assert_eq!(img.load(Addr(64)), 7);
+        // Other lines are unaffected.
+        assert_eq!(img.try_load(Addr(0)), Ok(0));
+        // A store heals the whole line.
+        img.store(Addr(72), 9);
+        assert!(!img.is_poisoned(LineAddr(1)));
+        assert_eq!(img.try_load(Addr(64)), Ok(7));
+    }
+
+    #[test]
+    fn full_line_persists_heal_poison() {
+        let mut img = PmImage::new();
+        img.store(Addr(64), 1);
+        img.poison_line(LineAddr(1));
+        img.absorb_line(LineAddr(1), &PmImage::new());
+        assert!(!img.is_poisoned(LineAddr(1)));
+
+        img.poison_line(LineAddr(2));
+        img.set_line_words(LineAddr(2), [5; WORDS_PER_LINE]);
+        assert!(!img.is_poisoned(LineAddr(2)));
+        assert_eq!(img.poisoned_lines().count(), 0);
+    }
+
+    #[test]
+    fn poison_participates_in_image_equality() {
+        let mut a = PmImage::new();
+        let mut b = PmImage::new();
+        a.store(Addr(64), 1);
+        b.store(Addr(64), 1);
+        assert_eq!(a, b);
+        a.poison_line(LineAddr(1));
+        assert_ne!(a, b, "poison state is part of the durable image");
+        b.poison_line(LineAddr(1));
+        assert_eq!(a, b);
     }
 
     #[test]

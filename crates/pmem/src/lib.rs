@@ -41,6 +41,6 @@ mod memory;
 pub mod timing;
 
 pub use addr::{Addr, LineAddr, CACHE_LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
-pub use image::PmImage;
+pub use image::{PmImage, PoisonedLine};
 pub use layout::{Bump, PmLayout, Region, RegionKind};
 pub use memory::Memory;

@@ -4,9 +4,17 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use sw_lang::harness::{check_prefix_consistency, check_replay_consistency, crash_and_recover};
-use sw_lang::{Consistency, HwDesign, LangModel, LogStrategy};
+use sw_faults::{FaultClass, FaultInjector, FaultPlan, InjectedFault};
+use sw_lang::harness::{
+    check_prefix_consistency, check_replay_consistency, check_salvage_consistency,
+    crash_and_recover, crash_image, recovery_reconverges, CrashOutcome,
+};
+use sw_lang::recovery::{
+    recover_with_policy, recover_with_policy_traced, RecoveryFault, RecoveryPolicy,
+};
+use sw_lang::{Consistency, HwDesign, LangModel, LogStrategy, SlotState};
 use sw_sim::{Machine, SimConfig, SimStats};
+use sw_trace::{MetricsRegistry, MetricsSnapshot};
 use sw_workloads::driver::{drive, DriverParams};
 use sw_workloads::BenchmarkId;
 
@@ -78,6 +86,13 @@ impl Experiment {
     /// Sets operations per region.
     pub fn ops_per_region(mut self, n: usize) -> Self {
         self.ops_per_region = n;
+        self
+    }
+
+    /// Sets the RNG seed (workload generation, crash sampling, and fault
+    /// injection all derive from it, so a campaign replays exactly).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -173,6 +188,7 @@ impl Experiment {
         params.strategy = self.strategy;
         let out = drive(workload.as_mut(), &params);
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xc0ffee);
+        let fail = |round: usize, e: String| self.campaign_failure("crash", rounds, round, e);
         for round in 0..rounds {
             let outcome = crash_and_recover(&out.ctx, &out.baseline, self.design, &mut rng);
             match self.lang.consistency() {
@@ -181,18 +197,419 @@ impl Experiment {
                     // cuts, which eager TXN commits and the coordinated
                     // batched commits both provide.
                     check_replay_consistency(&outcome, &out.baseline, &out.regions)
-                        .map_err(|e| format!("round {round}: {e}"))?;
+                        .map_err(|e| fail(round, e))?;
                     workload
                         .check(&outcome.image)
-                        .map_err(|e| format!("round {round}: structural check: {e}"))?;
+                        .map_err(|e| fail(round, format!("structural check: {e}")))?;
                 }
                 Consistency::DurablePrefix => {
                     check_prefix_consistency(&outcome, &out.baseline, &out.regions)
-                        .map_err(|e| format!("round {round}: {e}"))?;
+                        .map_err(|e| fail(round, e))?;
                 }
             }
         }
         Ok(())
+    }
+
+    /// Runs a fault-injection campaign: sample `rounds` crash states and,
+    /// in each, inject one fault — rotating through [`FaultClass::ALL`] —
+    /// into a published log slot, then check the hardened recovery end to
+    /// end:
+    ///
+    /// * **Detection** — [`RecoveryPolicy::Salvage`] recovery must report
+    ///   every injected fault at its exact location (thread + slot or
+    ///   line), and quarantine the damaged thread.
+    /// * **Strict fail-fast** — [`RecoveryPolicy::Strict`] must refuse the
+    ///   image *iff* the injection is fatal (corrupt or poisoned; an
+    ///   injected tear is indistinguishable from a natural one, so it
+    ///   stays benign).
+    /// * **Salvage consistency** — the surviving threads' data must still
+    ///   satisfy the replay contract
+    ///   ([`check_salvage_consistency`](sw_lang::harness::check_salvage_consistency)).
+    /// * **Convergence** — recovery interrupted by a second crash and
+    ///   re-run must land on the identical image
+    ///   ([`recovery_reconverges`](sw_lang::harness::recovery_reconverges)).
+    ///
+    /// Rounds whose crash image holds no published log entry (log-free
+    /// models, or crashes before any append persisted) become *controls*:
+    /// `Strict` recovery must succeed there and reproduce the ordinary
+    /// crash-consistency contract — an error would be a false positive of
+    /// the damage detector.
+    ///
+    /// The whole campaign derives from [`seed`](Experiment::seed): the
+    /// same cell replays the same injections. With a
+    /// [`traced`](Experiment::traced) recorder installed, injections and
+    /// detections emit `FaultInjected` / `CorruptionDetected` /
+    /// `RegionSalvaged` events.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first campaign violation, with a copy-pasteable
+    /// `swctl faults` reproducer (seed included) embedded.
+    pub fn run_fault_campaign(&self, rounds: usize) -> Result<FaultCampaignReport, String> {
+        let mut workload = self.bench.instantiate();
+        let mut params = DriverParams::new(self.design, self.lang)
+            .threads(self.threads)
+            .total_regions(self.total_regions)
+            .ops_per_region(self.ops_per_region)
+            .seed(self.seed);
+        params.strategy = self.strategy;
+        let out = drive(workload.as_mut(), &params);
+        let layout = &out.layout;
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xfa017);
+        let fail = |round: usize, e: String| self.campaign_failure("faults", rounds, round, e);
+
+        let mut registry = MetricsRegistry::new();
+        let injected_ctr = registry.counter("faults.injected");
+        let detected_ctr = registry.counter("faults.detected");
+        let salvaged_ctr = registry.counter("faults.salvaged");
+        let strict_ctr = registry.counter("faults.strict_rejections");
+        let control_ctr = registry.counter("faults.control_rounds");
+
+        let mut per_class: Vec<(FaultClass, ClassTally)> = FaultClass::ALL
+            .iter()
+            .map(|&c| (c, ClassTally::default()))
+            .collect();
+        let mut control_rounds = 0usize;
+        let mut strict_rejections = 0usize;
+        let mut reconverged = 0usize;
+
+        for round in 0..rounds {
+            let (crash, persisted) = crash_image(&out.ctx, &out.baseline, self.design, &mut rng);
+            let idx = round % FaultClass::ALL.len();
+            let class = FaultClass::ALL[idx];
+            // Per-round injector seed: deterministic, round-decorrelated.
+            let inj_seed = self.seed ^ (round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut injector = FaultInjector::new(FaultPlan::single(class), inj_seed);
+            let mut damaged = crash.clone();
+            let injected = match &self.trace {
+                Some(rec) => {
+                    let mut sink = rec.clone();
+                    injector.inject_traced(&mut damaged, layout, &mut sink)
+                }
+                None => injector.inject(&mut damaged, layout),
+            };
+
+            if injected.is_empty() {
+                // Control round: nothing was injected, so Strict recovery
+                // must accept the image — a rejection here is a detector
+                // false positive — and the recovered state must meet the
+                // ordinary crash-consistency contract.
+                control_rounds += 1;
+                registry.inc(control_ctr);
+                let mut image = crash.clone();
+                let outcome = recover_with_policy(&mut image, layout, RecoveryPolicy::Strict)
+                    .map_err(|e| {
+                        fail(
+                            round,
+                            format!("strict false positive on uninjected image: {e}"),
+                        )
+                    })?;
+                let as_crash = CrashOutcome {
+                    image,
+                    report: outcome.report,
+                    persisted_stores: persisted,
+                };
+                match self.lang.consistency() {
+                    Consistency::ReplayCommitted => {
+                        check_replay_consistency(&as_crash, &out.baseline, &out.regions)
+                            .map_err(|e| fail(round, e))?;
+                        workload
+                            .check(&as_crash.image)
+                            .map_err(|e| fail(round, format!("structural check: {e}")))?;
+                    }
+                    Consistency::DurablePrefix => {
+                        check_prefix_consistency(&as_crash, &out.baseline, &out.regions)
+                            .map_err(|e| fail(round, e))?;
+                    }
+                }
+                recovery_reconverges(&crash, layout, RecoveryPolicy::Strict, &mut rng)
+                    .map_err(|e| fail(round, e))?;
+                reconverged += 1;
+                continue;
+            }
+
+            per_class[idx].1.injected += injected.len();
+            registry.add(injected_ctr, injected.len() as u64);
+
+            // Strict must reject exactly the fatal injections; injected
+            // tears look like natural ones and must stay benign.
+            let fatal = injected.iter().any(|f| f.is_fatal());
+            let mut strict_img = damaged.clone();
+            match recover_with_policy(&mut strict_img, layout, RecoveryPolicy::Strict) {
+                Err(_) if fatal => {
+                    strict_rejections += 1;
+                    registry.inc(strict_ctr);
+                }
+                Ok(_) if !fatal => {}
+                Err(e) => {
+                    return Err(fail(
+                        round,
+                        format!("strict rejected a tear-only injection: {e}"),
+                    ))
+                }
+                Ok(_) => {
+                    return Err(fail(
+                        round,
+                        format!(
+                            "strict accepted an image with a fatal injected {} fault",
+                            class.label()
+                        ),
+                    ))
+                }
+            }
+
+            // Salvage must pinpoint every injected fault and quarantine
+            // each damaged thread.
+            let mut image = damaged.clone();
+            let outcome = match &self.trace {
+                Some(rec) => {
+                    let mut sink = rec.clone();
+                    recover_with_policy_traced(
+                        &mut image,
+                        layout,
+                        RecoveryPolicy::Salvage,
+                        &mut sink,
+                    )
+                }
+                None => recover_with_policy(&mut image, layout, RecoveryPolicy::Salvage),
+            }
+            .map_err(|e| fail(round, format!("salvage recovery errored: {e}")))?;
+            for f in &injected {
+                if !outcome.faults.iter().any(|d| fault_matches(f, d)) {
+                    return Err(fail(
+                        round,
+                        format!(
+                            "injected {} fault (thread {}, slot {}, line {}) went \
+                             undetected; recovery reported {:?}",
+                            f.class.label(),
+                            f.tid,
+                            f.slot,
+                            f.line,
+                            outcome.faults
+                        ),
+                    ));
+                }
+                if !outcome.salvaged_threads.contains(&f.tid) {
+                    return Err(fail(
+                        round,
+                        format!(
+                            "thread {} held an injected {} fault but was not salvaged \
+                             (salvaged: {:?})",
+                            f.tid,
+                            f.class.label(),
+                            outcome.salvaged_threads
+                        ),
+                    ));
+                }
+                per_class[idx].1.detected += 1;
+                per_class[idx].1.salvaged += 1;
+                registry.inc(detected_ctr);
+            }
+            registry.add(salvaged_ctr, outcome.salvaged_threads.len() as u64);
+
+            // Natural tears may salvage additional threads; the contract
+            // check already excludes every salvaged thread's data.
+            if matches!(self.lang.consistency(), Consistency::ReplayCommitted) {
+                check_salvage_consistency(&image, &outcome, &out.baseline, &out.regions)
+                    .map_err(|e| fail(round, e))?;
+            }
+            recovery_reconverges(&damaged, layout, RecoveryPolicy::Salvage, &mut rng)
+                .map_err(|e| fail(round, e))?;
+            reconverged += 1;
+        }
+
+        Ok(FaultCampaignReport {
+            rounds,
+            control_rounds,
+            strict_rejections,
+            per_class,
+            reconverged,
+            metrics: registry.snapshot(),
+        })
+    }
+
+    /// The copy-pasteable `swctl` invocation replaying this cell exactly
+    /// (the seed pins workload generation, crash sampling, and fault
+    /// injection).
+    fn repro_cmd(&self, subcommand: &str, rounds: usize) -> String {
+        let redo = if matches!(self.strategy, LogStrategy::Redo) {
+            " --redo"
+        } else {
+            ""
+        };
+        format!(
+            "swctl {subcommand} {} --lang {} --design {} --threads {} --regions {} \
+             --ops {} --rounds {rounds} --seed {}{redo}",
+            self.bench,
+            self.lang,
+            self.design,
+            self.threads,
+            self.total_regions,
+            self.ops_per_region,
+            self.seed,
+        )
+    }
+
+    /// Formats a campaign failure with its minimal reproducer attached.
+    fn campaign_failure(
+        &self,
+        subcommand: &str,
+        rounds: usize,
+        round: usize,
+        detail: String,
+    ) -> String {
+        format!(
+            "round {round}: {detail}\n  seed {}: reproduce with `{}`",
+            self.seed,
+            self.repro_cmd(subcommand, rounds)
+        )
+    }
+}
+
+/// `true` when recovery's reported fault `d` is the campaign's injected
+/// fault `f`. Matching goes by the *resulting* slot state, not the
+/// injected class: a bit flip that lands next to a legitimately-zero
+/// payload word classifies — and is correctly reported — as a tear.
+fn fault_matches(f: &InjectedFault, d: &RecoveryFault) -> bool {
+    match (&f.resulting, d) {
+        (SlotState::Torn, RecoveryFault::TornEntry { tid, slot }) => {
+            *tid == f.tid && *slot == f.slot
+        }
+        (SlotState::Corrupt, RecoveryFault::ChecksumMismatch { tid, slot }) => {
+            *tid == f.tid && *slot == f.slot
+        }
+        (SlotState::Poisoned, RecoveryFault::PoisonedLine { tid, line }) => {
+            *tid == f.tid && *line == f.line
+        }
+        _ => false,
+    }
+}
+
+/// Per-fault-class tally of a campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassTally {
+    /// Faults injected.
+    pub injected: usize,
+    /// Faults recovery reported at the exact injected location.
+    pub detected: usize,
+    /// Faults whose owning thread the `Salvage` policy quarantined.
+    pub salvaged: usize,
+}
+
+/// What [`Experiment::run_fault_campaign`] measured.
+#[derive(Debug, Clone)]
+pub struct FaultCampaignReport {
+    /// Campaign rounds executed.
+    pub rounds: usize,
+    /// Rounds where the crash image held no published log entry, run as
+    /// uninjected controls (the `Strict` false-positive check).
+    pub control_rounds: usize,
+    /// Injected rounds the `Strict` policy refused (every fatal one).
+    pub strict_rejections: usize,
+    /// Tallies per fault class, in [`FaultClass::ALL`] order.
+    pub per_class: Vec<(FaultClass, ClassTally)>,
+    /// Rounds whose interrupted re-recovery converged (all of them, or the
+    /// campaign would have errored).
+    pub reconverged: usize,
+    /// Campaign counters (`faults.injected`, `faults.detected`,
+    /// `faults.salvaged`, `faults.strict_rejections`,
+    /// `faults.control_rounds`).
+    pub metrics: MetricsSnapshot,
+}
+
+impl FaultCampaignReport {
+    /// Total faults injected across classes.
+    pub fn injected(&self) -> usize {
+        self.per_class.iter().map(|(_, t)| t.injected).sum()
+    }
+
+    /// Total faults detected at their exact location.
+    pub fn detected(&self) -> usize {
+        self.per_class.iter().map(|(_, t)| t.detected).sum()
+    }
+
+    /// `true` when every injected fault was detected (the campaign's
+    /// headline requirement).
+    pub fn fully_detected(&self) -> bool {
+        self.injected() == self.detected()
+    }
+
+    /// Renders the human-readable campaign table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{} rounds ({} injected, {} controls), {} strict rejections, \
+             {} reconverged",
+            self.rounds,
+            self.rounds - self.control_rounds,
+            self.control_rounds,
+            self.strict_rejections,
+            self.reconverged,
+        );
+        let _ = writeln!(
+            s,
+            "{:<10} {:>9} {:>9} {:>9}",
+            "class", "injected", "detected", "salvaged"
+        );
+        for (class, t) in &self.per_class {
+            let _ = writeln!(
+                s,
+                "{:<10} {:>9} {:>9} {:>9}",
+                class.label(),
+                t.injected,
+                t.detected,
+                t.salvaged
+            );
+        }
+        let _ = writeln!(
+            s,
+            "detection: {}/{} ({})",
+            self.detected(),
+            self.injected(),
+            if self.fully_detected() {
+                "complete"
+            } else {
+                "INCOMPLETE"
+            },
+        );
+        s
+    }
+
+    /// Machine-readable form of the campaign report.
+    pub fn to_json(&self) -> sw_trace::Json {
+        use sw_trace::Json;
+        Json::obj([
+            ("rounds", Json::U64(self.rounds as u64)),
+            ("control_rounds", Json::U64(self.control_rounds as u64)),
+            (
+                "strict_rejections",
+                Json::U64(self.strict_rejections as u64),
+            ),
+            ("reconverged", Json::U64(self.reconverged as u64)),
+            ("injected", Json::U64(self.injected() as u64)),
+            ("detected", Json::U64(self.detected() as u64)),
+            ("fully_detected", Json::Bool(self.fully_detected())),
+            (
+                "per_class",
+                Json::Arr(
+                    self.per_class
+                        .iter()
+                        .map(|(class, t)| {
+                            Json::obj([
+                                ("class", Json::Str(class.label().to_string())),
+                                ("injected", Json::U64(t.injected as u64)),
+                                ("detected", Json::U64(t.detected as u64)),
+                                ("salvaged", Json::U64(t.salvaged as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("metrics", self.metrics.to_json()),
+        ])
     }
 }
 
@@ -324,6 +741,94 @@ mod tests {
             e.run_crash_campaign(150).is_err(),
             "non-atomic must eventually corrupt"
         );
+    }
+
+    #[test]
+    fn crash_campaign_failures_embed_a_reproducer() {
+        let e = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::NonAtomic)
+            .total_regions(40)
+            .seed(77);
+        let err = e.run_crash_campaign(150).unwrap_err();
+        assert!(err.contains("seed 77"), "{err}");
+        assert!(
+            err.contains("swctl crash queue --lang txn --design non-atomic"),
+            "{err}"
+        );
+        assert!(err.contains("--rounds 150 --seed 77"), "{err}");
+    }
+
+    #[test]
+    fn fault_campaign_detects_every_injection() {
+        let report = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver)
+            .run_fault_campaign(9)
+            .expect("campaign must pass on recoverable hardware");
+        assert!(
+            report.injected() > 0,
+            "sampled crash states should expose live log entries"
+        );
+        assert!(report.fully_detected(), "{}", report.render());
+        assert_eq!(report.reconverged, report.rounds);
+        assert_eq!(
+            report.metrics.counter("faults.injected"),
+            Some(report.injected() as u64)
+        );
+        assert_eq!(
+            report.metrics.counter("faults.detected"),
+            Some(report.detected() as u64)
+        );
+    }
+
+    #[test]
+    fn fault_campaign_on_log_free_native_is_all_controls() {
+        // The Native model writes no log entries, so there is nothing to
+        // inject into: every round is an uninjected `Strict` control.
+        let report = small(BenchmarkId::Queue, LangModel::Native, HwDesign::Eadr)
+            .run_fault_campaign(6)
+            .expect("log-free campaign is a pure false-positive check");
+        assert_eq!(report.control_rounds, report.rounds);
+        assert_eq!(report.injected(), 0);
+        assert_eq!(report.strict_rejections, 0);
+    }
+
+    #[test]
+    fn fault_campaign_replays_from_its_seed() {
+        let run = || {
+            small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver)
+                .seed(99)
+                .run_fault_campaign(6)
+                .expect("campaign")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.per_class, b.per_class);
+        assert_eq!(a.control_rounds, b.control_rounds);
+        assert_eq!(a.strict_rejections, b.strict_rejections);
+    }
+
+    #[test]
+    fn fault_campaign_report_renders_and_serializes() {
+        let report = small(BenchmarkId::ArraySwap, LangModel::Sfr, HwDesign::IntelX86)
+            .run_fault_campaign(6)
+            .expect("campaign");
+        let text = report.render();
+        assert!(text.contains("bitflip"), "{text}");
+        let json = report.to_json().render();
+        for key in ["per_class", "fully_detected", "faults.injected"] {
+            assert!(json.contains(key), "{json}");
+        }
+    }
+
+    #[test]
+    fn traced_fault_campaign_emits_injection_and_detection_events() {
+        let rec = sw_trace::RingRecorder::new(1 << 16);
+        let report = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver)
+            .traced(rec.clone())
+            .run_fault_campaign(6)
+            .expect("campaign");
+        let events = rec.events();
+        let count = |kind: &str| events.iter().filter(|e| e.event.kind() == kind).count();
+        assert_eq!(count("fault_injected"), report.injected());
+        assert!(count("corruption_detected") >= report.detected());
+        assert!(count("region_salvaged") > 0);
     }
 
     #[test]

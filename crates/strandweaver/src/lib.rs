@@ -20,6 +20,8 @@
 //! * [`lang`] (`sw-lang`) — language-level persistency runtimes (TXN, SFR,
 //!   ATLAS) with undo logging lowered per design (Figure 5), recovery
 //!   (Figure 6), and a crash-injection harness.
+//! * [`faults`] (`sw-faults`) — deterministic fault injection over crash
+//!   images: torn log entries, bit flips, poisoned lines.
 //! * [`workloads`] (`sw-workloads`) — the Table II benchmarks.
 //! * [`experiment`] — the end-to-end runner used by the benchmark harness
 //!   to regenerate every table and figure.
@@ -69,6 +71,12 @@ pub mod lang {
 /// The Table II workloads (re-export of `sw-workloads`).
 pub mod workloads {
     pub use sw_workloads::*;
+}
+
+/// Deterministic fault injection over crash images (re-export of
+/// `sw-faults`).
+pub mod faults {
+    pub use sw_faults::*;
 }
 
 /// Structured tracing, metrics, and timeline export (re-export of

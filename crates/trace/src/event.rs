@@ -156,6 +156,33 @@ pub enum TraceEvent {
         /// Items processed in the phase (entries scanned / applied).
         items: u64,
     },
+    /// A fault-injection campaign perturbed one line of a crash image.
+    FaultInjected {
+        /// Logical thread owning the damaged log region (`u32::MAX` for
+        /// faults outside any log region).
+        thread: u32,
+        /// Cache line perturbed (`LineAddr` raw value).
+        line: u64,
+        /// Fault class label (`torn`, `bitflip`, `poison`).
+        class: &'static str,
+    },
+    /// Recovery's scan classified a log slot as damaged.
+    CorruptionDetected {
+        /// Logical thread owning the log region.
+        thread: u32,
+        /// Cache line of the damaged slot (`LineAddr` raw value).
+        line: u64,
+        /// Damage kind label (`torn`, `checksum`, `poison`).
+        kind: &'static str,
+    },
+    /// Salvage-policy recovery dropped a damaged log region from the
+    /// consistency contract instead of failing.
+    RegionSalvaged {
+        /// Logical thread whose log was salvaged.
+        thread: u32,
+        /// Damaged slots that caused the salvage.
+        dropped: u64,
+    },
 }
 
 impl TraceEvent {
@@ -177,6 +204,9 @@ impl TraceEvent {
             TraceEvent::LogCommit { .. } => "log_commit",
             TraceEvent::RecoveryBegin { .. } => "recovery_begin",
             TraceEvent::RecoveryEnd { .. } => "recovery_end",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::CorruptionDetected { .. } => "corruption_detected",
+            TraceEvent::RegionSalvaged { .. } => "region_salvaged",
         }
     }
 }
@@ -258,6 +288,24 @@ impl TimedEvent {
             TraceEvent::RecoveryEnd { phase, items } => {
                 push("phase", Json::Str(phase.to_string()));
                 push("items", Json::U64(items));
+            }
+            TraceEvent::FaultInjected {
+                thread,
+                line,
+                class,
+            } => {
+                push("thread", Json::U64(thread.into()));
+                push("line", Json::U64(line));
+                push("class", Json::Str(class.to_string()));
+            }
+            TraceEvent::CorruptionDetected { thread, line, kind } => {
+                push("thread", Json::U64(thread.into()));
+                push("line", Json::U64(line));
+                push("kind", Json::Str(kind.to_string()));
+            }
+            TraceEvent::RegionSalvaged { thread, dropped } => {
+                push("thread", Json::U64(thread.into()));
+                push("dropped", Json::U64(dropped));
             }
         }
         Json::Obj(fields)

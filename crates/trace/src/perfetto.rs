@@ -14,7 +14,9 @@
 //!   (`sb_occupancy/core<n>/buf<m>`), and PM-controller queue depth;
 //! * `tid = 1000`            — ADR PM controller accepts (`ph i`);
 //! * `tid = 1100 + thread`   — runtime log append/commit instants;
-//! * `tid = 1200`            — recovery phases as `ph B`/`E` durations.
+//! * `tid = 1200`            — recovery phases as `ph B`/`E` durations,
+//!   plus corruption-detected / region-salvaged instants;
+//! * `tid = 1300`            — fault-injection instants.
 
 use std::collections::HashMap;
 
@@ -27,6 +29,8 @@ pub const TID_PM_CONTROLLER: u32 = 1000;
 pub const TID_LOG_BASE: u32 = 1100;
 /// `tid` used for the recovery track.
 pub const TID_RECOVERY: u32 = 1200;
+/// `tid` used for the fault-injection track.
+pub const TID_FAULTS: u32 = 1300;
 
 fn meta_thread_name(tid: u32, name: &str) -> Json {
     Json::obj([
@@ -88,6 +92,7 @@ pub fn chrome_trace(events: &[TimedEvent]) -> Json {
     let mut log_threads: Vec<u32> = Vec::new();
     let mut saw_pm = false;
     let mut saw_recovery = false;
+    let mut saw_faults = false;
     // (core, cause) -> begin cycle, for closing dangling stalls.
     let mut open_stalls: HashMap<(u32, StallKind), u64> = HashMap::new();
     let mut max_ts = 0u64;
@@ -256,6 +261,49 @@ pub fn chrome_trace(events: &[TimedEvent]) -> Json {
                 }
                 out.push(e);
             }
+            TraceEvent::FaultInjected {
+                thread,
+                line,
+                class,
+            } => {
+                saw_faults = true;
+                out.push(instant(
+                    ts,
+                    TID_FAULTS,
+                    &format!("fault:{class}"),
+                    "fault",
+                    vec![
+                        ("thread".to_string(), Json::U64(thread.into())),
+                        ("line".to_string(), Json::U64(line)),
+                    ],
+                ));
+            }
+            TraceEvent::CorruptionDetected { thread, line, kind } => {
+                saw_recovery = true;
+                out.push(instant(
+                    ts,
+                    TID_RECOVERY,
+                    &format!("corruption:{kind}"),
+                    "fault",
+                    vec![
+                        ("thread".to_string(), Json::U64(thread.into())),
+                        ("line".to_string(), Json::U64(line)),
+                    ],
+                ));
+            }
+            TraceEvent::RegionSalvaged { thread, dropped } => {
+                saw_recovery = true;
+                out.push(instant(
+                    ts,
+                    TID_RECOVERY,
+                    "region_salvaged",
+                    "fault",
+                    vec![
+                        ("thread".to_string(), Json::U64(thread.into())),
+                        ("dropped".to_string(), Json::U64(dropped)),
+                    ],
+                ));
+            }
         }
     }
 
@@ -290,6 +338,9 @@ pub fn chrome_trace(events: &[TimedEvent]) -> Json {
     }
     if saw_recovery {
         meta.push(meta_thread_name(TID_RECOVERY, "recovery"));
+    }
+    if saw_faults {
+        meta.push(meta_thread_name(TID_FAULTS, "faults"));
     }
     meta.extend(out);
 
@@ -365,6 +416,29 @@ mod tests {
                 items: 5,
             },
         );
+        push(
+            14,
+            TraceEvent::FaultInjected {
+                thread: 0,
+                line: 9,
+                class: "bitflip",
+            },
+        );
+        push(
+            15,
+            TraceEvent::CorruptionDetected {
+                thread: 0,
+                line: 9,
+                kind: "checksum",
+            },
+        );
+        push(
+            16,
+            TraceEvent::RegionSalvaged {
+                thread: 0,
+                dropped: 1,
+            },
+        );
         v
     }
 
@@ -413,6 +487,21 @@ mod tests {
         assert!(names.contains(&"pm controller"));
         assert!(names.contains(&"log thread 0"));
         assert!(names.contains(&"recovery"));
+        assert!(names.contains(&"faults"));
+    }
+
+    #[test]
+    fn fault_events_land_on_their_tracks() {
+        let doc = chrome_trace(&sample_events());
+        let on_track = |tid: u32, name: &str| {
+            events_of(&doc).iter().any(|e| {
+                e.get("tid").and_then(Json::as_u64) == Some(tid.into())
+                    && e.get("name").and_then(Json::as_str) == Some(name)
+            })
+        };
+        assert!(on_track(TID_FAULTS, "fault:bitflip"));
+        assert!(on_track(TID_RECOVERY, "corruption:checksum"));
+        assert!(on_track(TID_RECOVERY, "region_salvaged"));
     }
 
     #[test]
