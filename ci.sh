@@ -64,4 +64,32 @@ if ! grep -q '"class":"bitflip","injected":3,"detected":3' <<<"$faults_out"; the
 fi
 echo "fault smoke ok"
 
+echo "== swctl bench (perf trajectory + regression gate) =="
+# Fixed small scale so one pass finishes quickly on a 1-CPU container; the
+# committed BENCH_baseline.json records the same scale and benchcmp refuses
+# to compare mismatched scales. SW_PERF_GATE=off skips only the comparison:
+# the BENCH_ci.json artifact is emitted either way.
+bench_env=(SW_BENCH_THREADS=2 SW_BENCH_REGIONS=24 SW_BENCH_OPS_PER_REGION=2)
+# Profiling must not change simulated results: stdout byte-identical with
+# the ambient profiler on (phase table goes to stderr).
+diff <(env "${bench_env[@]}" "$SWCTL" table2) \
+     <(env "${bench_env[@]}" SW_PERF=1 "$SWCTL" table2 2>/dev/null)
+diff <(env "${bench_env[@]}" "$SWCTL" fig7 --design strandweaver) \
+     <(env "${bench_env[@]}" SW_PERF=1 "$SWCTL" fig7 --design strandweaver 2>/dev/null)
+echo "profiled outputs bit-identical"
+env "${bench_env[@]}" "$SWCTL" bench --label ci --warmup 1 --repeat 3
+if [ "${SW_PERF_GATE:-on}" = off ]; then
+  echo "perf gate skipped (SW_PERF_GATE=off); BENCH_ci.json still emitted"
+elif [ ! -f BENCH_baseline.json ]; then
+  echo "perf gate skipped (no BENCH_baseline.json); BENCH_ci.json still emitted"
+else
+  "$SWCTL" benchcmp BENCH_ci.json BENCH_baseline.json --tolerance 25
+  # Self-test: the gate must actually fire on a slowed run (3x wall time).
+  if "$SWCTL" benchcmp BENCH_ci.json BENCH_baseline.json --scale-wall 3 2>/dev/null; then
+    echo "ci: perf gate failed to detect a 3x slowdown" >&2
+    exit 1
+  fi
+  echo "perf gate self-test ok (3x slowdown detected)"
+fi
+
 echo "ci: all gates passed"

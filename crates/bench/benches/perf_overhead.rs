@@ -1,0 +1,44 @@
+//! Overhead check for the `sw-perf` wiring: a timing run with the profiler
+//! disabled (the default) must cost no more than the same run with the
+//! profiler enabled — the disabled path is one `Option` discriminant check
+//! per phase boundary, while the enabled path reads the monotonic clock at
+//! each of the eight boundaries per cycle.
+//!
+//! Run with `cargo bench -p sw-bench --bench perf_overhead`. The assert
+//! uses a generous tolerance so scheduler noise on loaded machines does not
+//! produce false failures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strandweaver::experiment::Experiment;
+use strandweaver::{BenchmarkId, HwDesign, LangModel};
+
+fn cell() -> Experiment {
+    Experiment::new(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver)
+        .threads(2)
+        .total_regions(16)
+}
+
+fn bench_disabled_vs_profiled(c: &mut Criterion) {
+    c.bench_function("run_timing_profiler_disabled", |b| {
+        b.iter(|| cell().run_timing())
+    });
+    c.bench_function("run_timing_profiler_enabled", |b| {
+        b.iter(|| cell().with_profiling().run_timing())
+    });
+    let disabled = c
+        .median_of("run_timing_profiler_disabled")
+        .expect("disabled variant ran");
+    let enabled = c
+        .median_of("run_timing_profiler_enabled")
+        .expect("profiled variant ran");
+    let ratio = disabled.as_secs_f64() / enabled.as_secs_f64();
+    println!("disabled/profiled time ratio: {ratio:.3}");
+    assert!(
+        ratio < 1.25,
+        "the disabled profiler path should add no measurable cost over an \
+         unprofiled run (disabled {disabled:?} vs profiled {enabled:?}, ratio {ratio:.3})"
+    );
+}
+
+criterion_group!(benches, bench_disabled_vs_profiled);
+criterion_main!(benches);

@@ -1,5 +1,7 @@
-//! Regenerates Figure 10 (speedup vs. operations per SFR).
-use sw_bench::{fig10_report, Scale};
+//! Regenerates Figure 10 (speedup vs. operations per SFR)
+//! (thin wrapper over [`sw_bench::Target`]).
+use sw_bench::{Scale, Target, TargetFilters};
 fn main() {
-    print!("{}", fig10_report(Scale::from_env()));
+    let out = Target::Fig10.run(Scale::from_env(), &TargetFilters::default());
+    print!("{}", out.text);
 }

@@ -1,4 +1,7 @@
-//! Regenerates the Figure 1(e,f) motivating-ordering comparison.
+//! Regenerates the Figure 1(e,f) motivating-ordering comparison
+//! (thin wrapper over [`sw_bench::Target`]).
+use sw_bench::{Scale, Target, TargetFilters};
 fn main() {
-    print!("{}", sw_bench::fig1_report());
+    let out = Target::Fig1.run(Scale::from_env(), &TargetFilters::default());
+    print!("{}", out.text);
 }

@@ -1,4 +1,7 @@
-//! Runs the Figure 2 litmus suite under the strand persistency model.
+//! Runs the Figure 2 litmus suite under the strand persistency model
+//! (thin wrapper over [`sw_bench::Target`]).
+use sw_bench::{Scale, Target, TargetFilters};
 fn main() {
-    print!("{}", sw_bench::fig2_report());
+    let out = Target::Fig2.run(Scale::from_env(), &TargetFilters::default());
+    print!("{}", out.text);
 }

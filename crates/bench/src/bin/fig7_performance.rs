@@ -1,6 +1,7 @@
-//! Regenerates Figure 7 (speedup over Intel x86 across designs).
-use sw_bench::{fig7_report, full_sweep, Scale};
+//! Regenerates Figure 7 (speedup over Intel x86 across designs)
+//! (thin wrapper over [`sw_bench::Target`]).
+use sw_bench::{Scale, Target, TargetFilters};
 fn main() {
-    let cells = full_sweep(Scale::from_env());
-    print!("{}", fig7_report(&cells));
+    let out = Target::Fig7.run(Scale::from_env(), &TargetFilters::default());
+    print!("{}", out.text);
 }

@@ -1,6 +1,7 @@
-//! Regenerates Figure 8 (persist-ordering CPU stalls).
-use sw_bench::{fig8_report, full_sweep, Scale};
+//! Regenerates Figure 8 (persist-ordering CPU stalls)
+//! (thin wrapper over [`sw_bench::Target`]).
+use sw_bench::{Scale, Target, TargetFilters};
 fn main() {
-    let cells = full_sweep(Scale::from_env());
-    print!("{}", fig8_report(&cells));
+    let out = Target::Fig8.run(Scale::from_env(), &TargetFilters::default());
+    print!("{}", out.text);
 }

@@ -1,5 +1,7 @@
-//! Regenerates Figure 9 (strand-buffer-unit sensitivity).
-use sw_bench::{fig9_report, Scale};
+//! Regenerates Figure 9 (strand-buffer-unit sensitivity)
+//! (thin wrapper over [`sw_bench::Target`]).
+use sw_bench::{Scale, Target, TargetFilters};
 fn main() {
-    print!("{}", fig9_report(Scale::from_env()));
+    let out = Target::Fig9.run(Scale::from_env(), &TargetFilters::default());
+    print!("{}", out.text);
 }

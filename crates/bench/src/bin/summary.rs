@@ -1,11 +1,7 @@
-//! Prints the paper's headline numbers next to the measured ones.
-use sw_bench::{
-    full_sweep, lang_sensitivity_report, native_bound, native_bound_report, summary_report, Scale,
-};
+//! Prints the paper's headline numbers next to the measured ones
+//! (thin wrapper over [`sw_bench::Target`]).
+use sw_bench::{Scale, Target, TargetFilters};
 fn main() {
-    let scale = Scale::from_env();
-    let cells = full_sweep(scale);
-    print!("{}", summary_report(&cells));
-    print!("{}", lang_sensitivity_report(&cells));
-    print!("{}", native_bound_report(&native_bound(scale)));
+    let out = Target::Summary.run(Scale::from_env(), &TargetFilters::default());
+    print!("{}", out.text);
 }

@@ -31,7 +31,7 @@
 
 use strandweaver::experiment::Experiment;
 use strandweaver::{BenchmarkId, HwDesign, LangModel};
-use sw_bench::Scale;
+use sw_bench::{Scale, Target, TargetFilters};
 
 fn parse_bench(s: &str) -> Option<BenchmarkId> {
     BenchmarkId::ALL.into_iter().find(|b| b.label() == s)
@@ -89,6 +89,12 @@ fn usage() -> ! {
          \n                     and --lang <l> to measure <l> instead of sfr;\
          \n                     summary takes --lang <l> to sweep only that model\
          \n                     (illegal lang x design pairs are rejected: native needs eadr)\
+         \n  bench              time every simulation-heavy target, write BENCH_<label>.json\
+         \n                     (--label <s> --warmup N --repeat N --out FILE --design <d> --lang <l>)\
+         \n  perf <benchmark>   one profiled run, print the per-phase wall-time table (run flags)\
+         \n  benchcmp <cur> <base>  compare two BENCH_*.json reports; exit 1 past the tolerance\
+         \n                     (--tolerance PCT, default 25; --scale-wall X multiplies <cur>)\
+         \n\nSW_PERF=1 profiles any subcommand and prints the phase table to stderr.\
          \n\nbenchmarks: {}\ndesigns: {}\nlangs: {}",
         BenchmarkId::ALL.map(|b| b.label()).join(" "),
         HwDesign::ALL.map(|d| d.label()).join(" "),
@@ -241,18 +247,102 @@ fn parse_figure_flags(
     f
 }
 
-/// The design list for a `--design`-filtered Figure 7/8 sweep: the Intel
-/// x86 baseline always runs (speedups and stall ratios normalize to it),
-/// plus the requested design.
-fn sweep_designs(filter: Option<HwDesign>) -> Vec<HwDesign> {
-    match filter {
-        None => HwDesign::ALL.to_vec(),
-        Some(HwDesign::IntelX86) => vec![HwDesign::IntelX86],
-        Some(d) => vec![HwDesign::IntelX86, d],
+/// Validates the lang × design legality contract a figure target assumes
+/// before [`Target::run`] is called (fig9/fig10 normalize the measured
+/// design to the Intel baseline; the summary sweeps every design).
+fn check_target_legal(t: Target, filters: &TargetFilters) {
+    match t {
+        Target::Fig9 | Target::Fig10 => {
+            let measured = filters.design.unwrap_or(HwDesign::StrandWeaver);
+            let lang = filters.lang.unwrap_or(LangModel::Sfr);
+            check_legal(lang, HwDesign::IntelX86);
+            check_legal(lang, measured);
+        }
+        Target::Summary => {
+            if let Some(lang) = filters.lang {
+                for d in HwDesign::ALL {
+                    check_legal(lang, d);
+                }
+            }
+        }
+        _ => {}
     }
 }
 
+/// Flags of the `bench` subcommand.
+struct BenchFlags {
+    label: String,
+    warmup: usize,
+    repeat: usize,
+    out: Option<String>,
+    filters: TargetFilters,
+}
+
+fn parse_bench_flags(args: &[String]) -> BenchFlags {
+    let mut f = BenchFlags {
+        label: "local".to_string(),
+        warmup: 1,
+        repeat: 3,
+        out: None,
+        filters: TargetFilters::default(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2)
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--label" => f.label = next("--label"),
+            "--warmup" => f.warmup = next("--warmup").parse().unwrap_or_else(|_| usage()),
+            "--repeat" => f.repeat = next("--repeat").parse().unwrap_or_else(|_| usage()),
+            "--out" => f.out = Some(next("--out")),
+            "--design" => f.filters.design = Some(parse_design(&next("--design"))),
+            "--lang" => f.filters.lang = Some(parse_lang(&next("--lang"))),
+            other => {
+                eprintln!("unknown flag for bench: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if f.repeat == 0 {
+        eprintln!("--repeat must be at least 1");
+        std::process::exit(2);
+    }
+    // The summary target sweeps every design, so a lang filter must be
+    // legal everywhere (this also covers the fig9/10 measured design).
+    if let Some(lang) = f.filters.lang {
+        for d in HwDesign::ALL {
+            check_legal(lang, d);
+        }
+    }
+    f
+}
+
 fn main() {
+    // SW_PERF=1 turns on the ambient profiler for any subcommand: every
+    // Machine the run constructs self-profiles, and the aggregate phase
+    // table prints to stderr on exit — stdout stays byte-identical.
+    let profiling = std::env::var("SW_PERF")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    if profiling {
+        sw_perf::set_global_enabled(true);
+    }
+    dispatch();
+    if profiling {
+        let snap = sw_perf::global_take();
+        if !snap.is_empty() {
+            eprint!("{}", snap.render_table());
+        }
+    }
+}
+
+fn dispatch() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
     match cmd.as_str() {
@@ -348,97 +438,111 @@ fn main() {
                 rec.dropped(),
             );
         }
-        "litmus" | "fig2" => {
-            parse_figure_flags(&args[1..], false, false, false);
-            print!("{}", sw_bench::fig2_report());
-        }
-        "fig1" => {
-            parse_figure_flags(&args[1..], false, false, false);
-            print!("{}", sw_bench::fig1_report());
-        }
-        "table1" => {
-            parse_figure_flags(&args[1..], false, false, false);
-            print!("{}", sw_bench::table1());
-        }
-        "table2" => {
-            let f = parse_figure_flags(&args[1..], true, false, false);
-            let rows = sw_bench::table2(Scale::from_env());
-            if f.json {
-                println!("{}", sw_bench::table2_json(&rows).render());
-            } else {
-                print!("{}", sw_bench::table2_report(&rows));
-            }
-        }
-        "fig7" => {
-            let f = parse_figure_flags(&args[1..], true, true, false);
-            let cells = sw_bench::full_sweep_of(Scale::from_env(), &sweep_designs(f.design));
-            if f.json {
-                println!("{}", sw_bench::sweep_json(&cells).render());
-            } else {
-                print!("{}", sw_bench::fig7_report(&cells));
-            }
-        }
-        "fig8" => {
-            let f = parse_figure_flags(&args[1..], true, true, false);
-            let cells = sw_bench::full_sweep_of(Scale::from_env(), &sweep_designs(f.design));
-            if f.json {
-                println!("{}", sw_bench::sweep_json(&cells).render());
-            } else {
-                print!("{}", sw_bench::fig8_report(&cells));
-            }
-        }
-        "fig9" => {
-            let f = parse_figure_flags(&args[1..], true, true, true);
-            let measured = f.design.unwrap_or(HwDesign::StrandWeaver);
-            let lang = f.lang.unwrap_or(LangModel::Sfr);
-            // The matrix normalizes to the Intel baseline, so the model
-            // must be legal both there and on the measured design.
-            check_legal(lang, HwDesign::IntelX86);
-            check_legal(lang, measured);
-            let m = sw_bench::fig9_matrix(Scale::from_env(), measured, lang);
-            if f.json {
-                println!("{}", m.to_json().render());
-            } else {
-                print!("{}", m.render());
-            }
-        }
-        "fig10" => {
-            let f = parse_figure_flags(&args[1..], true, true, true);
-            let measured = f.design.unwrap_or(HwDesign::StrandWeaver);
-            let lang = f.lang.unwrap_or(LangModel::Sfr);
-            check_legal(lang, HwDesign::IntelX86);
-            check_legal(lang, measured);
-            let m = sw_bench::fig10_matrix(Scale::from_env(), measured, lang);
-            if f.json {
-                println!("{}", m.to_json().render());
-            } else {
-                print!("{}", m.render());
-            }
-        }
-        "summary" => {
-            let f = parse_figure_flags(&args[1..], true, false, true);
-            let scale = Scale::from_env();
-            // `--lang` narrows the headline sweep to one model; it must be
-            // legal on every design the summary normalizes over.
-            let langs = match f.lang {
-                Some(lang) => {
-                    for d in HwDesign::ALL {
-                        check_legal(lang, d);
-                    }
-                    vec![lang]
-                }
-                None => LangModel::ALL.to_vec(),
+        "perf" => {
+            let Some(bench) = args.get(1).and_then(|s| parse_bench(s)) else {
+                usage()
             };
-            let cells = sw_bench::full_sweep_matrix(scale, &HwDesign::ALL, &langs);
-            let native = sw_bench::native_bound(scale);
-            if f.json {
-                println!("{}", sw_bench::summary_json(&cells, &native).render());
-            } else {
-                print!("{}", sw_bench::summary_report(&cells));
-                print!("{}", sw_bench::lang_sensitivity_report(&cells));
-                print!("{}", sw_bench::native_bound_report(&native));
+            let f = parse_flags(&args[2..]);
+            let stats = experiment(bench, &f).with_profiling().run_timing();
+            let snap = stats
+                .perf
+                .as_ref()
+                .expect("profiled run carries a snapshot");
+            println!(
+                "{bench} lang={} design={}: {} cycles, {} events processed",
+                f.lang,
+                f.design,
+                stats.cycles,
+                stats.events.total(),
+            );
+            print!("{}", snap.render_table());
+        }
+        "bench" => {
+            let bf = parse_bench_flags(&args[1..]);
+            let report = sw_bench::run_bench(
+                Scale::from_env(),
+                &bf.filters,
+                &bf.label,
+                bf.warmup,
+                bf.repeat,
+            );
+            let path = bf.out.unwrap_or_else(|| format!("BENCH_{}.json", bf.label));
+            std::fs::write(&path, report.to_json().render()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            print!("{}", report.render());
+            println!("wrote {path}");
+        }
+        "benchcmp" => {
+            let (mut cur, mut base) = (None, None);
+            let mut tolerance = 25.0f64;
+            let mut scale_wall = 1.0f64;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut next = |name: &str| -> String {
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("{name} needs a value");
+                            std::process::exit(2)
+                        })
+                        .clone()
+                };
+                match a.as_str() {
+                    "--tolerance" => {
+                        tolerance = next("--tolerance").parse().unwrap_or_else(|_| usage())
+                    }
+                    "--scale-wall" => {
+                        scale_wall = next("--scale-wall").parse().unwrap_or_else(|_| usage())
+                    }
+                    p if !p.starts_with('-') && cur.is_none() => cur = Some(p.to_string()),
+                    p if !p.starts_with('-') && base.is_none() => base = Some(p.to_string()),
+                    other => {
+                        eprintln!("unknown flag for benchcmp: {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            let (Some(cur), Some(base)) = (cur, base) else {
+                usage()
+            };
+            let load = |path: &str| -> sw_bench::BenchReport {
+                let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                });
+                sw_bench::perf_report::parse(&body).unwrap_or_else(|e| {
+                    eprintln!("cannot parse {path}: {e}");
+                    std::process::exit(1);
+                })
+            };
+            match sw_bench::compare_reports(&load(&cur), &load(&base), tolerance, scale_wall) {
+                Ok(summary) => {
+                    println!("perf gate: ok (tolerance +{tolerance:.0}%)");
+                    print!("{summary}");
+                }
+                Err(e) => {
+                    eprintln!("perf gate: FAIL — {e}");
+                    std::process::exit(1);
+                }
             }
         }
-        _ => usage(),
+        other => {
+            let Some(t) = Target::from_label(other) else {
+                usage()
+            };
+            let f = parse_figure_flags(&args[1..], t.json_ok(), t.design_ok(), t.lang_ok());
+            let filters = TargetFilters {
+                design: f.design,
+                lang: f.lang,
+            };
+            check_target_legal(t, &filters);
+            let out = t.run(Scale::from_env(), &filters);
+            if f.json {
+                println!("{}", out.json.expect("tabular target").render());
+            } else {
+                print!("{}", out.text);
+            }
+        }
     }
 }

@@ -1,4 +1,7 @@
-//! Prints Table I (simulator configuration).
+//! Prints Table I (simulator configuration)
+//! (thin wrapper over [`sw_bench::Target`]).
+use sw_bench::{Scale, Target, TargetFilters};
 fn main() {
-    print!("{}", sw_bench::table1());
+    let out = Target::Table1.run(Scale::from_env(), &TargetFilters::default());
+    print!("{}", out.text);
 }

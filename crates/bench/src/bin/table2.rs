@@ -1,6 +1,7 @@
-//! Regenerates Table II (benchmarks and CKC write intensity).
-use sw_bench::{table2, table2_report, Scale};
+//! Regenerates Table II (benchmarks and CKC write intensity)
+//! (thin wrapper over [`sw_bench::Target`]).
+use sw_bench::{Scale, Target, TargetFilters};
 fn main() {
-    let rows = table2(Scale::from_env());
-    print!("{}", table2_report(&rows));
+    let out = Target::Table2.run(Scale::from_env(), &TargetFilters::default());
+    print!("{}", out.text);
 }

@@ -14,6 +14,12 @@
 
 #![warn(missing_docs)]
 
+pub mod perf_report;
+pub mod targets;
+
+pub use perf_report::{compare_reports, run_bench, BenchPhase, BenchReport, BenchTargetResult};
+pub use targets::{sweep_designs, Target, TargetFilters, TargetOutput};
+
 use std::fmt::Write as _;
 
 use strandweaver::experiment::{design_sweep_of, Experiment};
@@ -22,7 +28,7 @@ use strandweaver::{BenchmarkId, HwDesign, LangModel, MemoryModel, SimConfig, Sim
 use sw_trace::Json;
 
 /// Run scale shared by all figures.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
     /// Threads (= cores).
     pub threads: usize,
@@ -106,6 +112,10 @@ pub struct Table2Row {
     pub ckc: f64,
     /// The paper's reported CKC.
     pub paper_ckc: f64,
+    /// Simulated cycles of the measuring run.
+    pub cycles: u64,
+    /// Discrete events processed by the measuring run.
+    pub events_processed: u64,
 }
 
 /// The paper's Table II CKC values, in `BenchmarkId::ALL` order.
@@ -125,6 +135,8 @@ pub fn table2(scale: Scale) -> Vec<Table2Row> {
                 bench,
                 ckc: stats.ckc(),
                 paper_ckc,
+                cycles: stats.cycles,
+                events_processed: stats.events.total(),
             }
         })
         .collect()
@@ -177,6 +189,16 @@ impl SweepCell {
     /// Speedup of `design` over the Intel x86 baseline.
     pub fn speedup(&self, design: HwDesign) -> f64 {
         self.cycles(HwDesign::IntelX86) as f64 / self.cycles(design) as f64
+    }
+
+    /// Discrete events processed across every design's run of this cell.
+    pub fn events_processed(&self) -> u64 {
+        self.designs.iter().map(|(_, s)| s.events.total()).sum()
+    }
+
+    /// Simulated cycles summed across every design's run of this cell.
+    pub fn sim_cycles(&self) -> u64 {
+        self.designs.iter().map(|(_, s)| s.cycles).sum()
     }
 
     /// Persist-ordering stall cycles of `design`, normalized to Intel x86
@@ -366,6 +388,11 @@ pub struct MatrixReport {
     pub rows: Vec<(String, Vec<f64>)>,
     /// Geometric mean of each column across the rows.
     pub geomean: Vec<f64>,
+    /// Discrete events processed across every run behind the matrix
+    /// (baseline and measured), for events/sec accounting.
+    pub events_processed: u64,
+    /// Simulated cycles summed across every run behind the matrix.
+    pub sim_cycles: u64,
 }
 
 impl MatrixReport {
@@ -385,6 +412,8 @@ impl MatrixReport {
             col_labels,
             rows,
             geomean,
+            events_processed: 0,
+            sim_cycles: 0,
         }
     }
 
@@ -437,6 +466,8 @@ impl MatrixReport {
                 ),
             ),
             ("geomean", f64s(&self.geomean)),
+            ("events_processed", Json::U64(self.events_processed)),
+            ("sim_cycles", Json::U64(self.sim_cycles)),
         ])
     }
 }
@@ -453,12 +484,16 @@ pub fn fig9_matrix(scale: Scale, measured: HwDesign, lang: LangModel) -> MatrixR
         .into_iter()
         .map(|(b, e)| format!("({b},{e})"))
         .collect();
+    let mut events_processed = 0u64;
+    let mut sim_cycles = 0u64;
     let rows = MICROBENCHES
         .into_iter()
         .map(|bench| {
             let intel = scale
                 .experiment(bench, lang, HwDesign::IntelX86)
                 .run_timing();
+            events_processed += intel.events.total();
+            sim_cycles += intel.cycles;
             let vals = FIG9_SHAPES
                 .into_iter()
                 .map(|(b, e)| {
@@ -466,13 +501,15 @@ pub fn fig9_matrix(scale: Scale, measured: HwDesign, lang: LangModel) -> MatrixR
                         .experiment(bench, lang, measured)
                         .strand_buffers(b, e)
                         .run_timing();
+                    events_processed += stats.events.total();
+                    sim_cycles += stats.cycles;
                     intel.cycles as f64 / stats.cycles as f64
                 })
                 .collect();
             (bench.label().to_string(), vals)
         })
         .collect();
-    MatrixReport::from_rows(
+    let mut m = MatrixReport::from_rows(
         &format!(
             "Figure 9 — Sensitivity to (strand buffers, entries per buffer), {}, {}",
             lang.label().to_uppercase(),
@@ -480,7 +517,10 @@ pub fn fig9_matrix(scale: Scale, measured: HwDesign, lang: LangModel) -> MatrixR
         ),
         cols,
         rows,
-    )
+    );
+    m.events_processed = events_processed;
+    m.sim_cycles = sim_cycles;
+    m
 }
 
 /// Figure 9 rendered as text (the paper's StrandWeaver/SFR measurement).
@@ -495,6 +535,8 @@ pub fn fig9_report(scale: Scale) -> String {
 pub fn fig10_matrix(scale: Scale, measured: HwDesign, lang: LangModel) -> MatrixReport {
     let ops_axis = [2usize, 4, 8, 16, 32];
     let cols = ops_axis.into_iter().map(|o| format!("{o} ops")).collect();
+    let mut events_processed = 0u64;
+    let mut sim_cycles = 0u64;
     let rows = MICROBENCHES
         .into_iter()
         .map(|bench| {
@@ -511,13 +553,15 @@ pub fn fig10_matrix(scale: Scale, measured: HwDesign, lang: LangModel) -> Matrix
                     };
                     let sw = mk(measured).run_timing();
                     let intel = mk(HwDesign::IntelX86).run_timing();
+                    events_processed += sw.events.total() + intel.events.total();
+                    sim_cycles += sw.cycles + intel.cycles;
                     intel.cycles as f64 / sw.cycles as f64
                 })
                 .collect();
             (bench.label().to_string(), vals)
         })
         .collect();
-    MatrixReport::from_rows(
+    let mut m = MatrixReport::from_rows(
         &format!(
             "Figure 10 — Speedup vs. operations per failure-atomic {}, {}",
             lang.label().to_uppercase(),
@@ -525,7 +569,10 @@ pub fn fig10_matrix(scale: Scale, measured: HwDesign, lang: LangModel) -> Matrix
         ),
         cols,
         rows,
-    )
+    );
+    m.events_processed = events_processed;
+    m.sim_cycles = sim_cycles;
+    m
 }
 
 /// Figure 10 rendered as text (the paper's StrandWeaver/SFR measurement).
@@ -664,6 +711,8 @@ pub fn table2_json(rows: &[Table2Row]) -> Json {
                         ("benchmark", Json::Str(r.bench.label().to_string())),
                         ("ckc", Json::F64(r.ckc)),
                         ("paper_ckc", Json::F64(r.paper_ckc)),
+                        ("cycles", Json::U64(r.cycles)),
+                        ("events_processed", Json::U64(r.events_processed)),
                     ])
                 })
                 .collect(),
@@ -693,6 +742,7 @@ pub fn sweep_json(cells: &[SweepCell]) -> Json {
                                         Json::obj([
                                             ("design", Json::Str(design.label().to_string())),
                                             ("cycles", Json::U64(stats.cycles)),
+                                            ("events_processed", Json::U64(stats.events.total())),
                                             (
                                                 "persist_stall_cycles",
                                                 Json::U64(stats.persist_stall_cycles()),
@@ -728,6 +778,8 @@ pub struct NativeBoundRow {
     pub eadr_txn: u64,
     /// Cycles under log-free Native on eADR.
     pub eadr_native: u64,
+    /// Discrete events processed across the row's three runs.
+    pub events_processed: u64,
 }
 
 impl NativeBoundRow {
@@ -754,20 +806,25 @@ impl NativeBoundRow {
 pub fn native_bound(scale: Scale) -> Vec<NativeBoundRow> {
     BenchmarkId::ALL
         .iter()
-        .map(|&bench| NativeBoundRow {
-            bench,
-            intel_txn: scale
+        .map(|&bench| {
+            let intel = scale
                 .experiment(bench, LangModel::Txn, HwDesign::IntelX86)
-                .run_timing()
-                .cycles,
-            eadr_txn: scale
+                .run_timing();
+            let eadr = scale
                 .experiment(bench, LangModel::Txn, HwDesign::Eadr)
-                .run_timing()
-                .cycles,
-            eadr_native: scale
+                .run_timing();
+            let native = scale
                 .experiment(bench, LangModel::Native, HwDesign::Eadr)
-                .run_timing()
-                .cycles,
+                .run_timing();
+            NativeBoundRow {
+                bench,
+                intel_txn: intel.cycles,
+                eadr_txn: eadr.cycles,
+                eadr_native: native.cycles,
+                events_processed: intel.events.total()
+                    + eadr.events.total()
+                    + native.events.total(),
+            }
         })
         .collect()
 }
@@ -831,6 +888,7 @@ pub fn native_bound_json(rows: &[NativeBoundRow]) -> Json {
                             ("intel_txn_cycles", Json::U64(r.intel_txn)),
                             ("eadr_txn_cycles", Json::U64(r.eadr_txn)),
                             ("eadr_native_cycles", Json::U64(r.eadr_native)),
+                            ("events_processed", Json::U64(r.events_processed)),
                             ("hardware_speedup", Json::F64(r.hardware())),
                             ("log_free_speedup", Json::F64(r.log_deletion())),
                             ("total_speedup", Json::F64(r.total())),
@@ -897,6 +955,13 @@ pub fn summary_json(cells: &[SweepCell], native: &[NativeBoundRow]) -> Json {
             Json::F64((geo(&below_na) - 1.0) * 100.0),
         ),
         ("eadr_speedup_over_intel_geomean", Json::F64(geo(&eadr))),
+        (
+            "events_processed",
+            Json::U64(
+                cells.iter().map(SweepCell::events_processed).sum::<u64>()
+                    + native.iter().map(|r| r.events_processed).sum::<u64>(),
+            ),
+        ),
         ("per_lang", Json::Arr(per_lang)),
         ("native_on_eadr", native_bound_json(native)),
     ])

@@ -64,5 +64,5 @@ pub use engines::{engine_for, PersistEngine};
 pub use machine::Machine;
 pub use memctrl::{DramController, PmController};
 pub use persist::{ClwbState, FlushEngine};
-pub use stats::{CoreStats, SimStats, StallCause};
+pub use stats::{CoreStats, EventCounts, SimStats, StallCause};
 pub use strand_buffer::{Sbu, SbuEntry};

@@ -29,6 +29,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use sw_model::isa::{FenceKind, IsaTrace, LockId};
 use sw_model::HwDesign;
+use sw_perf::{Lap, Phase, Profiler};
 use sw_pmem::{LineAddr, PmLayout};
 use sw_trace::{
     CounterId, GaugeId, HistogramId, MetricsRegistry, StallKind, TraceEvent, TraceSink,
@@ -39,7 +40,7 @@ use crate::config::SimConfig;
 use crate::core::{Core, PendingAccess, Writeback};
 use crate::engines::{engine_for, PersistEngine};
 use crate::memctrl::{DramController, PmController};
-use crate::stats::{SimStats, StallCause};
+use crate::stats::{EventCounts, SimStats, StallCause};
 use crate::strand_buffer::Sbu;
 
 /// Short fence mnemonic used in trace exports.
@@ -111,6 +112,12 @@ pub struct Machine {
     /// Optional event sink; `None` keeps every emit site to one branch.
     trace: Option<Box<dyn TraceSink>>,
     metrics: Option<MachineMetrics>,
+    /// Self-profiler timing the tick phases; `None` is the disabled path
+    /// (one branch per phase boundary, no clock reads).
+    prof: Option<Box<Profiler>>,
+    /// Discrete-event totals, counted unconditionally (identical with and
+    /// without observability attached).
+    pub(crate) events: EventCounts,
     /// Stall cause recorded by the frontend this cycle, per core.
     stall_now: Vec<Option<StallKind>>,
     /// Stall interval currently open in the trace, per core.
@@ -159,6 +166,8 @@ impl Machine {
             steals: Vec::new(),
             trace: None,
             metrics: None,
+            prof: sw_perf::global_enabled().then(|| Box::new(Profiler::new())),
+            events: EventCounts::default(),
             stall_now: vec![None; n],
             stall_active: vec![None; n],
             visibility_order: Vec::new(),
@@ -215,11 +224,29 @@ impl Machine {
         });
     }
 
+    /// Installs a self-profiler for this machine regardless of the
+    /// ambient [`sw_perf::set_global_enabled`] flag; the snapshot lands in
+    /// [`SimStats::perf`] when the run finishes. Profiling only reads the
+    /// monotonic clock — simulated results are bit-identical with and
+    /// without it.
+    pub fn enable_profiler(&mut self) {
+        self.prof = Some(Box::new(Profiler::new()));
+    }
+
     /// `true` when any observability consumer is attached. The disabled
     /// path costs exactly this check at each note site.
     #[inline]
     pub(crate) fn observing(&self) -> bool {
         self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// Closes the current profiling lap, attributing it to `phase`. One
+    /// branch when profiling is off; one clock read when on.
+    #[inline]
+    fn lap(&mut self, lap: &mut Lap, phase: Phase) {
+        if let Some(prof) = self.prof.as_mut() {
+            lap.mark(prof, phase);
+        }
     }
 
     #[inline]
@@ -245,6 +272,7 @@ impl Machine {
 
     /// Records a persist-queue occupancy change on core `i`.
     pub(crate) fn note_pq(&mut self, i: usize, enqueue: bool) {
+        self.events.pq_events += 1;
         if !self.observing() {
             return;
         }
@@ -266,6 +294,7 @@ impl Machine {
 
     /// Records an append to core `i`'s ongoing strand buffer.
     pub(crate) fn note_sb_enqueue(&mut self, i: usize) {
+        self.events.sb_enqueues += 1;
         if !self.observing() {
             return;
         }
@@ -310,6 +339,7 @@ impl Machine {
     /// Records an ADR PM controller acceptance of `line` — the durability
     /// point of controller-ordered designs.
     pub(crate) fn note_pm_accept(&mut self, line: LineAddr) {
+        self.events.pm_writes += 1;
         if !self.observing() {
             return;
         }
@@ -327,6 +357,7 @@ impl Machine {
     /// Records a store becoming durable at coherence visibility — the
     /// durability point of battery-backed (eADR) designs.
     pub(crate) fn note_persist_visible(&mut self, i: usize, line: LineAddr) {
+        self.events.persists_visible += 1;
         if !self.observing() {
             return;
         }
@@ -420,6 +451,31 @@ impl Machine {
         } else {
             std::mem::take(&mut self.pm.write_order)
         };
+        self.events.frontend_ops = self.cores.iter().map(|c| c.stats.ops).sum();
+        let perf = self.prof.take().map(|p| p.snapshot());
+        if let Some(snap) = &perf {
+            // Sweep-cell worker threads all merge into the ambient
+            // aggregate, so `swctl bench`/`swctl perf` can attribute a
+            // whole sweep without plumbing a handle per machine.
+            if sw_perf::global_enabled() {
+                sw_perf::global_merge(snap);
+            }
+            for p in snap.phases.clone() {
+                self.emit(TraceEvent::PerfPhase {
+                    phase: p.phase,
+                    nanos: p.nanos,
+                    calls: p.calls,
+                });
+            }
+            if let Some(m) = self.metrics.as_mut() {
+                for p in &snap.phases {
+                    let nanos = m.reg.counter(&format!("perf.{}.nanos", p.phase));
+                    let calls = m.reg.counter(&format!("perf.{}.calls", p.phase));
+                    m.reg.add(nanos, p.nanos);
+                    m.reg.add(calls, p.calls);
+                }
+            }
+        }
         SimStats {
             cycles,
             cores: self.cores.into_iter().map(|c| c.stats).collect(),
@@ -429,6 +485,8 @@ impl Machine {
                 .as_ref()
                 .map(|m| m.reg.snapshot())
                 .unwrap_or_default(),
+            events: self.events,
+            perf,
         }
     }
 
@@ -437,20 +495,33 @@ impl Machine {
     }
 
     fn tick(&mut self) {
+        // Phase boundaries mirror the statement order below; the lap chain
+        // costs one clock read per boundary when profiling, one branch on
+        // the `prof` discriminant when not. The phases never reorder or
+        // gate any simulation work, so results are bit-identical either
+        // way.
+        let mut lap = Lap::begin(self.prof.is_some());
         self.pm.tick(self.cycle);
+        self.lap(&mut lap, Phase::Memctrl);
         self.process_steals();
+        self.lap(&mut lap, Phase::Coherence);
         let engine = self.engine;
         for i in 0..self.cores.len() {
             engine.backend(self, i);
+            self.lap(&mut lap, Phase::Engine);
             self.backend_sq(i);
+            self.lap(&mut lap, Phase::StoreQueue);
             self.backend_wb(i);
+            self.lap(&mut lap, Phase::Writeback);
         }
         for i in 0..self.cores.len() {
             self.frontend(i);
         }
+        self.lap(&mut lap, Phase::Frontend);
         if self.observing() {
             self.reconcile_stalls();
         }
+        self.lap(&mut lap, Phase::Observe);
         for i in 0..self.cores.len() {
             if !self.cores[i].done
                 && self.cores[i].fully_drained()
@@ -461,6 +532,7 @@ impl Machine {
             }
         }
         self.cycle += 1;
+        self.lap(&mut lap, Phase::Retire);
     }
 
     // ------------------------------------------------------------------
@@ -536,6 +608,7 @@ impl Machine {
                 remaining.push(s);
                 continue;
             }
+            self.events.steals += 1;
             let was_dirty = self.cores[s.owner].l1.invalidate(s.line);
             self.dir.clear_dirty_owner(s.line);
             self.l2.insert(s.line);
@@ -1025,5 +1098,105 @@ mod tests {
         }
         let sparse = run(d, vec![sparse_trace]);
         assert!(dense.ckc() > sparse.ckc());
+    }
+
+    fn profiled_run(design: HwDesign, traces: Vec<IsaTrace>) -> SimStats {
+        let n = traces.len();
+        let mut m = Machine::new(cfg(n), design, layout(), traces);
+        m.enable_profiler();
+        m.run()
+    }
+
+    #[test]
+    fn profiled_phase_nanos_sum_to_at_most_wall_time() {
+        let stats = profiled_run(
+            HwDesign::StrandWeaver,
+            vec![pair_trace(HwDesign::StrandWeaver, 32)],
+        );
+        let perf = stats.perf.expect("profiler installed");
+        assert!(
+            perf.phase_nanos_total() <= perf.wall_nanos,
+            "laps are disjoint sub-intervals of the run: {} > {}",
+            perf.phase_nanos_total(),
+            perf.wall_nanos
+        );
+        // Every phase ran at least once per simulated cycle.
+        for p in &perf.phases {
+            assert!(p.calls > 0, "phase {} never crossed", p.phase);
+        }
+    }
+
+    #[test]
+    fn profiling_does_not_change_simulated_results() {
+        for &design in &HwDesign::ALL {
+            let plain = run(design, vec![pair_trace(design, 32)]);
+            let profiled = profiled_run(design, vec![pair_trace(design, 32)]);
+            assert_eq!(plain.cycles, profiled.cycles, "{design:?}");
+            assert_eq!(plain.cores, profiled.cores, "{design:?}");
+            assert_eq!(plain.pm_write_order, profiled.pm_write_order, "{design:?}");
+            assert_eq!(plain.events, profiled.events, "{design:?}");
+        }
+    }
+
+    #[test]
+    fn event_counts_report_explicit_zeros_per_design() {
+        let stats_of = |d: HwDesign| run(d, vec![pair_trace(d, 16)]);
+
+        let sw = stats_of(HwDesign::StrandWeaver);
+        assert!(sw.events.pq_events > 0, "StrandWeaver moves pq entries");
+        assert!(
+            sw.events.sb_enqueues > 0,
+            "StrandWeaver fills strand buffers"
+        );
+        assert_eq!(sw.events.persists_visible, 0, "ADR design");
+
+        let intel = stats_of(HwDesign::IntelX86);
+        assert_eq!(intel.events.pq_events, 0, "no persist queue on Intel");
+        assert_eq!(intel.events.sb_enqueues, 0, "no strand buffers on Intel");
+        assert!(intel.events.pm_writes > 0);
+
+        let eadr = stats_of(HwDesign::Eadr);
+        assert_eq!(eadr.events.pq_events, 0);
+        assert_eq!(eadr.events.sb_enqueues, 0);
+        assert!(
+            eadr.events.persists_visible > 0,
+            "eADR persists at visibility"
+        );
+
+        for &d in &HwDesign::ALL {
+            let s = stats_of(d);
+            assert!(s.events.frontend_ops > 0, "{d:?} ran the trace");
+            assert!(s.events.store_retires > 0, "{d:?} retired stores");
+            assert!(s.events.total() >= s.events.frontend_ops);
+        }
+    }
+
+    #[test]
+    fn events_are_identical_with_and_without_observability() {
+        let d = HwDesign::StrandWeaver;
+        let plain = run(d, vec![pair_trace(d, 16)]);
+        let mut m = Machine::new(cfg(1), d, layout(), vec![pair_trace(d, 16)]);
+        m.enable_metrics();
+        let observed = m.run();
+        assert_eq!(plain.events, observed.events);
+    }
+
+    #[test]
+    fn profiled_run_with_observability_exports_perf_counters_and_events() {
+        use sw_trace::RingRecorder;
+        let d = HwDesign::StrandWeaver;
+        let mut m = Machine::new(cfg(1), d, layout(), vec![pair_trace(d, 8)]);
+        m.enable_profiler();
+        m.enable_metrics();
+        let rec = RingRecorder::new(1 << 16);
+        m.set_trace_sink(Box::new(rec.clone()));
+        let stats = m.run();
+        assert!(stats.metrics.counter("perf.engine.calls").unwrap_or(0) > 0);
+        let perf_events = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::PerfPhase { .. }))
+            .count();
+        assert_eq!(perf_events, sw_perf::Phase::ALL.len());
     }
 }

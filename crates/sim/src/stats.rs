@@ -1,5 +1,6 @@
-//! Simulation statistics: cycles, stall breakdowns, CKC.
+//! Simulation statistics: cycles, stall breakdowns, CKC, event accounting.
 
+use sw_perf::PerfSnapshot;
 use sw_trace::{Json, MetricsSnapshot, StallKind};
 
 /// Why a core could not issue in a given cycle.
@@ -115,6 +116,62 @@ impl CoreStats {
     }
 }
 
+/// Discrete-event totals for one simulation run.
+///
+/// These are counted unconditionally (plain integer bumps on paths the
+/// machine already takes), so they are identical whether or not tracing,
+/// metrics, or profiling are attached, and they are the numerator of the
+/// harness's events-per-second throughput metric. Following the
+/// `stall_causes()` convention, every field is reported for every design —
+/// a design that has no persist queue simply reports an explicit zero
+/// (e.g. `pq_events` is non-zero only on StrandWeaver hardware, and
+/// `persists_visible` only on eADR-class designs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Trace operations completed by the frontends.
+    pub frontend_ops: u64,
+    /// Stores retired from store queues.
+    pub store_retires: u64,
+    /// Persist-queue enqueues + dequeues (StrandWeaver designs only).
+    pub pq_events: u64,
+    /// Strand-buffer appends (designs with a strand buffer unit or an
+    /// equivalent ordered persist buffer).
+    pub sb_enqueues: u64,
+    /// Line writes accepted by the ADR PM controller.
+    pub pm_writes: u64,
+    /// Stores persisted at coherence visibility (eADR designs only).
+    pub persists_visible: u64,
+    /// Coherence steals resolved between cores.
+    pub steals: u64,
+}
+
+impl EventCounts {
+    /// Total discrete events processed — the `events_processed` figure
+    /// reported per run and per bench target.
+    pub fn total(&self) -> u64 {
+        self.frontend_ops
+            + self.store_retires
+            + self.pq_events
+            + self.sb_enqueues
+            + self.pm_writes
+            + self.persists_visible
+            + self.steals
+    }
+
+    /// JSON object with every counter (explicit zeros included).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("frontend_ops", Json::U64(self.frontend_ops)),
+            ("store_retires", Json::U64(self.store_retires)),
+            ("pq_events", Json::U64(self.pq_events)),
+            ("sb_enqueues", Json::U64(self.sb_enqueues)),
+            ("pm_writes", Json::U64(self.pm_writes)),
+            ("persists_visible", Json::U64(self.persists_visible)),
+            ("steals", Json::U64(self.steals)),
+        ])
+    }
+}
+
 /// Whole-machine results of one simulation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
@@ -130,6 +187,13 @@ pub struct SimStats {
     /// Frozen metrics-registry values (empty unless the machine ran with
     /// `Machine::enable_metrics`).
     pub metrics: MetricsSnapshot,
+    /// Discrete-event totals, counted unconditionally on every run.
+    pub events: EventCounts,
+    /// Self-profiling snapshot (`None` unless the machine ran with a
+    /// profiler installed — see `Machine::enable_profiler` and
+    /// `sw_perf::set_global_enabled`). Profiling never changes simulated
+    /// results; this field only reports where wall time went.
+    pub perf: Option<PerfSnapshot>,
 }
 
 impl SimStats {
@@ -163,25 +227,42 @@ impl SimStats {
         baseline.cycles as f64 / self.cycles as f64
     }
 
-    /// Serializes the whole run — totals, per-core counters, and the
-    /// metrics-registry snapshot — as a JSON object (`swctl run --json`).
+    /// Serializes the whole run — totals, per-core counters, event
+    /// accounting, and the metrics-registry snapshot — as a JSON object
+    /// (`swctl run --json`). A `perf` section appears only when the run
+    /// was profiled.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("cycles", Json::U64(self.cycles)),
-            ("pm_writes", Json::U64(self.pm_write_order.len() as u64)),
-            ("total_clwbs", Json::U64(self.total_clwbs())),
-            ("ckc", Json::F64(self.ckc())),
+        let mut fields = vec![
+            ("cycles".to_string(), Json::U64(self.cycles)),
             (
-                "persist_stall_cycles",
+                "pm_writes".to_string(),
+                Json::U64(self.pm_write_order.len() as u64),
+            ),
+            ("total_clwbs".to_string(), Json::U64(self.total_clwbs())),
+            ("ckc".to_string(), Json::F64(self.ckc())),
+            (
+                "persist_stall_cycles".to_string(),
                 Json::U64(self.persist_stall_cycles()),
             ),
-            ("lock_stall_cycles", Json::U64(self.lock_stall_cycles())),
             (
-                "cores",
+                "lock_stall_cycles".to_string(),
+                Json::U64(self.lock_stall_cycles()),
+            ),
+            (
+                "events_processed".to_string(),
+                Json::U64(self.events.total()),
+            ),
+            ("events".to_string(), self.events.to_json()),
+            (
+                "cores".to_string(),
                 Json::Arr(self.cores.iter().map(CoreStats::to_json).collect()),
             ),
-            ("metrics", self.metrics.to_json()),
-        ])
+            ("metrics".to_string(), self.metrics.to_json()),
+        ];
+        if let Some(perf) = &self.perf {
+            fields.push(("perf".to_string(), perf.to_json()));
+        }
+        Json::Obj(fields)
     }
 
     /// A gem5-style multi-line textual report of the run.
@@ -194,6 +275,7 @@ impl SimStats {
             "sim.pm_writes              {:>12}",
             self.pm_write_order.len()
         );
+        let _ = writeln!(s, "sim.events_processed       {:>12}", self.events.total());
         let total = |f: fn(&CoreStats) -> u64| self.cores.iter().map(f).sum::<u64>();
         let _ = writeln!(s, "total.ops                  {:>12}", total(|c| c.ops));
         let _ = writeln!(s, "total.loads                {:>12}", total(|c| c.loads));
@@ -307,6 +389,42 @@ mod report_tests {
             Some(2)
         );
         assert!(doc.get("metrics").is_some(), "metrics section present");
+        assert_eq!(
+            doc.get("events_processed").and_then(Json::as_u64),
+            Some(0),
+            "event accounting present with explicit zeros"
+        );
+        assert!(
+            doc.get("perf").is_none(),
+            "no perf section on an unprofiled run"
+        );
+    }
+
+    #[test]
+    fn profiled_stats_json_carries_perf_section() {
+        let s = SimStats {
+            perf: Some(PerfSnapshot::default()),
+            ..SimStats::default()
+        };
+        let doc = sw_trace::json::parse(&s.to_json().render()).expect("valid JSON");
+        assert!(doc.get("perf").is_some());
+    }
+
+    #[test]
+    fn event_counts_total_sums_every_field() {
+        let e = EventCounts {
+            frontend_ops: 1,
+            store_retires: 2,
+            pq_events: 4,
+            sb_enqueues: 8,
+            pm_writes: 16,
+            persists_visible: 32,
+            steals: 64,
+        };
+        assert_eq!(e.total(), 127);
+        let doc = sw_trace::json::parse(&e.to_json().render()).expect("valid JSON");
+        assert_eq!(doc.get("pq_events").and_then(Json::as_u64), Some(4));
+        assert_eq!(doc.get("steals").and_then(Json::as_u64), Some(64));
     }
 
     #[test]

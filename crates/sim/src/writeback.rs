@@ -40,6 +40,7 @@ impl Machine {
             match p.ready_at {
                 Some(t) if t <= self.cycle => {
                     self.cores[i].store_pending = None;
+                    self.events.store_retires += 1;
                     // Battery-backed designs: the store is durable the
                     // moment it retires (coherence visibility).
                     if self.engine.persists_at_visibility() && self.is_persistent_line(p.line) {

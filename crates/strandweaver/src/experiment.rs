@@ -51,6 +51,13 @@ pub struct Experiment {
     ///
     /// [`run_timing`]: Experiment::run_timing
     pub metrics: bool,
+    /// When `true`, [`run_timing`] installs a self-profiler and the
+    /// returned [`SimStats`] carries a `perf` snapshot. Profiling never
+    /// changes simulated results; the ambient `sw_perf::set_global_enabled`
+    /// switch covers machines built without this flag.
+    ///
+    /// [`run_timing`]: Experiment::run_timing
+    pub profile: bool,
 }
 
 impl Experiment {
@@ -68,6 +75,7 @@ impl Experiment {
             sim: SimConfig::table_i(),
             trace: None,
             metrics: false,
+            profile: false,
         }
     }
 
@@ -121,6 +129,12 @@ impl Experiment {
         self
     }
 
+    /// Enables self-profiling for the timing run ([`SimStats::perf`]).
+    pub fn with_profiling(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
     /// Runs the timing simulation and returns machine statistics.
     pub fn run_timing(&self) -> SimStats {
         let sink = self
@@ -162,6 +176,9 @@ impl Experiment {
         }
         if self.metrics {
             machine.enable_metrics();
+        }
+        if self.profile {
+            machine.enable_profiler();
         }
         machine.run()
     }
@@ -645,6 +662,7 @@ pub fn design_sweep_of(
     let seed = scale.seed;
     let sim = &scale.sim;
     let metrics = scale.metrics;
+    let profile = scale.profile;
     let cell = move |design: HwDesign| {
         let e = Experiment {
             bench,
@@ -658,6 +676,7 @@ pub fn design_sweep_of(
             sim: sim.clone(),
             trace: None,
             metrics,
+            profile,
         };
         (design, e.run_timing())
     };

@@ -183,6 +183,17 @@ pub enum TraceEvent {
         /// Damaged slots that caused the salvage.
         dropped: u64,
     },
+    /// End-of-run self-profiling attribution for one simulator tick
+    /// phase (emitted by `sw-sim` when a profiler is installed; stamped
+    /// with the final cycle).
+    PerfPhase {
+        /// Stable phase label (`sw_perf::Phase::label`).
+        phase: &'static str,
+        /// Wall nanoseconds attributed to the phase over the run.
+        nanos: u64,
+        /// Times the phase boundary was crossed.
+        calls: u64,
+    },
 }
 
 impl TraceEvent {
@@ -207,6 +218,7 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::CorruptionDetected { .. } => "corruption_detected",
             TraceEvent::RegionSalvaged { .. } => "region_salvaged",
+            TraceEvent::PerfPhase { .. } => "perf_phase",
         }
     }
 }
@@ -307,6 +319,15 @@ impl TimedEvent {
                 push("thread", Json::U64(thread.into()));
                 push("dropped", Json::U64(dropped));
             }
+            TraceEvent::PerfPhase {
+                phase,
+                nanos,
+                calls,
+            } => {
+                push("phase", Json::Str(phase.to_string()));
+                push("nanos", Json::U64(nanos));
+                push("calls", Json::U64(calls));
+            }
         }
         Json::Obj(fields)
     }
@@ -339,6 +360,12 @@ mod tests {
             }
             .kind(),
             TraceEvent::PersistVisible { core: 0, line: 0 }.kind(),
+            TraceEvent::PerfPhase {
+                phase: "engine",
+                nanos: 0,
+                calls: 0,
+            }
+            .kind(),
         ];
         let mut dedup = kinds.to_vec();
         dedup.sort_unstable();

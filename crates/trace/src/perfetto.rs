@@ -304,6 +304,13 @@ pub fn chrome_trace(events: &[TimedEvent]) -> Json {
                     ],
                 ));
             }
+            TraceEvent::PerfPhase {
+                phase,
+                nanos,
+                calls: _,
+            } => {
+                out.push(counter(ts, &format!("perf/{phase}"), "nanos", nanos));
+            }
         }
     }
 
