@@ -83,7 +83,10 @@ if [ "${SW_PERF_GATE:-on}" = off ]; then
 elif [ ! -f BENCH_baseline.json ]; then
   echo "perf gate skipped (no BENCH_baseline.json); BENCH_ci.json still emitted"
 else
-  "$SWCTL" benchcmp BENCH_ci.json BENCH_baseline.json --tolerance 25
+  # Tolerance tightened to 15% after the monomorphized hot-path rebuild;
+  # the floor pins fig7 at 2x the pre-rebuild baseline (463787 events/s)
+  # so the speedup cannot be ratcheted away by re-recording baselines.
+  "$SWCTL" benchcmp BENCH_ci.json BENCH_baseline.json --tolerance 15 --floor fig7:927573
   # Self-test: the gate must actually fire on a slowed run (3x wall time).
   if "$SWCTL" benchcmp BENCH_ci.json BENCH_baseline.json --scale-wall 3 2>/dev/null; then
     echo "ci: perf gate failed to detect a 3x slowdown" >&2

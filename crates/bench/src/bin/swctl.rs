@@ -93,7 +93,8 @@ fn usage() -> ! {
          \n                     (--label <s> --warmup N --repeat N --out FILE --design <d> --lang <l>)\
          \n  perf <benchmark>   one profiled run, print the per-phase wall-time table (run flags)\
          \n  benchcmp <cur> <base>  compare two BENCH_*.json reports; exit 1 past the tolerance\
-         \n                     (--tolerance PCT, default 25; --scale-wall X multiplies <cur>)\
+         \n                     (--tolerance PCT, default 25; --scale-wall X multiplies <cur>;\
+         \n                      --floor <target>:<events_per_sec> absolute minimum, repeatable)\
          \n\nSW_PERF=1 profiles any subcommand and prints the phase table to stderr.\
          \n\nbenchmarks: {}\ndesigns: {}\nlangs: {}",
         BenchmarkId::ALL.map(|b| b.label()).join(" "),
@@ -478,6 +479,7 @@ fn dispatch() {
             let (mut cur, mut base) = (None, None);
             let mut tolerance = 25.0f64;
             let mut scale_wall = 1.0f64;
+            let mut floors: Vec<(String, f64)> = Vec::new();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 let mut next = |name: &str| -> String {
@@ -494,6 +496,15 @@ fn dispatch() {
                     }
                     "--scale-wall" => {
                         scale_wall = next("--scale-wall").parse().unwrap_or_else(|_| usage())
+                    }
+                    "--floor" => {
+                        let spec = next("--floor");
+                        let Some((target, value)) = spec.split_once(':') else {
+                            eprintln!("--floor expects <target>:<events_per_sec>");
+                            std::process::exit(2);
+                        };
+                        let value: f64 = value.parse().unwrap_or_else(|_| usage());
+                        floors.push((target.to_string(), value));
                     }
                     p if !p.starts_with('-') && cur.is_none() => cur = Some(p.to_string()),
                     p if !p.starts_with('-') && base.is_none() => base = Some(p.to_string()),
@@ -516,7 +527,13 @@ fn dispatch() {
                     std::process::exit(1);
                 })
             };
-            match sw_bench::compare_reports(&load(&cur), &load(&base), tolerance, scale_wall) {
+            match sw_bench::compare_reports(
+                &load(&cur),
+                &load(&base),
+                tolerance,
+                scale_wall,
+                &floors,
+            ) {
                 Ok(summary) => {
                     println!("perf gate: ok (tolerance +{tolerance:.0}%)");
                     print!("{summary}");

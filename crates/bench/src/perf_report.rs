@@ -346,6 +346,12 @@ pub fn parse(text: &str) -> Result<BenchReport, String> {
 /// report's wall times before comparison — `1.0` in normal use; the CI
 /// self-test passes `3.0` to prove the gate actually fires.
 ///
+/// `floors` are absolute `events_per_sec` minimums per target (the
+/// `benchcmp --floor fig7:927573` form): unlike the relative tolerance —
+/// which follows whatever baseline is committed — a floor pins a past
+/// win's magnitude, so it cannot be ratcheted away by re-recording a
+/// slower baseline.
+///
 /// Reports taken at different scales, warmup, or repeat counts are
 /// incomparable and always rejected.
 pub fn compare_reports(
@@ -353,6 +359,7 @@ pub fn compare_reports(
     baseline: &BenchReport,
     tolerance_pct: f64,
     scale_wall: f64,
+    floors: &[(String, f64)],
 ) -> Result<String, String> {
     if current.scale != baseline.scale {
         return Err(format!(
@@ -396,13 +403,39 @@ pub fn compare_reports(
             base.target, adjusted, base.wall_secs_min, delta_pct, verdict
         );
     }
+    for (target, floor) in floors {
+        let Some(cur) = current.targets.iter().find(|t| &t.target == target) else {
+            return Err(format!(
+                "floor target '{target}' missing from current report"
+            ));
+        };
+        let adjusted_wall = cur.wall_secs_min * scale_wall;
+        let eps = if adjusted_wall > 0.0 {
+            cur.events_processed as f64 / adjusted_wall
+        } else {
+            0.0
+        };
+        if eps < *floor {
+            regressions.push(format!(
+                "{target}: {eps:.0} events/s below floor {floor:.0}"
+            ));
+            let _ = writeln!(
+                summary,
+                "  {target:8} {eps:>10.0} events/s < floor {floor:.0} REGRESSED"
+            );
+        } else {
+            let _ = writeln!(
+                summary,
+                "  {target:8} {eps:>10.0} events/s >= floor {floor:.0} ok"
+            );
+        }
+    }
     if regressions.is_empty() {
         Ok(summary)
     } else {
         Err(format!(
-            "{} target(s) regressed past +{:.0}%:\n  {}",
+            "{} target(s) regressed:\n  {}",
             regressions.len(),
-            tolerance_pct,
             regressions.join("\n  ")
         ))
     }
@@ -460,14 +493,14 @@ mod tests {
     #[test]
     fn compare_passes_identical_reports() {
         let r = sample();
-        let summary = compare_reports(&r, &r, 25.0, 1.0).expect("identical reports pass");
+        let summary = compare_reports(&r, &r, 25.0, 1.0, &[]).expect("identical reports pass");
         assert!(summary.contains("ok"));
     }
 
     #[test]
     fn compare_fails_on_artificial_slowdown() {
         let r = sample();
-        let err = compare_reports(&r, &r, 25.0, 3.0).expect_err("3x slowdown must fail");
+        let err = compare_reports(&r, &r, 25.0, 3.0, &[]).expect_err("3x slowdown must fail");
         assert!(err.contains("fig7"), "{err}");
         assert!(
             err.contains("REGRESSED") || err.contains("regressed"),
@@ -479,7 +512,7 @@ mod tests {
     fn compare_refuses_scale_mismatch() {
         let mut other = sample();
         other.scale.regions = 999;
-        let err = compare_reports(&other, &sample(), 25.0, 1.0).expect_err("scales differ");
+        let err = compare_reports(&other, &sample(), 25.0, 1.0, &[]).expect_err("scales differ");
         assert!(err.contains("scale mismatch"), "{err}");
     }
 
@@ -487,8 +520,36 @@ mod tests {
     fn compare_refuses_missing_target() {
         let mut cur = sample();
         cur.targets.clear();
-        let err = compare_reports(&cur, &sample(), 25.0, 1.0).expect_err("target missing");
+        let err = compare_reports(&cur, &sample(), 25.0, 1.0, &[]).expect_err("target missing");
         assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn compare_enforces_events_per_sec_floor() {
+        // sample(): 1000 events over 0.125s = 8000 events/s.
+        let r = sample();
+        let ok = compare_reports(&r, &r, 25.0, 1.0, &[("fig7".into(), 5000.0)])
+            .expect("above the floor passes");
+        assert!(ok.contains(">= floor"), "{ok}");
+
+        let err = compare_reports(&r, &r, 25.0, 1.0, &[("fig7".into(), 10_000.0)])
+            .expect_err("below the floor fails");
+        assert!(err.contains("below floor 10000"), "{err}");
+
+        // A floor survives even when the wall-time tolerance would pass:
+        // the relative gate compares a report to itself, the absolute
+        // floor still fires.
+        let err = compare_reports(&r, &r, 100.0, 1.0, &[("fig7".into(), 10_000.0)])
+            .expect_err("floor is independent of tolerance");
+        assert!(err.contains("fig7"), "{err}");
+    }
+
+    #[test]
+    fn compare_rejects_floor_for_unknown_target() {
+        let r = sample();
+        let err = compare_reports(&r, &r, 25.0, 1.0, &[("nope".into(), 1.0)])
+            .expect_err("unknown floor target");
+        assert!(err.contains("floor target 'nope' missing"), "{err}");
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Durable PM contents at word granularity.
 
-use std::collections::{HashMap, HashSet};
-
 use crate::addr::{Addr, LineAddr, WORDS_PER_LINE};
+use crate::hash::{FastMap, FastSet};
 
 /// Error returned by [`PmImage::try_load`] when the addressed line is
 /// poisoned: the media would signal an uncorrectable error instead of
@@ -18,9 +17,77 @@ impl std::fmt::Display for PoisonedLine {
 
 impl std::error::Error for PoisonedLine {}
 
+/// Lines per [`Page`]: one page covers a 64 KiB span of the address space.
+const LINES_PER_PAGE: u64 = 1024;
+/// Bitmap words needed for [`LINES_PER_PAGE`] presence bits.
+const BITMAP_WORDS: usize = (LINES_PER_PAGE / 64) as usize;
+
+/// A dense page of line contents plus a presence bitmap.
+///
+/// Invariant: a line whose presence bit is clear has all-zero words, so
+/// whole-page word comparisons and zero-default loads need no per-line
+/// masking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Page {
+    /// Presence bit per line: set iff the line counts as *written*.
+    written: [u64; BITMAP_WORDS],
+    /// Cached popcount of `written`.
+    count: u32,
+    /// `LINES_PER_PAGE * WORDS_PER_LINE` words, line-major.
+    words: Vec<u64>,
+}
+
+impl Page {
+    fn new() -> Self {
+        Self {
+            written: [0; BITMAP_WORDS],
+            count: 0,
+            words: vec![0; (LINES_PER_PAGE as usize) * WORDS_PER_LINE],
+        }
+    }
+
+    #[inline]
+    fn has(&self, slot: usize) -> bool {
+        self.written[slot / 64] & (1 << (slot % 64)) != 0
+    }
+
+    #[inline]
+    fn mark(&mut self, slot: usize) {
+        let bit = 1u64 << (slot % 64);
+        if self.written[slot / 64] & bit == 0 {
+            self.written[slot / 64] |= bit;
+            self.count += 1;
+        }
+    }
+
+    /// Clears the presence bit and zeroes the line's words (upholding the
+    /// page invariant).
+    fn clear(&mut self, slot: usize) {
+        let bit = 1u64 << (slot % 64);
+        if self.written[slot / 64] & bit != 0 {
+            self.written[slot / 64] &= !bit;
+            self.count -= 1;
+            self.words[slot * WORDS_PER_LINE..(slot + 1) * WORDS_PER_LINE].fill(0);
+        }
+    }
+
+    #[inline]
+    fn line(&self, slot: usize) -> &[u64] {
+        &self.words[slot * WORDS_PER_LINE..(slot + 1) * WORDS_PER_LINE]
+    }
+}
+
+#[inline]
+fn split(line: LineAddr) -> (u64, usize) {
+    (line.0 / LINES_PER_PAGE, (line.0 % LINES_PER_PAGE) as usize)
+}
+
 /// The contents of persistent memory as recovery would observe them.
 ///
-/// A `PmImage` is a sparse map from cache lines to their word contents.
+/// A `PmImage` maps cache lines to their word contents, stored as dense
+/// 1024-line pages behind a page-indexed table — functional stores during
+/// workload generation are the hot path, and paging turns their per-store
+/// cost into one table probe per 64 KiB span plus a direct index.
 /// Unwritten memory reads as zero, mirroring a freshly-zeroed PM device.
 /// The image is word-granular because all workload data in this reproduction
 /// is word-sized; a persist (CLWB or cache writeback) transfers a whole line.
@@ -35,14 +102,14 @@ impl std::error::Error for PoisonedLine {}
 /// assert_eq!(img.load(Addr(64)), 7);
 /// assert_eq!(img.load(Addr(72)), 0); // untouched word in same line
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct PmImage {
-    lines: HashMap<LineAddr, [u64; WORDS_PER_LINE]>,
+    pages: FastMap<u64, Page>,
     /// Lines the media reports as uncorrectable: [`PmImage::try_load`]
     /// errors on them. A store (which rewrites the location) heals the
     /// line, as does a full-line persist ([`PmImage::absorb_line`] /
     /// [`PmImage::set_line_words`]).
-    poisoned: HashSet<LineAddr>,
+    poisoned: FastSet<LineAddr>,
 }
 
 impl PmImage {
@@ -57,9 +124,10 @@ impl PmImage {
     /// whatever bits the image holds. Fault-aware readers (recovery) use
     /// [`PmImage::try_load`] instead.
     pub fn load(&self, addr: Addr) -> u64 {
-        self.lines
-            .get(&addr.line())
-            .map_or(0, |line| line[addr.word_in_line()])
+        let (page, slot) = split(addr.line());
+        self.pages
+            .get(&page)
+            .map_or(0, |p| p.line(slot)[addr.word_in_line()])
     }
 
     /// Reads the word at `addr`, failing if the containing line is
@@ -80,8 +148,13 @@ impl PmImage {
     /// Writes the word at `addr`. Rewriting a poisoned line heals it (the
     /// device replaces the uncorrectable data).
     pub fn store(&mut self, addr: Addr, value: u64) {
-        self.poisoned.remove(&addr.line());
-        self.lines.entry(addr.line()).or_insert([0; WORDS_PER_LINE])[addr.word_in_line()] = value;
+        if !self.poisoned.is_empty() {
+            self.poisoned.remove(&addr.line());
+        }
+        let (page, slot) = split(addr.line());
+        let p = self.pages.entry(page).or_insert_with(Page::new);
+        p.mark(slot);
+        p.words[slot * WORDS_PER_LINE + addr.word_in_line()] = value;
     }
 
     /// Marks `line` as uncorrectable: [`PmImage::try_load`] will fail on
@@ -106,45 +179,95 @@ impl PmImage {
     /// This models a line-granular persist: the entire cache line drains to
     /// the PM device at once (healing any poison on the destination).
     pub fn absorb_line(&mut self, line: LineAddr, src: &PmImage) {
-        self.poisoned.remove(&line);
-        match src.lines.get(&line) {
-            Some(words) => {
-                self.lines.insert(line, *words);
+        if !self.poisoned.is_empty() {
+            self.poisoned.remove(&line);
+        }
+        let (page, slot) = split(line);
+        match src.pages.get(&page).filter(|p| p.has(slot)) {
+            Some(sp) => {
+                let dp = self.pages.entry(page).or_insert_with(Page::new);
+                dp.mark(slot);
+                dp.words[slot * WORDS_PER_LINE..(slot + 1) * WORDS_PER_LINE]
+                    .copy_from_slice(sp.line(slot));
             }
             None => {
-                self.lines.remove(&line);
+                if let Some(dp) = self.pages.get_mut(&page) {
+                    dp.clear(slot);
+                }
             }
         }
     }
 
     /// Returns the words of `line` (zeros if never written).
     pub fn line_words(&self, line: LineAddr) -> [u64; WORDS_PER_LINE] {
-        self.lines
-            .get(&line)
-            .copied()
-            .unwrap_or([0; WORDS_PER_LINE])
+        let (page, slot) = split(line);
+        match self.pages.get(&page) {
+            Some(p) => {
+                let mut out = [0; WORDS_PER_LINE];
+                out.copy_from_slice(p.line(slot));
+                out
+            }
+            None => [0; WORDS_PER_LINE],
+        }
     }
 
     /// Overwrites the words of `line` (healing any poison).
     pub fn set_line_words(&mut self, line: LineAddr, words: [u64; WORDS_PER_LINE]) {
-        self.poisoned.remove(&line);
+        if !self.poisoned.is_empty() {
+            self.poisoned.remove(&line);
+        }
+        let (page, slot) = split(line);
         if words == [0; WORDS_PER_LINE] {
-            self.lines.remove(&line);
+            if let Some(p) = self.pages.get_mut(&page) {
+                p.clear(slot);
+            }
         } else {
-            self.lines.insert(line, words);
+            let p = self.pages.entry(page).or_insert_with(Page::new);
+            p.mark(slot);
+            p.words[slot * WORDS_PER_LINE..(slot + 1) * WORDS_PER_LINE].copy_from_slice(&words);
         }
     }
 
     /// Returns an iterator over all lines that have ever been written.
     pub fn written_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.lines.keys().copied()
+        self.pages.iter().flat_map(|(&page, p)| {
+            (0..LINES_PER_PAGE as usize)
+                .filter(|&slot| p.has(slot))
+                .map(move |slot| LineAddr(page * LINES_PER_PAGE + slot as u64))
+        })
     }
 
     /// Number of distinct cache lines with non-default contents.
     pub fn line_count(&self) -> usize {
-        self.lines.len()
+        self.pages.values().map(|p| p.count as usize).sum()
     }
 }
+
+impl PartialEq for PmImage {
+    /// Content equality: the same set of written lines with the same
+    /// words, and the same poison set. Pages whose lines were all cleared
+    /// again compare equal to absent pages.
+    fn eq(&self, other: &Self) -> bool {
+        if self.poisoned != other.poisoned {
+            return false;
+        }
+        let live = |img: &Self| img.pages.values().filter(|p| p.count > 0).count();
+        if live(self) != live(other) {
+            return false;
+        }
+        self.pages
+            .iter()
+            .filter(|(_, p)| p.count > 0)
+            .all(|(idx, p)| {
+                other
+                    .pages
+                    .get(idx)
+                    .is_some_and(|q| q.written == p.written && q.words == p.words)
+            })
+    }
+}
+
+impl Eq for PmImage {}
 
 #[cfg(test)]
 mod tests {
@@ -197,6 +320,7 @@ mod tests {
         dst.store(Addr(64), 5);
         dst.absorb_line(LineAddr(1), &src);
         assert_eq!(dst.load(Addr(64)), 0);
+        assert_eq!(dst.line_count(), 0);
     }
 
     #[test]
@@ -206,6 +330,27 @@ mod tests {
         img.store(Addr(8), 2);
         img.store(Addr(64), 3);
         assert_eq!(img.line_count(), 2);
+    }
+
+    #[test]
+    fn zero_valued_stores_still_count_as_written() {
+        // TPC-C pre-touches its order table with zero stores; the warm
+        // preload set must include those lines.
+        let mut img = PmImage::new();
+        img.store(Addr(64), 0);
+        assert_eq!(img.line_count(), 1);
+        assert_eq!(img.written_lines().collect::<Vec<_>>(), vec![LineAddr(1)]);
+    }
+
+    #[test]
+    fn written_lines_spans_pages() {
+        let mut img = PmImage::new();
+        let far = LineAddr(5 * LINES_PER_PAGE + 7);
+        img.store(LineAddr(3).word(0), 1);
+        img.store(far.word(2), 9);
+        let mut lines: Vec<LineAddr> = img.written_lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![LineAddr(3), far]);
     }
 
     #[test]
@@ -260,5 +405,15 @@ mod tests {
         img.set_line_words(LineAddr(0), [0; WORDS_PER_LINE]);
         assert_eq!(img.line_count(), 0);
         assert_eq!(img.load(Addr(0)), 0);
+    }
+
+    #[test]
+    fn cleared_pages_compare_equal_to_absent_pages() {
+        let mut a = PmImage::new();
+        let b = PmImage::new();
+        a.store(Addr(0), 1);
+        a.set_line_words(LineAddr(0), [0; WORDS_PER_LINE]);
+        assert_eq!(a, b);
+        assert_eq!(b, a);
     }
 }

@@ -35,12 +35,14 @@
 #![warn(missing_debug_implementations)]
 
 mod addr;
+pub mod hash;
 mod image;
 mod layout;
 mod memory;
 pub mod timing;
 
 pub use addr::{Addr, LineAddr, CACHE_LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
+pub use hash::{AddrHasher, FastMap, FastSet};
 pub use image::{PmImage, PoisonedLine};
 pub use layout::{Bump, PmLayout, Region, RegionKind};
 pub use memory::Memory;

@@ -1,9 +1,7 @@
 //! L1 data cache model (set-associative, write-back, write-allocate) and
 //! the coherence directory.
 
-use std::collections::HashMap;
-
-use sw_pmem::LineAddr;
+use sw_pmem::{LineAddr, PmLayout};
 
 /// One L1 way.
 #[derive(Debug, Clone, Copy)]
@@ -130,34 +128,177 @@ impl L1Cache {
     }
 }
 
+/// Lines per directory page. Pages are allocated on first touch, so the
+/// table is dense over the hot working set without paying for the whole
+/// persistent range up front.
+const DIR_PAGE_LINES: usize = 4096;
+
+/// Sentinel for "no dirty owner" in the packed owner byte.
+const NO_OWNER: u8 = u8::MAX;
+
 /// Tracks, per line, which core (if any) holds it dirty. Used to route
 /// coherence steals; clean sharing needs no bookkeeping in this model
 /// because clean copies can be dropped silently.
-#[derive(Debug, Clone, Default)]
+///
+/// Dirty ownership only ever applies to persistent lines (volatile dirty
+/// data drains to DRAM without coherence bookkeeping — see
+/// `Machine::install`), so the table is a dense, paged owner array over
+/// the layout's persistent line range: lookups are two index operations
+/// instead of a hash, and the steady-state loop never allocates.
+#[derive(Debug, Clone)]
 pub struct Directory {
-    dirty_owner: HashMap<LineAddr, usize>,
+    /// Owner byte per line, paged; `None` pages are untouched (all clean).
+    pages: Vec<Option<Box<[u8; DIR_PAGE_LINES]>>>,
+    /// First line covered.
+    base: u64,
+    /// One past the last line covered.
+    limit: u64,
 }
 
 impl Directory {
-    /// Creates an empty directory.
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates a directory covering the raw line range `[base, limit)`.
+    pub fn new(base: LineAddr, limit: LineAddr) -> Self {
+        assert!(base.raw() <= limit.raw());
+        let lines = (limit.raw() - base.raw()) as usize;
+        Self {
+            pages: vec![None; lines.div_ceil(DIR_PAGE_LINES)],
+            base: base.raw(),
+            limit: limit.raw(),
+        }
+    }
+
+    /// Creates a directory covering `layout`'s persistent line range
+    /// (logs, metadata, and heap).
+    pub fn for_layout(layout: &PmLayout) -> Self {
+        let heap = layout.heap_region();
+        let end = heap.base.raw() + heap.bytes;
+        Self::new(
+            sw_pmem::Addr(PmLayout::PM_BASE).line(),
+            sw_pmem::Addr(end.next_multiple_of(64)).line(),
+        )
+    }
+
+    /// Rebased index of `line`, or `None` when outside the covered range
+    /// (volatile lines are never dirty-owned).
+    #[inline]
+    fn index(&self, line: LineAddr) -> Option<usize> {
+        let raw = line.raw();
+        (raw >= self.base && raw < self.limit).then(|| (raw - self.base) as usize)
     }
 
     /// The core currently holding `line` dirty, if any.
+    #[inline]
     pub fn dirty_owner(&self, line: LineAddr) -> Option<usize> {
-        self.dirty_owner.get(&line).copied()
+        let idx = self.index(line)?;
+        let owner = *self.pages[idx / DIR_PAGE_LINES]
+            .as_ref()?
+            .get(idx % DIR_PAGE_LINES)?;
+        (owner != NO_OWNER).then_some(owner as usize)
     }
 
     /// Records that `core` holds `line` dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is outside the covered (persistent) range — the
+    /// machine only dirty-tracks persistent lines.
+    #[inline]
     pub fn set_dirty_owner(&mut self, line: LineAddr, core: usize) {
-        self.dirty_owner.insert(line, core);
+        debug_assert!(core < NO_OWNER as usize, "core index fits the owner byte");
+        let idx = self
+            .index(line)
+            .expect("dirty ownership applies only to covered persistent lines");
+        let page = self.pages[idx / DIR_PAGE_LINES]
+            .get_or_insert_with(|| Box::new([NO_OWNER; DIR_PAGE_LINES]));
+        page[idx % DIR_PAGE_LINES] = core as u8;
     }
 
     /// Records that no core holds `line` dirty (flush, writeback, or
-    /// invalidation).
+    /// invalidation). A no-op for lines outside the covered range.
+    #[inline]
     pub fn clear_dirty_owner(&mut self, line: LineAddr) {
-        self.dirty_owner.remove(&line);
+        if let Some(idx) = self.index(line) {
+            if let Some(page) = self.pages[idx / DIR_PAGE_LINES].as_mut() {
+                page[idx % DIR_PAGE_LINES] = NO_OWNER;
+            }
+        }
+    }
+}
+
+/// Lines per membership-set page (bitset pages: 4096 lines = 512 bytes).
+const SET_PAGE_LINES: usize = 4096;
+
+/// A paged bitset over the layout's persistent and volatile line ranges —
+/// the shared-L2 membership set. Replaces a `HashSet<LineAddr>`: contains
+/// and insert are two index operations and a bit test, with pages
+/// allocated on first touch and nothing allocated per call.
+#[derive(Debug, Clone)]
+pub(crate) struct LineSet {
+    pages: Vec<Option<Box<[u64; SET_PAGE_LINES / 64]>>>,
+    /// Persistent range `[pm_base, pm_limit)` maps to index 0..; the
+    /// volatile range follows it.
+    pm_base: u64,
+    pm_limit: u64,
+    vol_base: u64,
+    vol_limit: u64,
+}
+
+impl LineSet {
+    pub(crate) fn for_layout(layout: &PmLayout) -> Self {
+        let heap = layout.heap_region();
+        let pm_base = sw_pmem::Addr(PmLayout::PM_BASE).line().raw();
+        let pm_limit = sw_pmem::Addr((heap.base.raw() + heap.bytes).next_multiple_of(64))
+            .line()
+            .raw();
+        let vol = layout.volatile_region();
+        let vol_base = sw_pmem::Addr(vol.base.raw()).line().raw();
+        let vol_limit = sw_pmem::Addr((vol.base.raw() + vol.bytes).next_multiple_of(64))
+            .line()
+            .raw();
+        let lines = (pm_limit - pm_base) + (vol_limit - vol_base);
+        Self {
+            pages: vec![None; (lines as usize).div_ceil(SET_PAGE_LINES)],
+            pm_base,
+            pm_limit,
+            vol_base,
+            vol_limit,
+        }
+    }
+
+    /// Rebased index of `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `line` lies outside both the persistent and volatile
+    /// ranges — traces only address the layout's regions.
+    #[inline]
+    fn index(&self, line: LineAddr) -> usize {
+        let raw = line.raw();
+        if raw >= self.pm_base && raw < self.pm_limit {
+            (raw - self.pm_base) as usize
+        } else {
+            assert!(
+                raw >= self.vol_base && raw < self.vol_limit,
+                "line {raw:#x} outside the layout's address ranges"
+            );
+            ((self.pm_limit - self.pm_base) + (raw - self.vol_base)) as usize
+        }
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, line: LineAddr) -> bool {
+        let idx = self.index(line);
+        self.pages[idx / SET_PAGE_LINES]
+            .as_ref()
+            .is_some_and(|p| p[(idx % SET_PAGE_LINES) / 64] & (1 << (idx % 64)) != 0)
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, line: LineAddr) {
+        let idx = self.index(line);
+        let page = self.pages[idx / SET_PAGE_LINES]
+            .get_or_insert_with(|| Box::new([0u64; SET_PAGE_LINES / 64]));
+        page[(idx % SET_PAGE_LINES) / 64] |= 1 << (idx % 64);
     }
 }
 
@@ -230,11 +371,48 @@ mod tests {
 
     #[test]
     fn directory_tracks_dirty_owner() {
-        let mut d = Directory::new();
-        assert_eq!(d.dirty_owner(l(1)), None);
-        d.set_dirty_owner(l(1), 3);
-        assert_eq!(d.dirty_owner(l(1)), Some(3));
-        d.clear_dirty_owner(l(1));
-        assert_eq!(d.dirty_owner(l(1)), None);
+        let mut d = Directory::new(l(100), l(200));
+        assert_eq!(d.dirty_owner(l(101)), None);
+        d.set_dirty_owner(l(101), 3);
+        assert_eq!(d.dirty_owner(l(101)), Some(3));
+        d.clear_dirty_owner(l(101));
+        assert_eq!(d.dirty_owner(l(101)), None);
+    }
+
+    #[test]
+    fn directory_ignores_lines_outside_the_range() {
+        let mut d = Directory::new(l(100), l(200));
+        assert_eq!(d.dirty_owner(l(5)), None, "below the range");
+        assert_eq!(d.dirty_owner(l(1_000_000)), None, "above the range");
+        d.clear_dirty_owner(l(5)); // must not panic
+    }
+
+    #[test]
+    fn directory_for_layout_covers_the_persistent_range() {
+        let layout = PmLayout::new(2, 64);
+        let mut d = Directory::for_layout(&layout);
+        let heap_line = layout.heap_base().line();
+        d.set_dirty_owner(heap_line, 1);
+        assert_eq!(d.dirty_owner(heap_line), Some(1));
+        let vol_line = layout.volatile_region().base.line();
+        assert_eq!(
+            d.dirty_owner(vol_line),
+            None,
+            "volatile lines are never dirty-owned"
+        );
+    }
+
+    #[test]
+    fn line_set_membership_over_both_ranges() {
+        let layout = PmLayout::new(2, 64);
+        let mut s = LineSet::for_layout(&layout);
+        let pm = layout.heap_base().line();
+        let vol = layout.volatile_region().base.line();
+        assert!(!s.contains(pm));
+        s.insert(pm);
+        assert!(s.contains(pm));
+        assert!(!s.contains(vol));
+        s.insert(vol);
+        assert!(s.contains(vol));
     }
 }

@@ -54,6 +54,11 @@ pub struct SimConfig {
     /// Safety bound on simulated cycles; exceeding it indicates a deadlock
     /// and panics.
     pub max_cycles: u64,
+    /// Jump over quiescent cycles (no architectural progress) straight to
+    /// the next interesting cycle. Produces bit-identical `SimStats` to
+    /// single-stepping (the skipped cycles' stall accounting is replayed);
+    /// disable only to cross-check that invariant in tests.
+    pub skip_ahead: bool,
 }
 
 impl SimConfig {
@@ -84,7 +89,15 @@ impl SimConfig {
             pm_read_interval: 16,
             coherence_transfer_cycles: 40,
             max_cycles: 20_000_000_000,
+            skip_ahead: true,
         }
+    }
+
+    /// A copy with quiescent-cycle skipping toggled (used by the
+    /// skip-ahead == single-step equivalence tests).
+    pub fn with_skip_ahead(mut self, skip_ahead: bool) -> Self {
+        self.skip_ahead = skip_ahead;
+        self
     }
 
     /// A copy with a different strand-buffer-unit shape — the Figure 9

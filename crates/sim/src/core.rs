@@ -2,16 +2,15 @@
 //! buffer, and slots for whichever persist structures the design's engine
 //! attaches ([`crate::engines::PersistEngine::setup_core`]).
 
-use std::collections::VecDeque;
-
 use sw_model::isa::IsaTrace;
 use sw_pmem::LineAddr;
 
 use crate::cache::L1Cache;
 use crate::config::SimConfig;
 use crate::persist::FlushEngine;
+use crate::ring::Ring;
 use crate::stats::CoreStats;
-use crate::strand_buffer::Sbu;
+use crate::strand_buffer::{DrainTargets, Sbu};
 
 /// An entry in the store queue. The no-persist-queue design routes persist
 /// primitives through the store queue, so they appear here too.
@@ -53,13 +52,13 @@ pub struct PendingAccess {
 /// A write-back of a dirty persistent line, gated on the strand buffer
 /// unit draining past the tail indexes recorded at initiation (Section IV,
 /// "Managing cache writebacks").
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Writeback {
     /// Line being written back.
     pub line: LineAddr,
     /// Strand-buffer drain targets recorded when the write-back began
     /// (`None` when the design has no strand buffers).
-    pub targets: Option<Vec<u64>>,
+    pub targets: Option<DrainTargets>,
 }
 
 /// One core of the simulated machine.
@@ -80,10 +79,11 @@ pub struct Core {
     /// lock operations) stall behind it; compute and loads proceed, as on
     /// an out-of-order core where these fences order only stores.
     pub pending_fence: Option<sw_model::isa::FenceKind>,
-    /// Store queue.
-    pub sq: VecDeque<SqOp>,
-    /// Persist queue (StrandWeaver design only; empty otherwise).
-    pub pq: VecDeque<PqOp>,
+    /// Store queue (fixed capacity: `SimConfig::store_queue_entries`).
+    pub sq: Ring<SqOp>,
+    /// Persist queue (StrandWeaver design only; empty otherwise; fixed
+    /// capacity: `SimConfig::persist_queue_entries`).
+    pub pq: Ring<PqOp>,
     /// Strand buffer unit (StrandWeaver / no-persist-queue / HOPS).
     pub sbu: Option<Sbu>,
     /// Outstanding-flush engine (Intel / non-atomic).
@@ -109,11 +109,11 @@ impl Core {
             load_pending: None,
             store_pending: None,
             pending_fence: None,
-            sq: VecDeque::new(),
-            pq: VecDeque::new(),
+            sq: Ring::new(cfg.store_queue_entries, SqOp::Pb),
+            pq: Ring::new(cfg.persist_queue_entries, PqOp::Pb),
             sbu: None,
             flush: None,
-            wb: Vec::new(),
+            wb: Vec::with_capacity(cfg.writeback_buffer_entries),
             l1: L1Cache::new(cfg.l1_sets, cfg.l1_ways),
             stats: CoreStats::default(),
             done: false,

@@ -7,7 +7,7 @@
 //! ordering fences (`PersistBarrier`, `NewStrand`, `OFENCE`) vanish, and
 //! completion fences (`SFENCE`, `JoinStrand`, `DFENCE`) degenerate to
 //! store-queue drains. The machine core records the durability point at
-//! store retirement ([`PersistEngine::persists_at_visibility`]).
+//! store retirement ([`EngineMeta::persists_at_visibility`]).
 
 use sw_model::isa::FenceKind;
 use sw_model::HwDesign;
@@ -15,49 +15,18 @@ use sw_pmem::LineAddr;
 
 use crate::config::SimConfig;
 use crate::core::Core;
-use crate::machine::Machine;
+use crate::machine::SimMachine;
 use crate::stats::StallCause;
 
-use super::PersistEngine;
+use super::{EngineMeta, PersistEngine};
 
 /// The eADR engine.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Eadr;
 
-impl PersistEngine for Eadr {
+impl EngineMeta for Eadr {
     fn design(&self) -> HwDesign {
         HwDesign::Eadr
-    }
-
-    fn setup_core(&self, _core: &mut Core, _cfg: &SimConfig) {
-        // No persist structure: the caches themselves are persistent.
-    }
-
-    fn backend(&self, _m: &mut Machine, _i: usize) {}
-
-    fn issue_clwb(&self, _m: &mut Machine, _i: usize, _line: LineAddr) -> bool {
-        // A no-op: the line is already in the persistence domain.
-        true
-    }
-
-    fn issue_fence(&self, m: &mut Machine, i: usize, kind: FenceKind) -> bool {
-        match kind {
-            // Any completion fence degenerates to a store-queue drain.
-            FenceKind::Sfence | FenceKind::JoinStrand | FenceKind::Dfence => {
-                m.issue_completion_fence(i, kind)
-            }
-            // Ordering fences are free: visibility order is persist order.
-            FenceKind::PersistBarrier | FenceKind::NewStrand | FenceKind::Ofence => true,
-        }
-    }
-
-    fn fence_condition_met(&self, m: &Machine, i: usize, kind: FenceKind) -> bool {
-        match kind {
-            FenceKind::Sfence | FenceKind::JoinStrand | FenceKind::Dfence => {
-                m.cores[i].stores_drained()
-            }
-            _ => true,
-        }
     }
 
     fn persists_at_visibility(&self) -> bool {
@@ -71,5 +40,38 @@ impl PersistEngine for Eadr {
             StallCause::StoreQueueFull,
             StallCause::Lock,
         ]
+    }
+}
+
+impl PersistEngine for Eadr {
+    fn setup_core(&self, _core: &mut Core, _cfg: &SimConfig) {
+        // No persist structure: the caches themselves are persistent.
+    }
+
+    fn backend(&self, _m: &mut SimMachine<Self>, _i: usize) {}
+
+    fn issue_clwb(&self, _m: &mut SimMachine<Self>, _i: usize, _line: LineAddr) -> bool {
+        // A no-op: the line is already in the persistence domain.
+        true
+    }
+
+    fn issue_fence(&self, m: &mut SimMachine<Self>, i: usize, kind: FenceKind) -> bool {
+        match kind {
+            // Any completion fence degenerates to a store-queue drain.
+            FenceKind::Sfence | FenceKind::JoinStrand | FenceKind::Dfence => {
+                m.issue_completion_fence(i, kind)
+            }
+            // Ordering fences are free: visibility order is persist order.
+            FenceKind::PersistBarrier | FenceKind::NewStrand | FenceKind::Ofence => true,
+        }
+    }
+
+    fn fence_condition_met(&self, m: &SimMachine<Self>, i: usize, kind: FenceKind) -> bool {
+        match kind {
+            FenceKind::Sfence | FenceKind::JoinStrand | FenceKind::Dfence => {
+                m.cores[i].stores_drained()
+            }
+            _ => true,
+        }
     }
 }

@@ -10,30 +10,36 @@ use sw_pmem::LineAddr;
 
 use crate::config::SimConfig;
 use crate::core::Core;
-use crate::machine::Machine;
+use crate::machine::SimMachine;
 use crate::stats::StallCause;
 use crate::strand_buffer::Sbu;
 
-use super::PersistEngine;
+use super::{EngineMeta, PersistEngine};
 
 /// The HOPS engine.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Hops;
 
-impl PersistEngine for Hops {
+impl EngineMeta for Hops {
     fn design(&self) -> HwDesign {
         HwDesign::Hops
     }
 
+    fn stall_causes(&self) -> &'static [StallCause] {
+        &StallCause::ALL
+    }
+}
+
+impl PersistEngine for Hops {
     fn setup_core(&self, core: &mut Core, cfg: &SimConfig) {
         core.sbu = Some(Sbu::new(1, cfg.hops_buffer_entries));
     }
 
-    fn backend(&self, m: &mut Machine, i: usize) {
+    fn backend(&self, m: &mut SimMachine<Self>, i: usize) {
         m.backend_sbu(i);
     }
 
-    fn issue_clwb(&self, m: &mut Machine, i: usize, line: LineAddr) -> bool {
+    fn issue_clwb(&self, m: &mut SimMachine<Self>, i: usize, line: LineAddr) -> bool {
         // HOPS inserts into the persist buffer at issue; the elder
         // same-line store must have retired (checked here, before
         // insertion, to preserve deadlock freedom).
@@ -50,7 +56,7 @@ impl PersistEngine for Hops {
         true
     }
 
-    fn issue_fence(&self, m: &mut Machine, i: usize, kind: FenceKind) -> bool {
+    fn issue_fence(&self, m: &mut SimMachine<Self>, i: usize, kind: FenceKind) -> bool {
         match kind {
             FenceKind::Ofence => {
                 // Lightweight: an epoch marker in the persist buffer.
@@ -67,15 +73,11 @@ impl PersistEngine for Hops {
         }
     }
 
-    fn fence_condition_met(&self, m: &Machine, i: usize, kind: FenceKind) -> bool {
+    fn fence_condition_met(&self, m: &SimMachine<Self>, i: usize, kind: FenceKind) -> bool {
         match kind {
             // dfence: the persist buffer must drain.
             FenceKind::Dfence => m.cores[i].sbu.as_ref().is_none_or(Sbu::is_empty),
             _ => true,
         }
-    }
-
-    fn stall_causes(&self) -> &'static [StallCause] {
-        &StallCause::ALL
     }
 }

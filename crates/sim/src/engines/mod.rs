@@ -10,15 +10,18 @@
 //! `issue_clwb`, `issue_fence`) plus the fence-condition and store-queue
 //! drain hooks.
 //!
-//! Engines are stateless unit structs (all per-core state lives in the
-//! core), so the machine holds a `&'static dyn PersistEngine` and call
-//! sites copy the reference before re-borrowing the machine mutably.
+//! Engines are stateless `Copy` unit structs (all per-core state lives in
+//! the core). [`crate::SimMachine`] holds its engine *by value*, so every
+//! per-cycle dispatch is a static, inlinable call; the design-indexed
+//! metadata queries that don't need monomorphization (`design`,
+//! `stall_causes`, `persists_at_visibility`) sit on the object-safe
+//! [`EngineMeta`] supertrait, reachable through [`engine_for`].
 //!
 //! Adding a design: write one `DesignSpec` entry in `sw-model` (label,
 //! formal memory model, runtime lowering), one engine module here, and
-//! register it in [`engine_for`]. The litmus matrix and sim/model
-//! agreement suites pick the new design up from `HwDesign::ALL`
-//! automatically.
+//! register it in [`engine_for`] plus the [`crate::Machine`] facade. The
+//! litmus matrix and sim/model agreement suites pick the new design up
+//! from `HwDesign::ALL` automatically.
 
 mod eadr;
 mod hops;
@@ -33,9 +36,10 @@ use sw_pmem::LineAddr;
 
 use crate::config::SimConfig;
 use crate::core::{Core, SqOp};
-use crate::machine::Machine;
+use crate::machine::SimMachine;
 use crate::persist::ClwbState;
 use crate::stats::StallCause;
+use crate::strand_buffer::SbuEntry;
 
 pub use eadr::Eadr;
 pub use hops::Hops;
@@ -44,49 +48,12 @@ pub use no_persist_queue::NoPersistQueue;
 pub use non_atomic::NonAtomic;
 pub use strandweaver::StrandWeaver;
 
-/// The timing semantics of one hardware persistency design.
-///
-/// Engines are pure behaviour: they carry no state and are shared as
-/// `&'static` references. Every method receives the [`Machine`] and a core
-/// index and manipulates that core's queues and buffers.
-pub trait PersistEngine: std::fmt::Debug + Sync {
+/// Design-indexed engine metadata. Object-safe so callers that only need
+/// to *describe* a design (reports, tests, stat validation) can hold a
+/// `&'static dyn EngineMeta` from [`engine_for`] without monomorphizing.
+pub trait EngineMeta: std::fmt::Debug + Sync {
     /// The design this engine implements.
     fn design(&self) -> HwDesign;
-
-    /// Attaches the design's persist structures (strand buffer unit, flush
-    /// engine, ...) to a freshly built core.
-    fn setup_core(&self, core: &mut Core, cfg: &SimConfig);
-
-    /// Runs the design's back-end structures for one cycle on core `i`
-    /// (issue ready CLWBs, advance completions, retire). Called before the
-    /// design-agnostic store-queue and write-back stages.
-    fn backend(&self, m: &mut Machine, i: usize);
-
-    /// Attempts to admit a CLWB for `line` on core `i`; returns `false`
-    /// (after recording the stall) if the design's structure is full.
-    fn issue_clwb(&self, m: &mut Machine, i: usize, line: LineAddr) -> bool;
-
-    /// Attempts to execute a fence on core `i`; returns `false` (after
-    /// recording the stall) while its admission condition is unmet. A
-    /// *completion* fence that admits but has unmet drain conditions
-    /// becomes the core's `pending_fence` (see
-    /// `Machine::issue_completion_fence`).
-    fn issue_fence(&self, m: &mut Machine, i: usize, kind: FenceKind) -> bool;
-
-    /// `true` once the waiting condition of a completion fence is met.
-    /// Fence kinds the design does not treat as completion fences always
-    /// report `true`.
-    fn fence_condition_met(&self, m: &Machine, i: usize, kind: FenceKind) -> bool;
-
-    /// Drains one non-store persist op (`Clwb`/`Pb`/`Ns`) from the head of
-    /// core `i`'s store queue. Returns `true` if the op was consumed (the
-    /// machine pops it), `false` to stop draining this cycle. Only designs
-    /// that route persist ops through the store queue see these entries;
-    /// the default consumes them as no-ops.
-    fn drain_sq_persist_op(&self, m: &mut Machine, i: usize, op: SqOp) -> bool {
-        let _ = (m, i, op);
-        true
-    }
 
     /// `true` when stores persist at coherence visibility (battery-backed
     /// caches): the machine then records the persist order at store
@@ -102,8 +69,51 @@ pub trait PersistEngine: std::fmt::Debug + Sync {
     fn stall_causes(&self) -> &'static [StallCause];
 }
 
-/// The engine implementing `design`.
-pub fn engine_for(design: HwDesign) -> &'static dyn PersistEngine {
+/// The timing semantics of one hardware persistency design.
+///
+/// Engines are pure behaviour: zero-sized `Copy` values held directly by
+/// [`SimMachine`], so the per-cycle dispatch points below are static
+/// calls. Every method receives the machine and a core index and
+/// manipulates that core's queues and buffers.
+pub trait PersistEngine: EngineMeta + Copy + Default + Send + 'static {
+    /// Attaches the design's persist structures (strand buffer unit, flush
+    /// engine, ...) to a freshly built core.
+    fn setup_core(&self, core: &mut Core, cfg: &SimConfig);
+
+    /// Runs the design's back-end structures for one cycle on core `i`
+    /// (issue ready CLWBs, advance completions, retire). Called before the
+    /// design-agnostic store-queue and write-back stages.
+    fn backend(&self, m: &mut SimMachine<Self>, i: usize);
+
+    /// Attempts to admit a CLWB for `line` on core `i`; returns `false`
+    /// (after recording the stall) if the design's structure is full.
+    fn issue_clwb(&self, m: &mut SimMachine<Self>, i: usize, line: LineAddr) -> bool;
+
+    /// Attempts to execute a fence on core `i`; returns `false` (after
+    /// recording the stall) while its admission condition is unmet. A
+    /// *completion* fence that admits but has unmet drain conditions
+    /// becomes the core's `pending_fence` (see
+    /// `SimMachine::issue_completion_fence`).
+    fn issue_fence(&self, m: &mut SimMachine<Self>, i: usize, kind: FenceKind) -> bool;
+
+    /// `true` once the waiting condition of a completion fence is met.
+    /// Fence kinds the design does not treat as completion fences always
+    /// report `true`.
+    fn fence_condition_met(&self, m: &SimMachine<Self>, i: usize, kind: FenceKind) -> bool;
+
+    /// Drains one non-store persist op (`Clwb`/`Pb`/`Ns`) from the head of
+    /// core `i`'s store queue. Returns `true` if the op was consumed (the
+    /// machine pops it), `false` to stop draining this cycle. Only designs
+    /// that route persist ops through the store queue see these entries;
+    /// the default consumes them as no-ops.
+    fn drain_sq_persist_op(&self, m: &mut SimMachine<Self>, i: usize, op: SqOp) -> bool {
+        let _ = (m, i, op);
+        true
+    }
+}
+
+/// The metadata of the engine implementing `design`.
+pub fn engine_for(design: HwDesign) -> &'static dyn EngineMeta {
     match design {
         HwDesign::IntelX86 => &Intel,
         HwDesign::Hops => &Hops,
@@ -114,15 +124,15 @@ pub fn engine_for(design: HwDesign) -> &'static dyn PersistEngine {
     }
 }
 
-/// Every registered engine, in [`HwDesign::ALL`] order.
-pub fn all_engines() -> impl Iterator<Item = &'static dyn PersistEngine> {
+/// Every registered engine's metadata, in [`HwDesign::ALL`] order.
+pub fn all_engines() -> impl Iterator<Item = &'static dyn EngineMeta> {
     HwDesign::ALL.into_iter().map(engine_for)
 }
 
 // Back-end helpers shared by several engines. They live here (not in the
 // machine core) because which structure a design drains is design policy;
 // the mechanics are common.
-impl Machine {
+impl<E: PersistEngine> SimMachine<E> {
     /// Intel / non-atomic: issue waiting flush slots, retire completed
     /// ones. Slots wait for elder same-line stores to retire first.
     pub(crate) fn backend_flush_engine(&mut self, i: usize) {
@@ -141,53 +151,64 @@ impl Machine {
             if let Some(done_at) = self.flush_access(i, line) {
                 self.cores[i].flush.as_mut().expect("checked").slots_mut()[s].state =
                     ClwbState::Pending { done_at };
+                self.progress = true;
             }
         }
         let cycle = self.cycle;
+        let before = self.cores[i].flush.as_ref().expect("checked").len();
         self.cores[i]
             .flush
             .as_mut()
             .expect("checked")
             .tick_retire(cycle);
+        if self.cores[i].flush.as_ref().expect("checked").len() != before {
+            self.progress = true;
+        }
     }
 
     /// Strand buffers (StrandWeaver, no-persist-queue, HOPS): issue the
     /// ready CLWBs, advance completions, retire in order.
+    ///
+    /// The `Sbu` is moved out of the core for the duration (and restored
+    /// before returning) so the issue loop can call `flush_access` — which
+    /// borrows the whole machine — without re-fetching the unit per entry.
     pub(crate) fn backend_sbu(&mut self, i: usize) {
-        if self.cores[i].sbu.is_none() {
+        let Some(mut sbu) = self.cores[i].sbu.take() else {
             return;
-        }
-        let issuable = self.cores[i].sbu.as_ref().expect("checked").issuable();
-        for (b, e, line) in issuable {
-            // Note: no store-queue gate here — that check happened before
-            // insertion, preserving the paper's deadlock-freedom argument.
-            if let Some(done_at) = self.flush_access(i, line) {
-                self.cores[i]
-                    .sbu
-                    .as_mut()
-                    .expect("checked")
-                    .mark_pending(b, e, done_at);
-            }
-        }
-        let cycle = self.cycle;
-        let before = if self.observing() {
-            Some(self.cores[i].sbu.as_ref().expect("checked").occupancies())
-        } else {
-            None
         };
-        self.cores[i]
-            .sbu
-            .as_mut()
-            .expect("checked")
-            .tick_retire(cycle);
-        if let Some(before) = before {
-            let after = self.cores[i].sbu.as_ref().expect("checked").occupancies();
-            for (b, (&was, &now)) in before.iter().zip(&after).enumerate() {
-                if now < was {
-                    self.note_sb(i, b, false);
+        for b in 0..sbu.num_buffers() {
+            for k in 0..sbu.buffer_len(b) {
+                match sbu.entry(b, k) {
+                    SbuEntry::Pb => break,
+                    SbuEntry::Clwb {
+                        line,
+                        state: ClwbState::Waiting,
+                    } => {
+                        // Note: no store-queue gate here — that check
+                        // happened before insertion, preserving the
+                        // paper's deadlock-freedom argument.
+                        if let Some(done_at) = self.flush_access(i, line) {
+                            sbu.mark_pending(b, k, done_at);
+                            self.progress = true;
+                        }
+                    }
+                    SbuEntry::Clwb { .. } => {}
                 }
             }
         }
+        let out = sbu.tick_retire(self.cycle);
+        if out.changed() {
+            self.progress = true;
+        }
+        if out.retired > 0 && self.observing() {
+            let total = sbu.len() as u64;
+            for b in 0..sbu.num_buffers() {
+                if out.retired_mask & (1 << b) != 0 {
+                    self.note_sb_retired(i, b, sbu.buffer_len(b) as u32, total);
+                }
+            }
+        }
+        self.cores[i].sbu = Some(sbu);
     }
 }
 

@@ -9,30 +9,42 @@ use sw_pmem::LineAddr;
 
 use crate::config::SimConfig;
 use crate::core::{Core, SqOp};
-use crate::machine::Machine;
+use crate::machine::SimMachine;
 use crate::stats::StallCause;
 use crate::strand_buffer::Sbu;
 
-use super::PersistEngine;
+use super::{EngineMeta, PersistEngine};
 
 /// The no-persist-queue engine.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct NoPersistQueue;
 
-impl PersistEngine for NoPersistQueue {
+impl EngineMeta for NoPersistQueue {
     fn design(&self) -> HwDesign {
         HwDesign::NoPersistQueue
     }
 
+    fn stall_causes(&self) -> &'static [StallCause] {
+        // No persist queue: CLWB back-pressure surfaces as store-queue
+        // pressure, so `PersistQueueFull` can never occur.
+        &[
+            StallCause::Fence,
+            StallCause::StoreQueueFull,
+            StallCause::Lock,
+        ]
+    }
+}
+
+impl PersistEngine for NoPersistQueue {
     fn setup_core(&self, core: &mut Core, cfg: &SimConfig) {
         core.sbu = Some(Sbu::new(cfg.strand_buffers, cfg.strand_buffer_entries));
     }
 
-    fn backend(&self, m: &mut Machine, i: usize) {
+    fn backend(&self, m: &mut SimMachine<Self>, i: usize) {
         m.backend_sbu(i);
     }
 
-    fn issue_clwb(&self, m: &mut Machine, i: usize, line: LineAddr) -> bool {
+    fn issue_clwb(&self, m: &mut SimMachine<Self>, i: usize, line: LineAddr) -> bool {
         if m.cores[i].sq.len() >= m.cfg.store_queue_entries {
             m.stall(i, StallCause::StoreQueueFull);
             return false;
@@ -41,7 +53,7 @@ impl PersistEngine for NoPersistQueue {
         true
     }
 
-    fn issue_fence(&self, m: &mut Machine, i: usize, kind: FenceKind) -> bool {
+    fn issue_fence(&self, m: &mut SimMachine<Self>, i: usize, kind: FenceKind) -> bool {
         match kind {
             FenceKind::PersistBarrier | FenceKind::NewStrand => {
                 if m.cores[i].sq.len() >= m.cfg.store_queue_entries {
@@ -61,14 +73,14 @@ impl PersistEngine for NoPersistQueue {
         }
     }
 
-    fn fence_condition_met(&self, m: &Machine, i: usize, kind: FenceKind) -> bool {
+    fn fence_condition_met(&self, m: &SimMachine<Self>, i: usize, kind: FenceKind) -> bool {
         match kind {
             FenceKind::JoinStrand => m.cores[i].stores_drained() && m.cores[i].persists_drained(),
             _ => true,
         }
     }
 
-    fn drain_sq_persist_op(&self, m: &mut Machine, i: usize, op: SqOp) -> bool {
+    fn drain_sq_persist_op(&self, m: &mut SimMachine<Self>, i: usize, op: SqOp) -> bool {
         match op {
             SqOp::Clwb(line) => {
                 // Head-of-line CLWB blocks the stores behind it until the
@@ -108,15 +120,5 @@ impl PersistEngine for NoPersistQueue {
             }
             SqOp::Store(_) => unreachable!("stores drain in the machine core"),
         }
-    }
-
-    fn stall_causes(&self) -> &'static [StallCause] {
-        // No persist queue: CLWB back-pressure surfaces as store-queue
-        // pressure, so `PersistQueueFull` can never occur.
-        &[
-            StallCause::Fence,
-            StallCause::StoreQueueFull,
-            StallCause::Lock,
-        ]
     }
 }

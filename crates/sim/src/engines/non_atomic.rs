@@ -9,48 +9,50 @@ use sw_pmem::LineAddr;
 
 use crate::config::SimConfig;
 use crate::core::Core;
-use crate::machine::Machine;
+use crate::machine::SimMachine;
 use crate::persist::FlushEngine;
 use crate::stats::StallCause;
 
 use super::intel::{issue_clwb_to_flush_engine, sfence_condition_met};
-use super::PersistEngine;
+use super::{EngineMeta, PersistEngine};
 
 /// The non-atomic engine.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct NonAtomic;
 
-impl PersistEngine for NonAtomic {
+impl EngineMeta for NonAtomic {
     fn design(&self) -> HwDesign {
         HwDesign::NonAtomic
     }
 
+    fn stall_causes(&self) -> &'static [StallCause] {
+        &StallCause::ALL
+    }
+}
+
+impl PersistEngine for NonAtomic {
     fn setup_core(&self, core: &mut Core, cfg: &SimConfig) {
         // Buffers CLWBs without any ordering; give it the persist queue's
         // capacity so it is limited by the device, not by MSHRs.
         core.flush = Some(FlushEngine::new(cfg.persist_queue_entries));
     }
 
-    fn backend(&self, m: &mut Machine, i: usize) {
+    fn backend(&self, m: &mut SimMachine<Self>, i: usize) {
         m.backend_flush_engine(i);
     }
 
-    fn issue_clwb(&self, m: &mut Machine, i: usize, line: LineAddr) -> bool {
+    fn issue_clwb(&self, m: &mut SimMachine<Self>, i: usize, line: LineAddr) -> bool {
         issue_clwb_to_flush_engine(m, i, line)
     }
 
-    fn issue_fence(&self, m: &mut Machine, i: usize, kind: FenceKind) -> bool {
+    fn issue_fence(&self, m: &mut SimMachine<Self>, i: usize, kind: FenceKind) -> bool {
         match kind {
             FenceKind::Sfence => m.issue_completion_fence(i, kind),
             _ => true,
         }
     }
 
-    fn fence_condition_met(&self, m: &Machine, i: usize, kind: FenceKind) -> bool {
+    fn fence_condition_met(&self, m: &SimMachine<Self>, i: usize, kind: FenceKind) -> bool {
         sfence_condition_met(m, i, kind)
-    }
-
-    fn stall_causes(&self) -> &'static [StallCause] {
-        &StallCause::ALL
     }
 }

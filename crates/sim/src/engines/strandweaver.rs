@@ -13,35 +13,41 @@ use sw_pmem::LineAddr;
 
 use crate::config::SimConfig;
 use crate::core::{Core, PqOp};
-use crate::machine::Machine;
+use crate::machine::SimMachine;
 use crate::stats::StallCause;
 use crate::strand_buffer::Sbu;
 
-use super::PersistEngine;
+use super::{EngineMeta, PersistEngine};
 
 /// How many persist-queue entries may move to the strand buffer unit per
 /// cycle.
 const PQ_ISSUE_WIDTH: usize = 4;
 
 /// The full StrandWeaver engine.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StrandWeaver;
 
-impl PersistEngine for StrandWeaver {
+impl EngineMeta for StrandWeaver {
     fn design(&self) -> HwDesign {
         HwDesign::StrandWeaver
     }
 
+    fn stall_causes(&self) -> &'static [StallCause] {
+        &StallCause::ALL
+    }
+}
+
+impl PersistEngine for StrandWeaver {
     fn setup_core(&self, core: &mut Core, cfg: &SimConfig) {
         core.sbu = Some(Sbu::new(cfg.strand_buffers, cfg.strand_buffer_entries));
     }
 
-    fn backend(&self, m: &mut Machine, i: usize) {
+    fn backend(&self, m: &mut SimMachine<Self>, i: usize) {
         m.backend_sbu(i);
         backend_pq(m, i);
     }
 
-    fn issue_clwb(&self, m: &mut Machine, i: usize, line: LineAddr) -> bool {
+    fn issue_clwb(&self, m: &mut SimMachine<Self>, i: usize, line: LineAddr) -> bool {
         if m.cores[i].pq.len() >= m.cfg.persist_queue_entries {
             m.stall(i, StallCause::PersistQueueFull);
             return false;
@@ -51,7 +57,7 @@ impl PersistEngine for StrandWeaver {
         true
     }
 
-    fn issue_fence(&self, m: &mut Machine, i: usize, kind: FenceKind) -> bool {
+    fn issue_fence(&self, m: &mut SimMachine<Self>, i: usize, kind: FenceKind) -> bool {
         match kind {
             FenceKind::PersistBarrier | FenceKind::NewStrand => {
                 if m.cores[i].pq.len() >= m.cfg.persist_queue_entries {
@@ -74,21 +80,17 @@ impl PersistEngine for StrandWeaver {
         }
     }
 
-    fn fence_condition_met(&self, m: &Machine, i: usize, kind: FenceKind) -> bool {
+    fn fence_condition_met(&self, m: &SimMachine<Self>, i: usize, kind: FenceKind) -> bool {
         match kind {
             // JoinStrand: prior CLWBs and stores must complete.
             FenceKind::JoinStrand => m.cores[i].stores_drained() && m.cores[i].persists_drained(),
             _ => true,
         }
     }
-
-    fn stall_causes(&self) -> &'static [StallCause] {
-        &StallCause::ALL
-    }
 }
 
 /// Moves persist-queue entries to the strand buffer unit in order.
-fn backend_pq(m: &mut Machine, i: usize) {
+fn backend_pq(m: &mut SimMachine<StrandWeaver>, i: usize) {
     for _ in 0..PQ_ISSUE_WIDTH {
         let Some(&op) = m.cores[i].pq.front() else {
             break;
@@ -116,6 +118,7 @@ fn backend_pq(m: &mut Machine, i: usize) {
             PqOp::Ns => m.cores[i].sbu.as_mut().expect("checked").new_strand(),
         }
         m.cores[i].pq.pop_front();
+        m.progress = true;
         m.note_pq(i, false);
     }
 }

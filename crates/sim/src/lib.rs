@@ -54,15 +54,17 @@ mod machine;
 mod memctrl;
 mod persist;
 mod pipeline;
+mod ring;
 mod stats;
 mod strand_buffer;
 mod writeback;
 
 pub use cache::{Directory, Eviction, L1Cache};
 pub use config::SimConfig;
-pub use engines::{engine_for, PersistEngine};
-pub use machine::Machine;
+pub use engines::{engine_for, EngineMeta, PersistEngine};
+pub use machine::{Machine, SimMachine};
 pub use memctrl::{DramController, PmController};
 pub use persist::{ClwbState, FlushEngine};
+pub use ring::Ring;
 pub use stats::{CoreStats, EventCounts, SimStats, StallCause};
-pub use strand_buffer::{Sbu, SbuEntry};
+pub use strand_buffer::{DrainTargets, RetireOutcome, Sbu, SbuEntry, MAX_STRAND_BUFFERS};

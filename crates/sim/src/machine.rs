@@ -10,6 +10,12 @@
 //! front-end issue stage is in [`crate::pipeline`], the store-queue and
 //! write-back drains in [`crate::writeback`].
 //!
+//! The machine is monomorphized per design: [`SimMachine<E>`] holds its
+//! engine as a zero-sized value, so the two engine calls per core per
+//! cycle are statically dispatched and inlinable. The [`Machine`] enum is
+//! the design-erased facade — one variant per design — that `swctl`, the
+//! experiment harness, and tests construct from a runtime [`HwDesign`].
+//!
 //! Each cycle:
 //!
 //! 1. the PM controller drains its ADR write queue;
@@ -20,12 +26,17 @@
 //! 4. every core's front-end issues at most one trace operation, honoring
 //!    the engine's fence semantics and queue capacities.
 //!
+//! When a whole tick makes no architectural progress, the machine jumps
+//! straight to the next cycle at which anything can happen (the minimum
+//! over memory-controller drains, in-flight access completions, and
+//! persist-structure acknowledgements), replaying the skipped cycles'
+//! stall accounting so `SimStats` stay bit-identical to single-stepping
+//! (`SimConfig::skip_ahead` disables the jump for equivalence tests).
+//!
 //! Deadlock freedom follows the paper's argument: CLWBs wait for elder
 //! same-line stores *before* entering the strand buffer unit (at the
 //! persist-queue head), never inside it, so strand buffers always drain,
 //! which unblocks snoop stalls, which unblocks store retirement.
-
-use std::collections::{HashMap, HashSet, VecDeque};
 
 use sw_model::isa::{FenceKind, IsaTrace, LockId};
 use sw_model::HwDesign;
@@ -35,11 +46,12 @@ use sw_trace::{
     CounterId, GaugeId, HistogramId, MetricsRegistry, StallKind, TraceEvent, TraceSink,
 };
 
-use crate::cache::Directory;
+use crate::cache::{Directory, LineSet};
 use crate::config::SimConfig;
 use crate::core::{Core, PendingAccess, Writeback};
-use crate::engines::{engine_for, PersistEngine};
+use crate::engines::{Eadr, Hops, Intel, NoPersistQueue, NonAtomic, PersistEngine, StrandWeaver};
 use crate::memctrl::{DramController, PmController};
+use crate::ring::Ring;
 use crate::stats::{EventCounts, SimStats, StallCause};
 use crate::strand_buffer::Sbu;
 
@@ -55,10 +67,33 @@ fn fence_label(kind: FenceKind) -> &'static str {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct LockState {
     pub(crate) holder: Option<usize>,
-    pub(crate) waiters: VecDeque<usize>,
+    pub(crate) waiters: Ring<usize>,
+}
+
+impl LockState {
+    fn new(waiter_capacity: usize) -> Self {
+        Self {
+            holder: None,
+            waiters: Ring::new(waiter_capacity, 0),
+        }
+    }
+}
+
+/// What a core's frontend charged this cycle. Exactly one note per core
+/// per tick (the frontend returns after its first stall or wait), recorded
+/// so [`SimMachine::skip_quiescent`] can replay the same accounting across
+/// every skipped cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TickNote {
+    /// Nothing charged (core done, or idling below `busy_until`).
+    Idle,
+    /// One `mem_busy` cycle (load outstanding).
+    MemBusy,
+    /// One stall cycle for the given cause.
+    Stalled(StallCause),
 }
 
 #[derive(Debug)]
@@ -69,10 +104,10 @@ struct Steal {
     write: bool,
     /// Strand-buffer drain targets recorded at the owner when the steal
     /// arrived (the snoop-buffer tail indexes of Section IV).
-    targets: Option<Vec<u64>>,
+    targets: Option<crate::strand_buffer::DrainTargets>,
 }
 
-/// Metric IDs registered by [`Machine::enable_metrics`], kept alongside
+/// Metric IDs registered by [`SimMachine::enable_metrics`], kept alongside
 /// the registry so hot-path updates are plain vector writes.
 #[derive(Debug)]
 struct MachineMetrics {
@@ -93,21 +128,26 @@ struct MachineMetrics {
     sb_occupancy_hist: HistogramId,
 }
 
-/// The simulated machine.
+/// The simulated machine, monomorphized over its design's persist engine.
+///
+/// `E` is a zero-sized [`PersistEngine`]; every design-dispatch point in
+/// the cycle loop is a static call. Use the [`Machine`] facade to pick the
+/// design at runtime.
 #[derive(Debug)]
-pub struct Machine {
+pub struct SimMachine<E: PersistEngine> {
     pub(crate) cfg: SimConfig,
     /// The design's persist engine: all design dispatch goes through it.
-    pub(crate) engine: &'static dyn PersistEngine,
+    pub(crate) engine: E,
     layout: PmLayout,
     pub(crate) cycle: u64,
     pub(crate) cores: Vec<Core>,
     pub(crate) pm: PmController,
     dram: DramController,
     /// Lines present somewhere in the (effectively unbounded) shared L2.
-    l2: HashSet<LineAddr>,
+    l2: LineSet,
     pub(crate) dir: Directory,
-    pub(crate) locks: HashMap<LockId, LockState>,
+    /// Lock table indexed by `LockId`, grown on first touch.
+    pub(crate) locks: Vec<LockState>,
     steals: Vec<Steal>,
     /// Optional event sink; `None` keeps every emit site to one branch.
     trace: Option<Box<dyn TraceSink>>,
@@ -125,17 +165,27 @@ pub struct Machine {
     /// Persist order recorded at store retirement — populated only when
     /// the engine persists at coherence visibility (eADR).
     pub(crate) visibility_order: Vec<LineAddr>,
+    /// Set by any state mutation during the current tick; a tick that
+    /// leaves it clear is quiescent and eligible for skip-ahead.
+    pub(crate) progress: bool,
+    /// Per-core accounting note for the current tick (see [`TickNote`]).
+    pub(crate) tick_note: Vec<TickNote>,
 }
 
-impl Machine {
-    /// Builds a machine for `design` and one trace per core.
+impl<E: PersistEngine> SimMachine<E> {
+    /// Builds a machine for this engine's design and one trace per core.
     ///
     /// # Panics
     ///
-    /// Panics if more traces than configured cores are supplied.
-    pub fn new(cfg: SimConfig, design: HwDesign, layout: PmLayout, traces: Vec<IsaTrace>) -> Self {
+    /// Panics if more traces than configured cores are supplied, or if the
+    /// core count exceeds the directory's owner encoding (254).
+    pub fn new(cfg: SimConfig, layout: PmLayout, traces: Vec<IsaTrace>) -> Self {
         assert!(traces.len() <= cfg.cores, "more traces than cores");
-        let engine = engine_for(design);
+        assert!(
+            cfg.cores < 255,
+            "directory owner encoding supports at most 254 cores"
+        );
+        let engine = E::default();
         let mut cores: Vec<Core> = traces.into_iter().map(|t| Core::new(&cfg, t)).collect();
         while cores.len() < cfg.cores {
             cores.push(Core::new(&cfg, Vec::new()));
@@ -155,14 +205,14 @@ impl Machine {
         Self {
             cfg,
             engine,
-            layout,
             cycle: 0,
             cores,
             pm,
             dram,
-            l2: HashSet::new(),
-            dir: Directory::new(),
-            locks: HashMap::new(),
+            l2: LineSet::for_layout(&layout),
+            dir: Directory::for_layout(&layout),
+            layout,
+            locks: Vec::new(),
             steals: Vec::new(),
             trace: None,
             metrics: None,
@@ -171,6 +221,8 @@ impl Machine {
             stall_now: vec![None; n],
             stall_active: vec![None; n],
             visibility_order: Vec::new(),
+            progress: false,
+            tick_note: vec![TickNote::Idle; n],
         }
     }
 
@@ -181,7 +233,7 @@ impl Machine {
 
     /// Attaches a trace sink; every subsequent event is recorded into it.
     /// Pass a cloned [`sw_trace::RingRecorder`] handle to read the events
-    /// back after [`Machine::run`] consumes the machine.
+    /// back after [`SimMachine::run`] consumes the machine.
     pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
         self.trace = Some(sink);
     }
@@ -256,18 +308,38 @@ impl Machine {
         }
     }
 
+    /// The lock table entry for `l`, grown on first touch.
+    pub(crate) fn lock_state(&mut self, l: LockId) -> &mut LockState {
+        let idx = l.0 as usize;
+        if idx >= self.locks.len() {
+            let cores = self.cfg.cores;
+            self.locks.resize_with(idx + 1, || LockState::new(cores));
+        }
+        &mut self.locks[idx]
+    }
+
     /// Records that core `i` spent this cycle stalled for `cause`: bumps
     /// the core's stall counter, the per-cause metrics counter, and the
-    /// per-cycle note that becomes a begin/end trace interval.
+    /// per-cycle note that becomes a begin/end trace interval (and the
+    /// skip-ahead replay record).
     #[inline]
     pub(crate) fn stall(&mut self, i: usize, cause: StallCause) {
         self.cores[i].stats.record_stall(cause);
+        self.tick_note[i] = TickNote::Stalled(cause);
         if self.observing() {
             self.stall_now[i] = Some(cause.kind());
             if let Some(m) = self.metrics.as_mut() {
                 m.reg.inc(m.stalls[cause as usize]);
             }
         }
+    }
+
+    /// Records that core `i` spent this cycle waiting on an outstanding
+    /// load (one `mem_busy` cycle, replayed across skip-ahead jumps).
+    #[inline]
+    pub(crate) fn note_mem_busy_wait(&mut self, i: usize) {
+        self.cores[i].stats.mem_busy += 1;
+        self.tick_note[i] = TickNote::MemBusy;
     }
 
     /// Records a persist-queue occupancy change on core `i`.
@@ -298,41 +370,40 @@ impl Machine {
         if !self.observing() {
             return;
         }
-        let b = self.cores[i].sbu.as_ref().map_or(0, Sbu::ongoing_index);
-        self.note_sb(i, b, true);
-    }
-
-    /// Records a strand-buffer append or retirement on core `i`.
-    pub(crate) fn note_sb(&mut self, i: usize, buffer: usize, enqueue: bool) {
-        if !self.observing() {
-            return;
-        }
         let Some(sbu) = self.cores[i].sbu.as_ref() else {
             return;
         };
+        let buffer = sbu.ongoing_index();
         let occupancy = sbu.buffer_len(buffer) as u32;
         let total = sbu.len() as u64;
         if let Some(m) = self.metrics.as_mut() {
-            if enqueue {
-                m.reg.inc(m.sb_enqueues);
-            }
+            m.reg.inc(m.sb_enqueues);
             m.reg.set(m.sb_occupancy[i], total);
             m.reg.observe(m.sb_occupancy_hist, occupancy.into());
         }
-        let core = i as u32;
-        let buffer = buffer as u32;
-        self.emit(if enqueue {
-            TraceEvent::SbEnqueue {
-                core,
-                buffer,
-                occupancy,
-            }
-        } else {
-            TraceEvent::SbRetire {
-                core,
-                buffer,
-                occupancy,
-            }
+        self.emit(TraceEvent::SbEnqueue {
+            core: i as u32,
+            buffer: buffer as u32,
+            occupancy,
+        });
+    }
+
+    /// Records a strand-buffer retirement on core `i`. `occupancy` and
+    /// `total` are the post-retirement buffer and unit occupancies, passed
+    /// explicitly because the engine back-end holds the `Sbu` out of the
+    /// core while retiring.
+    pub(crate) fn note_sb_retired(&mut self, i: usize, buffer: usize, occupancy: u32, total: u64) {
+        if !self.observing() {
+            return;
+        }
+        if let Some(m) = self.metrics.as_mut() {
+            m.reg.set(m.sb_occupancy[i], total);
+            m.reg.observe(m.sb_occupancy_hist, occupancy.into());
+        }
+        self.emit(TraceEvent::SbRetire {
+            core: i as u32,
+            buffer: buffer as u32,
+            occupancy,
         });
     }
 
@@ -412,7 +483,9 @@ impl Machine {
     /// wrote), so a steady-state timing run does not pay cold-device
     /// latencies for data that would be cache-resident after warmup.
     pub fn preload_l2<I: IntoIterator<Item = LineAddr>>(&mut self, lines: I) {
-        self.l2.extend(lines);
+        for line in lines {
+            self.l2.insert(line);
+        }
     }
 
     /// Runs to completion and returns the statistics.
@@ -423,11 +496,16 @@ impl Machine {
     /// modelling deadlock — a bug).
     pub fn run(mut self) -> SimStats {
         while !self.cores.iter().all(|c| c.done) {
+            self.progress = false;
+            self.tick_note.fill(TickNote::Idle);
             self.tick();
             assert!(
                 self.cycle < self.cfg.max_cycles,
                 "simulation exceeded cycle bound"
             );
+            if self.cfg.skip_ahead && !self.progress {
+                self.skip_quiescent();
+            }
         }
         let cycles = self
             .cores
@@ -501,7 +579,9 @@ impl Machine {
         // gate any simulation work, so results are bit-identical either
         // way.
         let mut lap = Lap::begin(self.prof.is_some());
-        self.pm.tick(self.cycle);
+        if self.pm.tick(self.cycle) > 0 {
+            self.progress = true;
+        }
         self.lap(&mut lap, Phase::Memctrl);
         self.process_steals();
         self.lap(&mut lap, Phase::Coherence);
@@ -529,10 +609,86 @@ impl Machine {
             {
                 self.cores[i].done = true;
                 self.cores[i].stats.done_cycle = self.cycle;
+                self.progress = true;
             }
         }
         self.cycle += 1;
         self.lap(&mut lap, Phase::Retire);
+    }
+
+    // ------------------------------------------------------------------
+    // Skip-ahead scheduling.
+    // ------------------------------------------------------------------
+
+    /// Jumps over quiescent cycles after a tick that made no progress:
+    /// advances the clock to [`SimMachine::next_event_cycle`] and replays
+    /// each core's per-cycle accounting ([`TickNote`]) across the skipped
+    /// span, so counters and metrics are bit-identical to single-stepping.
+    fn skip_quiescent(&mut self) {
+        let target = self
+            .next_event_cycle()
+            .unwrap_or(self.cfg.max_cycles)
+            .min(self.cfg.max_cycles);
+        if target <= self.cycle {
+            return;
+        }
+        let n = target - self.cycle;
+        for i in 0..self.cores.len() {
+            match self.tick_note[i] {
+                TickNote::Idle => {}
+                TickNote::MemBusy => self.cores[i].stats.mem_busy += n,
+                TickNote::Stalled(cause) => {
+                    self.cores[i].stats.record_stall_n(cause, n);
+                    if let Some(m) = self.metrics.as_mut() {
+                        m.reg.add(m.stalls[cause as usize], n);
+                    }
+                }
+            }
+        }
+        self.cycle = target;
+    }
+
+    /// The earliest future cycle at which any scheduled event fires: a PM
+    /// write-queue drain, a core coming off `busy_until`, an in-flight
+    /// access completing, or a persist-structure acknowledgement arriving.
+    /// `None` means nothing is scheduled (a genuine deadlock: the caller
+    /// jumps to the cycle bound and the next tick panics, exactly as
+    /// single-stepping eventually would).
+    ///
+    /// Soundness: after a tick with no progress, every other wake-up
+    /// source — steal resolution, fence conditions, queue drains — is
+    /// itself blocked on one of the timestamps listed here, so nothing can
+    /// happen strictly before the returned cycle.
+    fn next_event_cycle(&self) -> Option<u64> {
+        let now = self.cycle;
+        let mut next = u64::MAX;
+        let mut consider = |t: u64| {
+            if t >= now && t < next {
+                next = t;
+            }
+        };
+        if self.pm.write_queue_len() > 0 {
+            consider(self.pm.next_drain());
+        }
+        for core in &self.cores {
+            if core.done {
+                continue;
+            }
+            consider(core.busy_until);
+            if let Some(t) = core.load_pending.and_then(|p| p.ready_at) {
+                consider(t);
+            }
+            if let Some(t) = core.store_pending.and_then(|p| p.ready_at) {
+                consider(t);
+            }
+            if let Some(t) = core.sbu.as_ref().and_then(Sbu::min_pending_done_at) {
+                consider(t);
+            }
+            if let Some(t) = core.flush.as_ref().and_then(|f| f.min_pending_done_at()) {
+                consider(t);
+            }
+        }
+        (next != u64::MAX).then_some(next)
     }
 
     // ------------------------------------------------------------------
@@ -556,7 +712,7 @@ impl Machine {
                 return None;
             }
         }
-        let latency = if self.l2.contains(&line) {
+        let latency = if self.l2.contains(line) {
             self.cfg.l2_hit_cycles
         } else {
             self.l2.insert(line);
@@ -597,17 +753,22 @@ impl Machine {
     }
 
     fn process_steals(&mut self) {
-        let mut remaining = Vec::new();
-        let steals = std::mem::take(&mut self.steals);
-        for s in steals {
+        if self.steals.is_empty() {
+            return;
+        }
+        // Take the vector (keeping its allocation) so resolution can
+        // borrow the machine mutably; unresolved steals are retained in
+        // arrival order.
+        let mut steals = std::mem::take(&mut self.steals);
+        steals.retain(|s| {
             let drained = match (&s.targets, self.cores[s.owner].sbu.as_ref()) {
                 (Some(t), Some(sbu)) => sbu.drained_past(t),
                 _ => true,
             };
             if !drained {
-                remaining.push(s);
-                continue;
+                return true;
             }
+            self.progress = true;
             self.events.steals += 1;
             let was_dirty = self.cores[s.owner].l1.invalidate(s.line);
             self.dir.clear_dirty_owner(s.line);
@@ -621,8 +782,98 @@ impl Machine {
             } else if core.store_pending.as_ref().is_some_and(matches_pending) {
                 core.store_pending.as_mut().expect("checked").ready_at = Some(ready);
             }
+            false
+        });
+        self.steals = steals;
+    }
+}
+
+/// The design-erased machine facade: one variant per [`HwDesign`], each
+/// holding the monomorphized [`SimMachine`] for that design's engine.
+///
+/// Construction picks the variant from a runtime design value; every
+/// method is a single `match` that forwards to the statically dispatched
+/// machine inside, so the dynamic dispatch cost is paid once per call into
+/// the facade, not twice per core per simulated cycle.
+#[derive(Debug)]
+pub enum Machine {
+    /// StrandWeaver (full design: persist queue + strand buffer unit).
+    StrandWeaver(SimMachine<StrandWeaver>),
+    /// Intel x86 baseline (CLWB + SFENCE through the flush engine).
+    IntelX86(SimMachine<Intel>),
+    /// HOPS (per-core persist buffer with ofence/dfence).
+    Hops(SimMachine<Hops>),
+    /// StrandWeaver without a persist queue (persist ops ride the store
+    /// queue).
+    NoPersistQueue(SimMachine<NoPersistQueue>),
+    /// Non-atomic strands (no intra-strand ordering enforcement).
+    NonAtomic(SimMachine<NonAtomic>),
+    /// Battery-backed caches (eADR): persists at coherence visibility.
+    Eadr(SimMachine<Eadr>),
+}
+
+/// Forwards `$body` to the active variant's [`SimMachine`].
+macro_rules! for_each_machine {
+    ($self:expr, $m:ident => $body:expr) => {
+        match $self {
+            Machine::StrandWeaver($m) => $body,
+            Machine::IntelX86($m) => $body,
+            Machine::Hops($m) => $body,
+            Machine::NoPersistQueue($m) => $body,
+            Machine::NonAtomic($m) => $body,
+            Machine::Eadr($m) => $body,
         }
-        self.steals = remaining;
+    };
+}
+
+impl Machine {
+    /// Builds a machine for `design` and one trace per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more traces than configured cores are supplied.
+    pub fn new(cfg: SimConfig, design: HwDesign, layout: PmLayout, traces: Vec<IsaTrace>) -> Self {
+        match design {
+            HwDesign::StrandWeaver => Machine::StrandWeaver(SimMachine::new(cfg, layout, traces)),
+            HwDesign::IntelX86 => Machine::IntelX86(SimMachine::new(cfg, layout, traces)),
+            HwDesign::Hops => Machine::Hops(SimMachine::new(cfg, layout, traces)),
+            HwDesign::NoPersistQueue => {
+                Machine::NoPersistQueue(SimMachine::new(cfg, layout, traces))
+            }
+            HwDesign::NonAtomic => Machine::NonAtomic(SimMachine::new(cfg, layout, traces)),
+            HwDesign::Eadr => Machine::Eadr(SimMachine::new(cfg, layout, traces)),
+        }
+    }
+
+    /// The design this machine simulates.
+    pub fn design(&self) -> HwDesign {
+        for_each_machine!(self, m => m.design())
+    }
+
+    /// Attaches a trace sink; see [`SimMachine::set_trace_sink`].
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        for_each_machine!(self, m => m.set_trace_sink(sink))
+    }
+
+    /// Enables the metrics registry; see [`SimMachine::enable_metrics`].
+    pub fn enable_metrics(&mut self) {
+        for_each_machine!(self, m => m.enable_metrics())
+    }
+
+    /// Installs a self-profiler; see [`SimMachine::enable_profiler`].
+    pub fn enable_profiler(&mut self) {
+        for_each_machine!(self, m => m.enable_profiler())
+    }
+
+    /// Preloads lines into the shared L2; see [`SimMachine::preload_l2`].
+    pub fn preload_l2<I: IntoIterator<Item = LineAddr>>(&mut self, lines: I) {
+        for_each_machine!(self, m => m.preload_l2(lines))
+    }
+
+    /// Runs to completion and returns the statistics; see
+    /// [`SimMachine::run`].
+    pub fn run(self) -> SimStats {
+        for_each_machine!(self, m => m.run())
     }
 }
 

@@ -1,8 +1,6 @@
 //! Memory controllers: the ADR-protected PM controller with bounded write
 //! and paced read queues, and a simple DRAM controller.
 
-use std::collections::VecDeque;
-
 use sw_pmem::LineAddr;
 
 /// The PM controller (Table I: 64-entry write queue, 32-entry read queue).
@@ -11,10 +9,13 @@ use sw_pmem::LineAddr;
 /// domain makes acceptance durable, which is when a CLWB *completes* in the
 /// paper's terminology. Accepted writes drain to the media at a fixed rate;
 /// a full write queue back-pressures the strand buffers and flush engines.
-/// Reads are paced to model device bandwidth.
+/// Reads are paced to model device bandwidth. Queued writes are
+/// indistinguishable once accepted (acceptance *is* the durability point),
+/// so the write queue is a plain occupancy counter — no per-entry storage,
+/// no allocation.
 #[derive(Debug, Clone)]
 pub struct PmController {
-    write_q: VecDeque<(LineAddr, u64)>,
+    write_queued: usize,
     write_capacity: usize,
     write_ack_cycles: u64,
     drain_interval: u64,
@@ -41,7 +42,7 @@ impl PmController {
         read_interval: u64,
     ) -> Self {
         Self {
-            write_q: VecDeque::new(),
+            write_queued: 0,
             write_capacity,
             write_ack_cycles,
             drain_interval,
@@ -51,7 +52,9 @@ impl PmController {
             read_free_at: 0,
             writes_accepted: 0,
             reads_served: 0,
-            write_order: Vec::new(),
+            // The order log grows for the whole run; start it big enough
+            // that steady-state pushes rarely reallocate.
+            write_order: Vec::with_capacity(1024),
         }
     }
 
@@ -59,10 +62,10 @@ impl PmController {
     /// which the acknowledgement reaches the requester, or `None` if the
     /// write queue is full (caller retries).
     pub fn try_write(&mut self, line: LineAddr, cycle: u64) -> Option<u64> {
-        if self.write_q.len() >= self.write_capacity {
+        if self.write_queued >= self.write_capacity {
             return None;
         }
-        self.write_q.push_back((line, cycle));
+        self.write_queued += 1;
         self.writes_accepted += 1;
         self.write_order.push(line);
         Some(cycle + self.write_ack_cycles)
@@ -80,17 +83,27 @@ impl PmController {
     }
 
     /// Advances the controller to `cycle`: drains queued writes to the
-    /// media at the configured rate.
-    pub fn tick(&mut self, cycle: u64) {
-        while !self.write_q.is_empty() && cycle >= self.next_drain {
-            self.write_q.pop_front();
+    /// media at the configured rate. Returns the number of writes drained.
+    pub fn tick(&mut self, cycle: u64) -> usize {
+        let mut drained = 0;
+        while self.write_queued > 0 && cycle >= self.next_drain {
+            self.write_queued -= 1;
+            drained += 1;
             self.next_drain = cycle + self.drain_interval;
         }
+        drained
     }
 
     /// Number of writes waiting in the queue.
     pub fn write_queue_len(&self) -> usize {
-        self.write_q.len()
+        self.write_queued
+    }
+
+    /// The cycle the next queued write drains at (meaningful only while
+    /// the queue is non-empty) — the controller's contribution to the
+    /// machine's next-interesting-cycle.
+    pub fn next_drain(&self) -> u64 {
+        self.next_drain
     }
 }
 

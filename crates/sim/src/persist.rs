@@ -42,7 +42,7 @@ impl FlushEngine {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         Self {
-            slots: Vec::new(),
+            slots: Vec::with_capacity(capacity),
             capacity,
         }
     }
@@ -89,6 +89,18 @@ impl FlushEngine {
     pub fn tick_retire(&mut self, cycle: u64) {
         self.slots
             .retain(|s| !matches!(s.state, ClwbState::Pending { done_at } if done_at <= cycle));
+    }
+
+    /// The earliest completion cycle among `Pending` slots, if any — the
+    /// engine's contribution to the machine's next-interesting-cycle.
+    pub fn min_pending_done_at(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .filter_map(|s| match s.state {
+                ClwbState::Pending { done_at } => Some(done_at),
+                _ => None,
+            })
+            .min()
     }
 }
 

@@ -7,10 +7,11 @@ use sw_pmem::Addr;
 use sw_trace::TraceEvent;
 
 use crate::core::{PendingAccess, SqOp};
-use crate::machine::Machine;
+use crate::engines::PersistEngine;
+use crate::machine::SimMachine;
 use crate::stats::StallCause;
 
-impl Machine {
+impl<E: PersistEngine> SimMachine<E> {
     /// `true` once the waiting condition of core `i`'s completion fence is
     /// met (delegates to the persist engine).
     pub(crate) fn fence_condition_met(&self, i: usize, kind: FenceKind) -> bool {
@@ -32,9 +33,12 @@ impl Machine {
         // Resolve a finished blocking load.
         if let Some(p) = self.cores[i].load_pending {
             match p.ready_at {
-                Some(t) if t <= self.cycle => self.cores[i].load_pending = None,
+                Some(t) if t <= self.cycle => {
+                    self.cores[i].load_pending = None;
+                    self.progress = true;
+                }
                 _ => {
-                    self.cores[i].stats.mem_busy += 1;
+                    self.note_mem_busy_wait(i);
                     return;
                 }
             }
@@ -43,6 +47,7 @@ impl Machine {
         if let Some(kind) = self.cores[i].pending_fence {
             if self.fence_condition_met(i, kind) {
                 self.cores[i].pending_fence = None;
+                self.progress = true;
                 self.note_fence_retire(i, kind);
             }
         }
@@ -120,7 +125,7 @@ impl Machine {
                 self.advance(i);
             }
             IsaOp::Unlock(l) => {
-                let st = self.locks.entry(l).or_default();
+                let st = self.lock_state(l);
                 debug_assert_eq!(st.holder, Some(i), "unlock by non-holder");
                 st.holder = None;
                 self.advance(i);
@@ -151,10 +156,11 @@ impl Machine {
     fn advance(&mut self, i: usize) {
         self.cores[i].pc += 1;
         self.cores[i].stats.ops += 1;
+        self.progress = true;
     }
 
     fn try_acquire(&mut self, l: LockId, i: usize) -> bool {
-        let st = self.locks.entry(l).or_default();
+        let st = self.lock_state(l);
         let first_in_line = st.waiters.front().is_none_or(|&w| w == i);
         if st.holder.is_none() && first_in_line {
             if st.waiters.front() == Some(&i) {
@@ -163,8 +169,9 @@ impl Machine {
             st.holder = Some(i);
             true
         } else {
-            if st.holder != Some(i) && !st.waiters.contains(&i) {
+            if st.holder != Some(i) && !st.waiters.iter().any(|&w| w == i) {
                 st.waiters.push_back(i);
+                self.progress = true;
             }
             false
         }

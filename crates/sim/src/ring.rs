@@ -1,0 +1,136 @@
+//! A fixed-capacity ring buffer for the simulator's hot queues.
+//!
+//! Every queue in the cycle loop (store queue, persist queue, lock
+//! waiters, strand buffers) has a capacity known at machine construction,
+//! so the backing storage is allocated exactly once and the steady-state
+//! loop never touches the heap. Pushing past capacity is a modelling bug
+//! and panics; callers gate on [`Ring::is_full`] (or an equivalent
+//! config-derived check) first, exactly as they did with the `VecDeque`s
+//! this type replaces.
+
+/// A bounded FIFO queue over preallocated storage.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: Box<[T]>,
+    head: usize,
+    len: usize,
+}
+
+impl<T: Copy> Ring<T> {
+    /// Creates an empty ring holding at most `capacity` elements. `fill`
+    /// initialises the backing slots and is never observable.
+    pub fn new(capacity: usize, fill: T) -> Self {
+        Self {
+            buf: vec![fill; capacity.max(1)].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` when no further element can be accepted.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// Maximum number of elements.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The oldest element, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&T> {
+        (self.len > 0).then(|| &self.buf[self.head])
+    }
+
+    /// Appends `value` at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is full.
+    #[inline]
+    pub fn push_back(&mut self, value: T) {
+        assert!(!self.is_full(), "ring capacity exceeded");
+        let slot = (self.head + self.len) % self.buf.len();
+        self.buf[slot] = value;
+        self.len += 1;
+    }
+
+    /// Removes and returns the oldest element.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let value = self.buf[self.head];
+        self.head = (self.head + 1) % self.buf.len();
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Iterates the queued elements front to back.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let cap = self.buf.len();
+        (0..self.len).map(move |k| &self.buf[(self.head + k) % cap])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_with_wraparound() {
+        let mut r = Ring::new(3, 0u32);
+        for round in 0..5u32 {
+            r.push_back(round * 10);
+            r.push_back(round * 10 + 1);
+            assert_eq!(r.pop_front(), Some(round * 10));
+            assert_eq!(r.pop_front(), Some(round * 10 + 1));
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut r = Ring::new(2, 0u8);
+        r.push_back(1);
+        r.push_back(2);
+        assert!(r.is_full());
+        assert_eq!(r.front(), Some(&1));
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring capacity exceeded")]
+    fn overflow_panics() {
+        let mut r = Ring::new(1, 0u8);
+        r.push_back(1);
+        r.push_back(2);
+    }
+
+    #[test]
+    fn iter_respects_wrap() {
+        let mut r = Ring::new(2, 0u8);
+        r.push_back(1);
+        r.push_back(2);
+        r.pop_front();
+        r.push_back(3);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
+    }
+}

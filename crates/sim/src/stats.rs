@@ -80,11 +80,17 @@ impl CoreStats {
 
     /// Bumps the stall counter for `cause` by one cycle.
     pub fn record_stall(&mut self, cause: StallCause) {
+        self.record_stall_n(cause, 1);
+    }
+
+    /// Bumps the stall counter for `cause` by `n` cycles (skip-ahead
+    /// replays a quiescent cycle's stall across the whole jump).
+    pub fn record_stall_n(&mut self, cause: StallCause, n: u64) {
         match cause {
-            StallCause::Fence => self.stall_fence += 1,
-            StallCause::StoreQueueFull => self.stall_sq_full += 1,
-            StallCause::PersistQueueFull => self.stall_pq_full += 1,
-            StallCause::Lock => self.stall_lock += 1,
+            StallCause::Fence => self.stall_fence += n,
+            StallCause::StoreQueueFull => self.stall_sq_full += n,
+            StallCause::PersistQueueFull => self.stall_pq_full += n,
+            StallCause::Lock => self.stall_lock += n,
         }
     }
 

@@ -1,12 +1,20 @@
 //! The strand buffer unit of Section IV: an array of strand buffers
 //! adjacent to the L1 that drains CLWBs from different strands
 //! concurrently while persist barriers order each strand internally.
-
-use std::collections::VecDeque;
+//!
+//! The unit is allocation-free after construction: entries live in one
+//! flat slab carved into per-buffer rings, and the drain-target snapshots
+//! recorded by write-back and snoop buffers are inline arrays
+//! ([`DrainTargets`]) instead of heap vectors.
 
 use sw_pmem::LineAddr;
 
 use crate::persist::ClwbState;
+
+/// Upper bound on strand buffers per unit, so drain-target snapshots fit
+/// in an inline array. The paper's configurations and the Figure 9
+/// sensitivity sweep use at most 8.
+pub const MAX_STRAND_BUFFERS: usize = 16;
 
 /// One strand-buffer entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +30,35 @@ pub enum SbuEntry {
     },
 }
 
+/// Snapshot of the per-buffer retirement counts a write-back or snoop
+/// buffer must wait for (the snoop-buffer tail indexes of Section IV).
+/// Inline so recording one never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainTargets {
+    len: u8,
+    targets: [u64; MAX_STRAND_BUFFERS],
+}
+
+/// What one [`Sbu::tick_retire`] call did: how many pending entries
+/// completed, how many head entries retired, and (as a bitmask in buffer
+/// order) which buffers retired at least one entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetireOutcome {
+    /// `Pending → Done` completions this cycle.
+    pub completions: u32,
+    /// Entries popped off buffer heads this cycle.
+    pub retired: u32,
+    /// Bit `b` set when buffer `b` retired at least one entry.
+    pub retired_mask: u32,
+}
+
+impl RetireOutcome {
+    /// `true` when the call changed any entry (completion or retirement).
+    pub fn changed(&self) -> bool {
+        self.completions > 0 || self.retired > 0
+    }
+}
+
 /// The strand buffer unit: an array of strand buffers adjacent to the L1.
 ///
 /// CLWBs and persist barriers append to the *ongoing* buffer; `NewStrand`
@@ -32,32 +69,62 @@ pub enum SbuEntry {
 /// record tail indexes and wait for the unit to drain past them.
 #[derive(Debug, Clone)]
 pub struct Sbu {
-    buffers: Vec<VecDeque<SbuEntry>>,
+    /// Flat slab: buffer `b` owns slots `[b*entries, (b+1)*entries)`.
+    entries: Box<[SbuEntry]>,
+    /// Ring head per buffer (slot offset within the buffer's slice).
+    head: [u32; MAX_STRAND_BUFFERS],
+    /// Occupancy per buffer.
+    len: [u32; MAX_STRAND_BUFFERS],
+    retired: [u64; MAX_STRAND_BUFFERS],
+    num_buffers: usize,
     entries_per_buffer: usize,
     ongoing: usize,
-    retired: Vec<u64>,
 }
 
 impl Sbu {
     /// Creates a unit with `buffers` buffers of `entries_per_buffer` each.
     pub fn new(buffers: usize, entries_per_buffer: usize) -> Self {
         assert!(buffers > 0 && entries_per_buffer > 0);
+        assert!(
+            buffers <= MAX_STRAND_BUFFERS,
+            "at most {MAX_STRAND_BUFFERS} strand buffers"
+        );
         Self {
-            buffers: vec![VecDeque::new(); buffers],
+            entries: vec![SbuEntry::Pb; buffers * entries_per_buffer].into_boxed_slice(),
+            head: [0; MAX_STRAND_BUFFERS],
+            len: [0; MAX_STRAND_BUFFERS],
+            retired: [0; MAX_STRAND_BUFFERS],
+            num_buffers: buffers,
             entries_per_buffer,
             ongoing: 0,
-            retired: vec![0; buffers],
         }
+    }
+
+    /// Slab slot of logical entry `k` in buffer `b`.
+    #[inline]
+    fn slot(&self, b: usize, k: usize) -> usize {
+        debug_assert!(b < self.num_buffers && k < self.len[b] as usize);
+        b * self.entries_per_buffer + (self.head[b] as usize + k) % self.entries_per_buffer
     }
 
     /// Number of buffers.
     pub fn num_buffers(&self) -> usize {
-        self.buffers.len()
+        self.num_buffers
     }
 
     /// `true` if the ongoing buffer can accept an entry.
     pub fn has_space(&self) -> bool {
-        self.buffers[self.ongoing].len() < self.entries_per_buffer
+        (self.len[self.ongoing] as usize) < self.entries_per_buffer
+    }
+
+    #[inline]
+    fn push(&mut self, entry: SbuEntry) {
+        assert!(self.has_space(), "ongoing strand buffer is full");
+        let b = self.ongoing;
+        let slot = b * self.entries_per_buffer
+            + (self.head[b] as usize + self.len[b] as usize) % self.entries_per_buffer;
+        self.entries[slot] = entry;
+        self.len[b] += 1;
     }
 
     /// Appends a CLWB to the ongoing buffer.
@@ -66,8 +133,7 @@ impl Sbu {
     ///
     /// Panics if the ongoing buffer is full (check [`Sbu::has_space`]).
     pub fn push_clwb(&mut self, line: LineAddr) {
-        assert!(self.has_space(), "ongoing strand buffer is full");
-        self.buffers[self.ongoing].push_back(SbuEntry::Clwb {
+        self.push(SbuEntry::Clwb {
             line,
             state: ClwbState::Waiting,
         });
@@ -79,15 +145,14 @@ impl Sbu {
     ///
     /// Panics if the ongoing buffer is full.
     pub fn push_pb(&mut self) {
-        assert!(self.has_space(), "ongoing strand buffer is full");
-        self.buffers[self.ongoing].push_back(SbuEntry::Pb);
+        self.push(SbuEntry::Pb);
     }
 
     /// Begins a new strand: the ongoing index advances round-robin
     /// (completes immediately; the paper acknowledges `NewStrand` when the
     /// index is updated).
     pub fn new_strand(&mut self) {
-        self.ongoing = (self.ongoing + 1) % self.buffers.len();
+        self.ongoing = (self.ongoing + 1) % self.num_buffers;
     }
 
     /// Index of the ongoing (append-target) buffer.
@@ -97,97 +162,130 @@ impl Sbu {
 
     /// Occupancy of buffer `b`.
     pub fn buffer_len(&self, b: usize) -> usize {
-        self.buffers[b].len()
+        self.len[b] as usize
     }
 
-    /// Per-buffer occupancies, in buffer order.
-    pub fn occupancies(&self) -> Vec<usize> {
-        self.buffers.iter().map(VecDeque::len).collect()
+    /// Entry `k` (in FIFO order) of buffer `b`.
+    pub fn entry(&self, b: usize, k: usize) -> SbuEntry {
+        self.entries[self.slot(b, k)]
     }
 
     /// `true` when every buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.buffers.iter().all(VecDeque::is_empty)
+        self.len[..self.num_buffers].iter().all(|&l| l == 0)
     }
 
     /// Total entries across buffers.
     pub fn len(&self) -> usize {
-        self.buffers.iter().map(VecDeque::len).sum()
+        self.len[..self.num_buffers]
+            .iter()
+            .map(|&l| l as usize)
+            .sum()
     }
 
-    /// The CLWBs that are ready to issue this cycle: for each buffer, the
-    /// `Waiting` entries ahead of the first persist barrier. Returns
-    /// `(buffer index, entry index, line)` tuples.
-    pub fn issuable(&self) -> Vec<(usize, usize, LineAddr)> {
-        let mut out = Vec::new();
-        for (b, buf) in self.buffers.iter().enumerate() {
-            for (e, entry) in buf.iter().enumerate() {
-                match entry {
+    /// Calls `f(buffer, entry, line)` for every CLWB that may issue this
+    /// cycle: per buffer, the `Waiting` entries ahead of the first persist
+    /// barrier. Replaces the old `issuable() -> Vec` snapshot (the per-call
+    /// allocation dominated the backend when strand buffers were busy).
+    pub fn for_each_issuable(&self, mut f: impl FnMut(usize, usize, LineAddr)) {
+        for b in 0..self.num_buffers {
+            for k in 0..self.len[b] as usize {
+                match self.entries[self.slot(b, k)] {
                     SbuEntry::Pb => break,
                     SbuEntry::Clwb {
                         line,
                         state: ClwbState::Waiting,
-                    } => {
-                        out.push((b, e, *line));
-                    }
+                    } => f(b, k, line),
                     SbuEntry::Clwb { .. } => {}
                 }
             }
         }
-        out
     }
 
     /// Marks the entry at `(buffer, index)` as pending with the given
     /// completion cycle.
     pub fn mark_pending(&mut self, buffer: usize, index: usize, done_at: u64) {
-        if let Some(SbuEntry::Clwb { state, .. }) = self.buffers[buffer].get_mut(index) {
+        if index >= self.len[buffer] as usize {
+            return;
+        }
+        let slot = self.slot(buffer, index);
+        if let SbuEntry::Clwb { state, .. } = &mut self.entries[slot] {
             *state = ClwbState::Pending { done_at };
         }
     }
 
-    /// Advances completions and retirements at `cycle`. Returns the number
-    /// of entries retired.
-    pub fn tick_retire(&mut self, cycle: u64) -> usize {
-        let mut total = 0;
-        for (b, buf) in self.buffers.iter_mut().enumerate() {
-            for entry in buf.iter_mut() {
-                if let SbuEntry::Clwb { state, .. } = entry {
+    /// Advances completions and retirements at `cycle`.
+    pub fn tick_retire(&mut self, cycle: u64) -> RetireOutcome {
+        let mut out = RetireOutcome::default();
+        for b in 0..self.num_buffers {
+            for k in 0..self.len[b] as usize {
+                let slot = self.slot(b, k);
+                if let SbuEntry::Clwb { state, .. } = &mut self.entries[slot] {
                     if matches!(*state, ClwbState::Pending { done_at } if done_at <= cycle) {
                         *state = ClwbState::Done;
+                        out.completions += 1;
                     }
                 }
             }
-            while let Some(
-                SbuEntry::Pb
-                | SbuEntry::Clwb {
-                    state: ClwbState::Done,
-                    ..
-                },
-            ) = buf.front()
+            while self.len[b] > 0
+                && matches!(
+                    self.entries[b * self.entries_per_buffer + self.head[b] as usize],
+                    SbuEntry::Pb
+                        | SbuEntry::Clwb {
+                            state: ClwbState::Done,
+                            ..
+                        }
+                )
             {
-                buf.pop_front();
+                self.head[b] = (self.head[b] + 1) % self.entries_per_buffer as u32;
+                self.len[b] -= 1;
                 self.retired[b] += 1;
-                total += 1;
+                out.retired += 1;
+                out.retired_mask |= 1 << b;
             }
         }
-        total
+        out
+    }
+
+    /// The earliest completion cycle among `Pending` entries, if any — the
+    /// unit's contribution to the machine's next-interesting-cycle.
+    pub fn min_pending_done_at(&self) -> Option<u64> {
+        let mut min: Option<u64> = None;
+        for b in 0..self.num_buffers {
+            for k in 0..self.len[b] as usize {
+                if let SbuEntry::Clwb {
+                    state: ClwbState::Pending { done_at },
+                    ..
+                } = self.entries[self.slot(b, k)]
+                {
+                    min = Some(min.map_or(done_at, |m: u64| m.min(done_at)));
+                }
+            }
+        }
+        min
     }
 
     /// Snapshot of the drain targets a write-back or snoop buffer records:
     /// for each buffer, the retirement count it must reach for all entries
     /// currently present to have drained.
-    pub fn drain_targets(&self) -> Vec<u64> {
-        self.retired
-            .iter()
-            .zip(&self.buffers)
-            .map(|(r, b)| r + b.len() as u64)
-            .collect()
+    pub fn drain_targets(&self) -> DrainTargets {
+        let mut targets = [0u64; MAX_STRAND_BUFFERS];
+        for (b, t) in targets.iter_mut().enumerate().take(self.num_buffers) {
+            *t = self.retired[b] + u64::from(self.len[b]);
+        }
+        DrainTargets {
+            len: self.num_buffers as u8,
+            targets,
+        }
     }
 
     /// `true` once every buffer has retired past `targets` (as returned by
     /// [`Sbu::drain_targets`] earlier).
-    pub fn drained_past(&self, targets: &[u64]) -> bool {
-        self.retired.iter().zip(targets).all(|(r, t)| r >= t)
+    pub fn drained_past(&self, targets: &DrainTargets) -> bool {
+        self.retired[..targets.len as usize]
+            .iter()
+            .zip(&targets.targets[..targets.len as usize])
+            .all(|(r, t)| r >= t)
     }
 }
 
@@ -199,6 +297,12 @@ mod tests {
         LineAddr(n)
     }
 
+    fn issuable(s: &Sbu) -> Vec<(usize, usize, LineAddr)> {
+        let mut out = Vec::new();
+        s.for_each_issuable(|b, e, line| out.push((b, e, line)));
+        out
+    }
+
     #[test]
     fn clwbs_before_barrier_are_issuable() {
         let mut s = Sbu::new(2, 4);
@@ -206,7 +310,7 @@ mod tests {
         s.push_clwb(l(2));
         s.push_pb();
         s.push_clwb(l(3));
-        assert_eq!(s.issuable().len(), 2, "entry behind the barrier must wait");
+        assert_eq!(issuable(&s).len(), 2, "entry behind the barrier must wait");
     }
 
     #[test]
@@ -218,7 +322,7 @@ mod tests {
         assert!(s.has_space());
         s.push_clwb(l(2));
         // Both on different buffers: both issuable concurrently.
-        assert_eq!(s.issuable().len(), 2);
+        assert_eq!(issuable(&s).len(), 2);
     }
 
     #[test]
@@ -227,13 +331,16 @@ mod tests {
         s.push_clwb(l(1));
         s.push_pb();
         s.push_clwb(l(2));
-        assert_eq!(s.issuable(), vec![(0, 0, l(1))]);
+        assert_eq!(issuable(&s), vec![(0, 0, l(1))]);
         s.mark_pending(0, 0, 100);
-        assert_eq!(s.tick_retire(50), 0, "ack not yet arrived");
+        assert_eq!(s.tick_retire(50).retired, 0, "ack not yet arrived");
         // At 100 the CLWB completes; it and the barrier retire; entry 2
         // becomes issuable.
-        assert_eq!(s.tick_retire(100), 2);
-        assert_eq!(s.issuable(), vec![(0, 0, l(2))]);
+        let out = s.tick_retire(100);
+        assert_eq!(out.retired, 2);
+        assert_eq!(out.completions, 1);
+        assert_eq!(out.retired_mask, 1);
+        assert_eq!(issuable(&s), vec![(0, 0, l(2))]);
     }
 
     #[test]
@@ -271,7 +378,34 @@ mod tests {
         s.new_strand(); // back to buffer 0
         assert!(!s.is_empty());
         s.push_clwb(l(2));
-        assert_eq!(s.issuable().len(), 2);
+        assert_eq!(issuable(&s).len(), 2);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn min_pending_done_at_tracks_earliest_ack() {
+        let mut s = Sbu::new(2, 4);
+        s.push_clwb(l(1));
+        s.new_strand();
+        s.push_clwb(l(2));
+        assert_eq!(s.min_pending_done_at(), None, "nothing issued yet");
+        s.mark_pending(0, 0, 120);
+        s.mark_pending(1, 0, 80);
+        assert_eq!(s.min_pending_done_at(), Some(80));
+        s.tick_retire(80);
+        assert_eq!(s.min_pending_done_at(), Some(120));
+    }
+
+    #[test]
+    fn ring_storage_wraps_after_retirement() {
+        // Fill, retire, refill: logical indexes must stay FIFO even after
+        // the underlying ring head wraps.
+        let mut s = Sbu::new(1, 2);
+        s.push_clwb(l(1));
+        s.push_clwb(l(2));
+        s.mark_pending(0, 0, 1);
+        assert_eq!(s.tick_retire(1).retired, 1);
+        s.push_clwb(l(3)); // lands in the wrapped slot
+        assert_eq!(issuable(&s), vec![(0, 0, l(2)), (0, 1, l(3))]);
     }
 }

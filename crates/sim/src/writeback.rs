@@ -8,13 +8,14 @@
 use sw_pmem::LineAddr;
 
 use crate::core::{PendingAccess, SqOp};
-use crate::machine::Machine;
+use crate::engines::PersistEngine;
+use crate::machine::SimMachine;
 
 /// How many store-queue bookkeeping entries (CLWB/PB/NS) may drain per
 /// cycle in designs that route persist ops through the store queue.
 const SQ_DRAIN_WIDTH: usize = 4;
 
-impl Machine {
+impl<E: PersistEngine> SimMachine<E> {
     /// Performs the flush action of a CLWB for `line` on core `i`: L1
     /// lookup; dirty lines go to the PM controller, others complete after
     /// the lookup. Returns the completion cycle, or `None` on controller
@@ -40,6 +41,7 @@ impl Machine {
             match p.ready_at {
                 Some(t) if t <= self.cycle => {
                     self.cores[i].store_pending = None;
+                    self.progress = true;
                     self.events.store_retires += 1;
                     // Battery-backed designs: the store is durable the
                     // moment it retires (coherence visibility).
@@ -59,6 +61,7 @@ impl Machine {
             match op {
                 SqOp::Store(line) => {
                     self.cores[i].sq.pop_front();
+                    self.progress = true;
                     if self.cores[i].l1.access(line, true) {
                         if self.is_persistent_line(line) {
                             self.dir.set_dirty_owner(line, i);
@@ -84,6 +87,7 @@ impl Machine {
                         break;
                     }
                     self.cores[i].sq.pop_front();
+                    self.progress = true;
                 }
             }
         }
@@ -111,6 +115,7 @@ impl Machine {
                 self.note_pm_accept(line);
             }
             self.cores[i].wb.swap_remove(k);
+            self.progress = true;
         }
     }
 }
