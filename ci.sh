@@ -64,6 +64,33 @@ if ! grep -q '"class":"bitflip","injected":3,"detected":3' <<<"$faults_out"; the
 fi
 echo "fault smoke ok"
 
+echo "== swctl chaos (fixed-seed online-fault smoke) =="
+# Deterministic online-fault campaign: every device-fault class must fire
+# (transient write failures, permanent media errors, read poison), at
+# least one retry must heal and one line must be remapped, both machine
+# checks must be delivered, and the persisted state must show zero silent
+# corruptions with every recovery leg reconverging.
+chaos_out=$("$SWCTL" chaos queue --lang txn --design strandweaver \
+  --threads 2 --regions 24 --ops 2 --rounds 3 --seed 1 --json)
+chaos_field() { sed -n "s/.*\"$1\":\([0-9][0-9]*\).*/\1/p" <<<"$chaos_out"; }
+for k in faults.online.transient_failures faults.online.retries_succeeded \
+         faults.online.permanent_errors faults.online.lines_remapped \
+         faults.online.reads_poisoned mce_traps; do
+  v=$(chaos_field "$k")
+  if [ -z "$v" ] || [ "$v" -lt 1 ]; then
+    echo "ci: chaos smoke: $k did not fire (got '${v:-missing}'): $chaos_out" >&2
+    exit 1
+  fi
+done
+for probe in '"silent_corruptions":0' '"reconverged_strict":3' \
+             '"reconverged_salvage":3' '"mce_strict_aborted":true'; do
+  if ! grep -q "$probe" <<<"$chaos_out"; then
+    echo "ci: chaos smoke: expected $probe in: $chaos_out" >&2
+    exit 1
+  fi
+done
+echo "chaos smoke ok"
+
 echo "== swctl bench (perf trajectory + regression gate) =="
 # Fixed small scale so one pass finishes quickly on a 1-CPU container; the
 # committed BENCH_baseline.json records the same scale and benchcmp refuses

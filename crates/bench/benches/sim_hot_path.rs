@@ -107,10 +107,42 @@ fn bench_engine_step(c: &mut Criterion) {
     }
 }
 
+/// The same end-to-end engine step with an armed-but-idle online fault
+/// unit installed, for side-by-side comparison against
+/// `engine_step_StrandWeaver`: the fault check on the PM write path must
+/// not show up at this granularity.
+fn bench_engine_step_idle_faults(c: &mut Criterion) {
+    use strandweaver::faults::{DeviceFault, DeviceFaultClass, DeviceFaultSchedule, FaultTrigger};
+    let layout = PmLayout::new(2, 1024);
+    let mut idle = DeviceFaultSchedule::none();
+    idle.faults.push(DeviceFault {
+        class: DeviceFaultClass::TransientWriteFail,
+        trigger: FaultTrigger::NthWrite(u64::MAX),
+        sticky: false,
+    });
+    c.bench_function("engine_step_StrandWeaver_idle_faults", |b| {
+        b.iter_batched(
+            || {
+                Machine::new(
+                    SimConfig::table_i()
+                        .with_cores(2)
+                        .with_device_faults(idle.clone()),
+                    HwDesign::StrandWeaver,
+                    layout.clone(),
+                    step_traces(&layout),
+                )
+            },
+            |m| m.run(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 criterion_group!(
     sim_hot_path,
     bench_directory,
     bench_sbu_enqueue_drain,
-    bench_engine_step
+    bench_engine_step,
+    bench_engine_step_idle_faults
 );
 criterion_main!(sim_hot_path);

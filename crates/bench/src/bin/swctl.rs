@@ -6,6 +6,7 @@
 //!              [--stats] [--json] [--seed N]
 //! swctl crash  <benchmark> [--rounds N] [--design <d>] [--lang ...] [--redo]
 //! swctl faults <benchmark> [--rounds N] [--json] [crash flags]
+//! swctl chaos  <benchmark> [--rounds N] [--sweep] [--json] [crash flags]
 //! swctl trace  <benchmark> [--out <file.json>] [--jsonl] [run flags]
 //! swctl litmus | fig1 | fig2 | table1
 //! swctl table2 [--json]
@@ -28,6 +29,15 @@
 //! detect every injection, salvage around it, and reconverge when itself
 //! interrupted. A failure prints a one-line reproducer (seed + flags) and
 //! exits 1. `--seed N` pins the whole campaign for replay.
+//!
+//! `chaos` runs the *online* device-fault campaign: the memory path takes
+//! randomized transient write failures (retried with backoff), permanent
+//! media errors (remapped to spare lines), and read poison (delivered as
+//! machine checks) while the run is live, and every round checks for
+//! silent corruption, PMO-order violations, and crash-recovery
+//! reconvergence. `--sweep` runs it on every legal design × lang pair and
+//! additionally requires that at least one retry healed and one line was
+//! remapped somewhere in the sweep. Failures embed a seeded reproducer.
 
 use strandweaver::experiment::Experiment;
 use strandweaver::{BenchmarkId, HwDesign, LangModel};
@@ -81,6 +91,10 @@ fn usage() -> ! {
          \n  faults <benchmark> fault-injection campaign: inject torn/bitflip/poison damage into\
          \n                     sampled crash images and verify detection, salvage, and convergence\
          \n                     (crash flags plus --json; failures print a seeded reproducer)\
+         \n  chaos <benchmark>  online device-fault chaos campaign: live transient/permanent/poison\
+         \n                     faults with retry, remap, and MCE delivery; checks silent corruption,\
+         \n                     PMO order, and crash reconvergence (crash flags plus --json;\
+         \n                     --sweep covers every legal design x lang pair)\
          \n  trace <benchmark>  simulate with event tracing, write a Perfetto timeline (--out FILE, --jsonl)\
          \n  litmus             run the Figure 2 litmus suite\
          \n  table1|table2|fig1|fig2|fig7|fig8|fig9|fig10|summary  regenerate a table/figure (--json where tabular)\
@@ -406,6 +420,49 @@ fn dispatch() {
                 Err(e) => {
                     println!("{bench}: FAULT CAMPAIGN FAILED — {e}");
                     std::process::exit(1);
+                }
+            }
+        }
+        "chaos" => {
+            let Some(bench) = args.get(1).and_then(|s| parse_bench(s)) else {
+                usage()
+            };
+            // `--sweep` is chaos-only; strip it before the shared strict
+            // parser so the other subcommands keep rejecting it.
+            let mut rest: Vec<String> = args[2..].to_vec();
+            let sweep = rest
+                .iter()
+                .position(|a| a == "--sweep")
+                .map(|i| rest.remove(i))
+                .is_some();
+            let f = parse_flags(&rest);
+            if sweep {
+                match strandweaver::experiment::chaos_sweep(&experiment(bench, &f), f.rounds) {
+                    Ok(report) => {
+                        if f.json {
+                            println!("{}", report.to_json().render());
+                        } else {
+                            print!("{bench}: chaos sweep passed\n{}", report.render());
+                        }
+                    }
+                    Err(e) => {
+                        println!("{bench}: CHAOS SWEEP FAILED — {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                match experiment(bench, &f).run_chaos_campaign(f.rounds) {
+                    Ok(report) => {
+                        if f.json {
+                            println!("{}", report.to_json().render());
+                        } else {
+                            print!("{bench}: chaos campaign passed\n{}", report.render());
+                        }
+                    }
+                    Err(e) => {
+                        println!("{bench}: CHAOS CAMPAIGN FAILED — {e}");
+                        std::process::exit(1);
+                    }
                 }
             }
         }

@@ -55,6 +55,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod device;
+
+pub use device::{
+    DeviceFault, DeviceFaultClass, DeviceFaultSchedule, DeviceFaultUnit, FaultTrigger,
+    OnlineFaultStats, ReadDecision, WriteDecision, BACKOFF_SHIFT_CAP,
+};
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 

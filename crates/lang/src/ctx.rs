@@ -7,6 +7,8 @@ use sw_model::{Execution, OpKind, OpRef, Program, ThreadId};
 use sw_pmem::{Addr, Memory, PmLayout};
 use sw_trace::{CounterId, GaugeId, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceSink};
 
+use crate::mce::{MceError, MceUnit};
+
 /// Per-context instruction counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CtxStats {
@@ -50,6 +52,10 @@ pub struct FuncCtx {
     /// Optional runtime-event sink (log appends/commits, recovery phases).
     trace: Option<Box<dyn TraceSink>>,
     metrics: Option<CtxMetrics>,
+    /// Armed poisoned lines + pending machine-check trap (see [`mce`]).
+    ///
+    /// [`mce`]: crate::mce
+    mce: Option<Box<MceUnit>>,
 }
 
 /// Metric IDs registered by [`FuncCtx::enable_metrics`].
@@ -79,7 +85,24 @@ impl FuncCtx {
             next_seq: 1,
             trace: None,
             metrics: None,
+            mce: None,
         }
+    }
+
+    /// Arms machine-check delivery for `lines` (raw `LineAddr` values):
+    /// the first load touching an armed persistent line trips a pending
+    /// [`MceError`], collected via [`take_mce`]. Each line trips at most
+    /// once. Calling again adds to the armed set.
+    ///
+    /// [`take_mce`]: FuncCtx::take_mce
+    pub fn arm_mce(&mut self, lines: impl IntoIterator<Item = u64>) {
+        let unit = self.mce.get_or_insert_with(Default::default);
+        unit.armed.extend(lines);
+    }
+
+    /// Delivers the pending machine-check trap, if any (oldest first).
+    pub fn take_mce(&mut self) -> Option<MceError> {
+        self.mce.as_mut().and_then(|u| u.pending.take())
     }
 
     /// Attaches a trace sink; runtime observability events (log appends,
@@ -201,6 +224,13 @@ impl FuncCtx {
     pub fn load(&mut self, tid: usize, addr: Addr) -> u64 {
         self.stats.loads += 1;
         self.traces[tid].push(IsaOp::Load(addr));
+        if let Some(unit) = self.mce.as_mut() {
+            let line = addr.line().raw();
+            if unit.armed.contains(&line) && self.mem.layout().is_persistent(addr) {
+                let op_index = self.stats.loads;
+                unit.trip(tid, line, op_index);
+            }
+        }
         // Loads never contribute persist-order edges (Figure 2(g,h)), so
         // they are kept out of the recorded program to bound PMO size.
         self.mem.load(addr)

@@ -52,6 +52,7 @@ mod ctx;
 pub mod formats;
 pub mod harness;
 pub mod log;
+pub mod mce;
 pub mod policies;
 pub mod recovery;
 pub(crate) mod runtime;
@@ -59,6 +60,7 @@ pub(crate) mod runtime;
 pub use ctx::{CtxStats, FuncCtx};
 pub use formats::{LogFormat, LogStrategy, RecoveryAction};
 pub use log::{classify_slot, scan_log_detailed, DetailedScan, SlotState};
+pub use mce::MceError;
 pub use policies::{CommitPolicy, Consistency, LangModel};
 pub use recovery::{
     FaultCounts, PolicyOutcome, RecoveryError, RecoveryFault, RecoveryPolicy, RecoveryReport,

@@ -39,6 +39,7 @@ pub mod hash;
 mod image;
 mod layout;
 mod memory;
+mod remap;
 pub mod timing;
 
 pub use addr::{Addr, LineAddr, CACHE_LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
@@ -46,3 +47,4 @@ pub use hash::{AddrHasher, FastMap, FastSet};
 pub use image::{PmImage, PoisonedLine};
 pub use layout::{Bump, PmLayout, Region, RegionKind};
 pub use memory::Memory;
+pub use remap::{RemapTable, REMAP_ENTRY_WORDS};

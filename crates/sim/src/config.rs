@@ -1,5 +1,6 @@
 //! Simulator configuration (paper Table I).
 
+use sw_faults::DeviceFaultSchedule;
 use sw_pmem::timing;
 
 /// Machine configuration for the timing simulator.
@@ -59,6 +60,10 @@ pub struct SimConfig {
     /// single-stepping (the skipped cycles' stall accounting is replayed);
     /// disable only to cross-check that invariant in tests.
     pub skip_ahead: bool,
+    /// Online device-fault schedule executed by the PM controller.
+    /// `None` (the default) keeps the fault layer entirely out of the
+    /// write path; an empty schedule behaves identically.
+    pub device_faults: Option<DeviceFaultSchedule>,
 }
 
 impl SimConfig {
@@ -90,6 +95,7 @@ impl SimConfig {
             coherence_transfer_cycles: 40,
             max_cycles: 20_000_000_000,
             skip_ahead: true,
+            device_faults: None,
         }
     }
 
@@ -113,6 +119,12 @@ impl SimConfig {
     pub fn with_cores(mut self, cores: usize) -> Self {
         assert!(cores > 0);
         self.cores = cores;
+        self
+    }
+
+    /// A copy with an online device-fault schedule installed.
+    pub fn with_device_faults(mut self, schedule: DeviceFaultSchedule) -> Self {
+        self.device_faults = Some(schedule);
         self
     }
 }

@@ -44,11 +44,11 @@ impl PersistEngine for Hops {
         // same-line store must have retired (checked here, before
         // insertion, to preserve deadlock freedom).
         if m.cores[i].sq_has_store_to(line) {
-            m.stall(i, StallCause::PersistQueueFull);
+            m.stall_persist_full(i);
             return false;
         }
         if !m.cores[i].sbu.as_ref().expect("hops sbu").has_space() {
-            m.stall(i, StallCause::PersistQueueFull);
+            m.stall_persist_full(i);
             return false;
         }
         m.cores[i].sbu.as_mut().expect("checked").push_clwb(line);
@@ -61,7 +61,7 @@ impl PersistEngine for Hops {
             FenceKind::Ofence => {
                 // Lightweight: an epoch marker in the persist buffer.
                 if !m.cores[i].sbu.as_ref().expect("hops sbu").has_space() {
-                    m.stall(i, StallCause::PersistQueueFull);
+                    m.stall_persist_full(i);
                     return false;
                 }
                 m.cores[i].sbu.as_mut().expect("checked").push_pb();

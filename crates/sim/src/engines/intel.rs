@@ -62,7 +62,7 @@ pub(super) fn issue_clwb_to_flush_engine<E: PersistEngine>(
     line: LineAddr,
 ) -> bool {
     if !m.cores[i].flush.as_ref().expect("flush engine").has_space() {
-        m.stall(i, StallCause::PersistQueueFull);
+        m.stall_persist_full(i);
         return false;
     }
     m.cores[i].flush.as_mut().expect("checked").push(line);

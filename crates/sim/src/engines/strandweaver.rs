@@ -49,7 +49,7 @@ impl PersistEngine for StrandWeaver {
 
     fn issue_clwb(&self, m: &mut SimMachine<Self>, i: usize, line: LineAddr) -> bool {
         if m.cores[i].pq.len() >= m.cfg.persist_queue_entries {
-            m.stall(i, StallCause::PersistQueueFull);
+            m.stall_persist_full(i);
             return false;
         }
         m.cores[i].pq.push_back(PqOp::Clwb(line));
@@ -61,7 +61,7 @@ impl PersistEngine for StrandWeaver {
         match kind {
             FenceKind::PersistBarrier | FenceKind::NewStrand => {
                 if m.cores[i].pq.len() >= m.cfg.persist_queue_entries {
-                    m.stall(i, StallCause::PersistQueueFull);
+                    m.stall_persist_full(i);
                     return false;
                 }
                 let op = if kind == FenceKind::PersistBarrier {

@@ -50,7 +50,7 @@ use crate::cache::{Directory, LineSet};
 use crate::config::SimConfig;
 use crate::core::{Core, PendingAccess, Writeback};
 use crate::engines::{Eadr, Hops, Intel, NoPersistQueue, NonAtomic, PersistEngine, StrandWeaver};
-use crate::memctrl::{DramController, PmController};
+use crate::memctrl::{DramController, PmController, WriteOutcome};
 use crate::ring::Ring;
 use crate::stats::{EventCounts, SimStats, StallCause};
 use crate::strand_buffer::Sbu;
@@ -126,6 +126,12 @@ struct MachineMetrics {
     sb_occupancy: Vec<GaugeId>,
     pq_depth_hist: HistogramId,
     sb_occupancy_hist: HistogramId,
+    /// Online device-fault counters (`faults.online.*`), registered up
+    /// front so fault-free runs report explicit zeros.
+    fault_device: CounterId,
+    fault_retries: CounterId,
+    fault_remaps: CounterId,
+    fault_poisons: CounterId,
 }
 
 /// The simulated machine, monomorphized over its design's persist engine.
@@ -193,13 +199,20 @@ impl<E: PersistEngine> SimMachine<E> {
         for core in &mut cores {
             engine.setup_core(core, &cfg);
         }
-        let pm = PmController::new(
+        let mut pm = PmController::new(
             cfg.pm_write_queue,
             cfg.pm_write_ack_cycles,
             cfg.pm_drain_interval,
             cfg.pm_read_cycles,
             cfg.pm_read_interval,
         );
+        // An empty schedule installs nothing: `DeviceFaultSchedule::none()`
+        // must be observationally identical to no fault layer at all.
+        if let Some(schedule) = cfg.device_faults.clone() {
+            if !schedule.is_empty() {
+                pm.install_faults(schedule);
+            }
+        }
         let dram = DramController::new(cfg.dram_cycles);
         let n = cores.len();
         Self {
@@ -260,6 +273,10 @@ impl<E: PersistEngine> SimMachine<E> {
             .collect();
         let pq_depth_hist = reg.histogram("pq.depth");
         let sb_occupancy_hist = reg.histogram("sb.occupancy");
+        let fault_device = reg.counter("faults.online.device_faults");
+        let fault_retries = reg.counter("faults.online.persist_retries");
+        let fault_remaps = reg.counter("faults.online.lines_remapped");
+        let fault_poisons = reg.counter("faults.online.reads_poisoned");
         self.metrics = Some(MachineMetrics {
             reg,
             pm_writes,
@@ -273,6 +290,10 @@ impl<E: PersistEngine> SimMachine<E> {
             sb_occupancy,
             pq_depth_hist,
             sb_occupancy_hist,
+            fault_device,
+            fault_retries,
+            fault_remaps,
+            fault_poisons,
         });
     }
 
@@ -332,6 +353,112 @@ impl<E: PersistEngine> SimMachine<E> {
                 m.reg.inc(m.stalls[cause as usize]);
             }
         }
+    }
+
+    /// Records that core `i` stalled at a persist-admission point whose
+    /// structure is full, attributing the cycle to the *root* cause: a
+    /// fault-retry backoff at the PM controller, device write-queue
+    /// back-pressure, or — absent both — the design's own persist
+    /// structure. All three feed [`CoreStats::persist_stall_cycles`], so
+    /// the Figure 8 aggregate is unchanged; the breakdown stays honest
+    /// under faults. The attribution inputs only change at PM drains and
+    /// fault-unit transitions, both of which bound a quiescent span, so
+    /// skip-ahead replay of the recorded cause is exact.
+    ///
+    /// [`CoreStats::persist_stall_cycles`]: crate::stats::CoreStats::persist_stall_cycles
+    #[inline]
+    pub(crate) fn stall_persist_full(&mut self, i: usize) {
+        let cause = if self.pm.retry_pending() {
+            StallCause::RetryWait
+        } else if self.pm.write_queue_full() {
+            StallCause::PmWriteQueueFull
+        } else {
+            StallCause::PersistQueueFull
+        };
+        self.stall(i, cause);
+    }
+
+    /// Records the result of offering a write to the PM controller:
+    /// acceptance flows into the usual accept accounting (plus retry /
+    /// remap events when the acceptance closes a fault episode), a device
+    /// fault emits a `DeviceFault` event on first failure. Returns the
+    /// acknowledgement cycle when accepted.
+    pub(crate) fn note_pm_outcome(&mut self, line: LineAddr, outcome: WriteOutcome) -> Option<u64> {
+        match outcome {
+            WriteOutcome::Accepted {
+                ack_at,
+                retried,
+                remapped,
+            } => {
+                if retried.is_some() || remapped.is_some() {
+                    self.note_fault_recovery(line, retried, remapped);
+                }
+                self.note_pm_accept(line);
+                Some(ack_at)
+            }
+            WriteOutcome::QueueFull | WriteOutcome::RetryWait { .. } => None,
+            WriteOutcome::Faulted { attempts, .. } => {
+                if attempts == 1 {
+                    // First failure of the episode: the fault itself.
+                    if let Some(m) = self.metrics.as_mut() {
+                        m.reg.inc(m.fault_device);
+                    }
+                    self.emit(TraceEvent::DeviceFault {
+                        line: line.0,
+                        class: "transient",
+                    });
+                }
+                None
+            }
+        }
+    }
+
+    /// Records an acceptance that closed a fault episode: a successful
+    /// retry, a newly created remap, or a write following an existing
+    /// redirect.
+    fn note_fault_recovery(
+        &mut self,
+        line: LineAddr,
+        retried: Option<u32>,
+        remapped: Option<(LineAddr, bool)>,
+    ) {
+        if let Some(attempts) = retried {
+            if let Some(m) = self.metrics.as_mut() {
+                m.reg.inc(m.fault_retries);
+            }
+            self.emit(TraceEvent::PersistRetried {
+                line: line.0,
+                attempts,
+            });
+        }
+        if let Some((spare, newly)) = remapped {
+            if newly {
+                if let Some(m) = self.metrics.as_mut() {
+                    m.reg.inc(m.fault_device);
+                    m.reg.inc(m.fault_remaps);
+                }
+                self.emit(TraceEvent::DeviceFault {
+                    line: line.0,
+                    class: "permanent",
+                });
+                self.emit(TraceEvent::LineRemapped {
+                    from: line.0,
+                    to: spare.0,
+                });
+            }
+        }
+    }
+
+    /// Records a poisoned PM read (MCE-style uncorrectable error).
+    pub(crate) fn note_read_poisoned(&mut self, line: LineAddr) {
+        if let Some(m) = self.metrics.as_mut() {
+            m.reg.inc(m.fault_device);
+            m.reg.inc(m.fault_poisons);
+        }
+        self.emit(TraceEvent::DeviceFault {
+            line: line.0,
+            class: "read_poison",
+        });
     }
 
     /// Records that core `i` spent this cycle waiting on an outstanding
@@ -564,6 +691,7 @@ impl<E: PersistEngine> SimMachine<E> {
                 .map(|m| m.reg.snapshot())
                 .unwrap_or_default(),
             events: self.events,
+            online_faults: self.pm.online_stats(),
             perf,
         }
     }
@@ -670,6 +798,10 @@ impl<E: PersistEngine> SimMachine<E> {
         if self.pm.write_queue_len() > 0 {
             consider(self.pm.next_drain());
         }
+        if let Some(t) = self.pm.next_retry_at() {
+            // A line parked in fault-retry back-off wakes its holder.
+            consider(t);
+        }
         for core in &self.cores {
             if core.done {
                 continue;
@@ -722,7 +854,11 @@ impl<E: PersistEngine> SimMachine<E> {
                 if write {
                     self.cfg.l2_hit_cycles
                 } else {
-                    self.pm.read(self.cycle) - self.cycle
+                    let r = self.pm.read(line, self.cycle);
+                    if r.poisoned {
+                        self.note_read_poisoned(line);
+                    }
+                    r.done_at - self.cycle
                 }
             } else {
                 self.dram.access(self.cycle) - self.cycle
@@ -1206,7 +1342,12 @@ mod tests {
             let traces = vec![pair_trace(design, 48), pair_trace(design, 48)];
             let stats = Machine::new(cfg(2), design, layout(), traces).run();
             for (i, c) in stats.cores.iter().enumerate() {
-                let stalls = c.stall_fence + c.stall_sq_full + c.stall_pq_full + c.stall_lock;
+                let stalls = c.stall_fence
+                    + c.stall_sq_full
+                    + c.stall_pq_full
+                    + c.stall_lock
+                    + c.stall_pm_wq_full
+                    + c.stall_retry_wait;
                 let done = c.done_cycle;
                 assert!(
                     stalls <= done,

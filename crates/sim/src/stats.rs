@@ -1,5 +1,6 @@
 //! Simulation statistics: cycles, stall breakdowns, CKC, event accounting.
 
+use sw_faults::OnlineFaultStats;
 use sw_perf::PerfSnapshot;
 use sw_trace::{Json, MetricsSnapshot, StallKind};
 
@@ -15,15 +16,23 @@ pub enum StallCause {
     PersistQueueFull,
     /// Waiting for a contended lock.
     Lock,
+    /// The PM controller's write queue itself is full: device
+    /// back-pressure reaching through the persist structure.
+    PmWriteQueueFull,
+    /// A faulted write is in retry backoff at the PM controller (online
+    /// device-fault model); the persist structure waits behind it.
+    RetryWait,
 }
 
 impl StallCause {
     /// All causes, in reporting order.
-    pub const ALL: [StallCause; 4] = [
+    pub const ALL: [StallCause; 6] = [
         StallCause::Fence,
         StallCause::StoreQueueFull,
         StallCause::PersistQueueFull,
         StallCause::Lock,
+        StallCause::PmWriteQueueFull,
+        StallCause::RetryWait,
     ];
 
     /// The equivalent `sw-trace` event vocabulary value.
@@ -33,6 +42,8 @@ impl StallCause {
             StallCause::StoreQueueFull => StallKind::StoreQueueFull,
             StallCause::PersistQueueFull => StallKind::PersistQueueFull,
             StallCause::Lock => StallKind::Lock,
+            StallCause::PmWriteQueueFull => StallKind::PmWriteQueueFull,
+            StallCause::RetryWait => StallKind::RetryWait,
         }
     }
 
@@ -64,6 +75,11 @@ pub struct CoreStats {
     pub stall_pq_full: u64,
     /// Cycles stalled waiting for locks.
     pub stall_lock: u64,
+    /// Cycles stalled on a full PM-controller write queue (device
+    /// back-pressure seen at a persist-admission point).
+    pub stall_pm_wq_full: u64,
+    /// Cycles stalled behind a faulted write's retry backoff.
+    pub stall_retry_wait: u64,
     /// Cycles busy on memory accesses (loads, including misses).
     pub mem_busy: u64,
     /// Cycle at which the core finished (trace done and queues drained).
@@ -73,9 +89,16 @@ pub struct CoreStats {
 impl CoreStats {
     /// Cycles stalled because hardware enforced persist ordering — the
     /// quantity plotted in the paper's Figure 8 (fence stalls plus queue
-    /// back-pressure).
+    /// back-pressure). Device-level back-pressure and retry waits reach
+    /// the core through the same persist-admission points, so they are
+    /// part of the same aggregate (both are zero without faults or
+    /// write-queue saturation).
     pub fn persist_stall_cycles(&self) -> u64 {
-        self.stall_fence + self.stall_sq_full + self.stall_pq_full
+        self.stall_fence
+            + self.stall_sq_full
+            + self.stall_pq_full
+            + self.stall_pm_wq_full
+            + self.stall_retry_wait
     }
 
     /// Bumps the stall counter for `cause` by one cycle.
@@ -91,6 +114,8 @@ impl CoreStats {
             StallCause::StoreQueueFull => self.stall_sq_full += n,
             StallCause::PersistQueueFull => self.stall_pq_full += n,
             StallCause::Lock => self.stall_lock += n,
+            StallCause::PmWriteQueueFull => self.stall_pm_wq_full += n,
+            StallCause::RetryWait => self.stall_retry_wait += n,
         }
     }
 
@@ -101,6 +126,8 @@ impl CoreStats {
             StallCause::StoreQueueFull => self.stall_sq_full,
             StallCause::PersistQueueFull => self.stall_pq_full,
             StallCause::Lock => self.stall_lock,
+            StallCause::PmWriteQueueFull => self.stall_pm_wq_full,
+            StallCause::RetryWait => self.stall_retry_wait,
         }
     }
 
@@ -116,6 +143,8 @@ impl CoreStats {
             ("stall_sq_full", Json::U64(self.stall_sq_full)),
             ("stall_pq_full", Json::U64(self.stall_pq_full)),
             ("stall_lock", Json::U64(self.stall_lock)),
+            ("stall_pm_wq_full", Json::U64(self.stall_pm_wq_full)),
+            ("stall_retry_wait", Json::U64(self.stall_retry_wait)),
             ("mem_busy", Json::U64(self.mem_busy)),
             ("done_cycle", Json::U64(self.done_cycle)),
         ])
@@ -200,6 +229,11 @@ pub struct SimStats {
     /// `sw_perf::set_global_enabled`). Profiling never changes simulated
     /// results; this field only reports where wall time went.
     pub perf: Option<PerfSnapshot>,
+    /// Online device-fault counters (`None` unless the run had a
+    /// `DeviceFaultSchedule` installed — see `SimConfig::device_faults`).
+    /// Absent rather than zero so fault-free output stays bit-identical
+    /// to builds that predate the fault layer.
+    pub online_faults: Option<OnlineFaultStats>,
 }
 
 impl SimStats {
@@ -268,6 +302,18 @@ impl SimStats {
         if let Some(perf) = &self.perf {
             fields.push(("perf".to_string(), perf.to_json()));
         }
+        if let Some(faults) = &self.online_faults {
+            fields.push((
+                "online_faults".to_string(),
+                Json::Obj(
+                    faults
+                        .entries()
+                        .iter()
+                        .map(|&(k, v)| (k.to_string(), Json::U64(v)))
+                        .collect(),
+                ),
+            ));
+        }
         Json::Obj(fields)
     }
 
@@ -310,10 +356,25 @@ impl SimStats {
         );
         let _ = writeln!(
             s,
+            "total.stall_pm_wq_full     {:>12}",
+            total(|c| c.stall_pm_wq_full)
+        );
+        let _ = writeln!(
+            s,
+            "total.stall_retry_wait     {:>12}",
+            total(|c| c.stall_retry_wait)
+        );
+        let _ = writeln!(
+            s,
             "total.mem_busy             {:>12}",
             total(|c| c.mem_busy)
         );
         let _ = writeln!(s, "derived.ckc                {:>12.3}", self.ckc());
+        if let Some(faults) = &self.online_faults {
+            for (k, v) in faults.entries() {
+                let _ = writeln!(s, "faults.online.{k:<13}{v:>12}");
+            }
+        }
         for (i, c) in self.cores.iter().enumerate() {
             let _ = writeln!(
                 s,

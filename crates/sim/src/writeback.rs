@@ -19,12 +19,15 @@ impl<E: PersistEngine> SimMachine<E> {
     /// Performs the flush action of a CLWB for `line` on core `i`: L1
     /// lookup; dirty lines go to the PM controller, others complete after
     /// the lookup. Returns the completion cycle, or `None` on controller
-    /// back-pressure.
+    /// back-pressure (queue full, or a device fault holding the line in
+    /// retry — either way the persist stays where it is and is re-offered
+    /// later, so a fault can delay a persist but never reorder it past
+    /// its ordering predecessors).
     pub(crate) fn flush_access(&mut self, i: usize, line: LineAddr) -> Option<u64> {
         let lookup_done = self.cycle + self.cfg.l1_hit_cycles;
         if self.cores[i].l1.is_dirty(line) && self.is_persistent_line(line) {
-            let ack = self.pm.try_write(line, lookup_done)?;
-            self.note_pm_accept(line);
+            let outcome = self.pm.try_write(line, lookup_done);
+            let ack = self.note_pm_outcome(line, outcome)?;
             self.cores[i].l1.mark_clean(line);
             self.dir.clear_dirty_owner(line);
             Some(ack)
@@ -108,11 +111,11 @@ impl<E: PersistEngine> SimMachine<E> {
             }
             let line = self.cores[i].wb[k].line;
             if self.is_persistent_line(line) {
-                if self.pm.try_write(line, self.cycle).is_none() {
+                let outcome = self.pm.try_write(line, self.cycle);
+                if self.note_pm_outcome(line, outcome).is_none() {
                     k += 1;
-                    continue; // controller back-pressure; retry
+                    continue; // back-pressure or device fault; retry
                 }
-                self.note_pm_accept(line);
             }
             self.cores[i].wb.swap_remove(k);
             self.progress = true;

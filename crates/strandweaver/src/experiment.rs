@@ -1,10 +1,15 @@
 //! End-to-end experiment runner: workload → runtime lowering → ISA traces
 //! → timing simulation, plus crash-consistency campaigns.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::collections::BTreeSet;
 
-use sw_faults::{FaultClass, FaultInjector, FaultPlan, InjectedFault};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use sw_faults::{
+    DeviceFault, DeviceFaultClass, DeviceFaultSchedule, DeviceFaultUnit, FaultClass, FaultInjector,
+    FaultPlan, FaultTrigger, InjectedFault, OnlineFaultStats,
+};
 use sw_lang::harness::{
     check_prefix_consistency, check_replay_consistency, check_salvage_consistency,
     crash_and_recover, crash_image, recovery_reconverges, CrashOutcome,
@@ -12,7 +17,12 @@ use sw_lang::harness::{
 use sw_lang::recovery::{
     recover_with_policy, recover_with_policy_traced, RecoveryFault, RecoveryPolicy,
 };
-use sw_lang::{Consistency, HwDesign, LangModel, LogStrategy, SlotState};
+use sw_lang::{
+    Consistency, FuncCtx, HwDesign, LangModel, LogStrategy, RuntimeConfig, SlotState, ThreadRuntime,
+};
+use sw_model::isa::{IsaTrace, LockId};
+use sw_model::{Pmo, StoreId};
+use sw_pmem::{LineAddr, PmLayout, RemapTable};
 use sw_sim::{Machine, SimConfig, SimStats};
 use sw_trace::{MetricsRegistry, MetricsSnapshot};
 use sw_workloads::driver::{drive, DriverParams};
@@ -446,6 +456,235 @@ impl Experiment {
         })
     }
 
+    /// Single-threaded lowered probe workload under this cell's
+    /// `(design, lang, strategy)`: six regions of four stores each,
+    /// returning the formal PMO oracle, the per-thread ISA traces, and the
+    /// layout. The chaos campaign replays these traces with an online
+    /// device-fault schedule installed and checks the durable order the
+    /// faulted machine produced against the *same* oracle — a retry may
+    /// delay a persist but must never reorder it.
+    fn pmo_probe(&self) -> (Pmo, Vec<IsaTrace>, PmLayout) {
+        let layout = PmLayout::new(1, 512);
+        let heap = layout.heap_base();
+        let mut ctx = FuncCtx::new(layout.clone(), 1);
+        let mut cfg = RuntimeConfig::new(self.design, self.lang);
+        cfg.strategy = self.strategy;
+        let mut rt = ThreadRuntime::new(&layout, 0, cfg);
+        for r in 0..6u64 {
+            rt.region_begin(&mut ctx, &[LockId(0)]);
+            for k in 0..4u64 {
+                rt.store(&mut ctx, heap.offset_words((r * 4 + k) * 8), r * 10 + k);
+            }
+            rt.region_end(&mut ctx);
+        }
+        rt.shutdown(&mut ctx);
+        let pmo = Pmo::compute(&ctx.execution(), self.design.memory_model());
+        let traces = ctx.into_traces();
+        (pmo, traces, layout)
+    }
+
+    /// Runs the probe traces through the timing simulator, optionally with
+    /// an online fault schedule installed.
+    fn probe_run(
+        &self,
+        layout: &PmLayout,
+        traces: &[IsaTrace],
+        faults: Option<DeviceFaultSchedule>,
+    ) -> SimStats {
+        let mut cfg = self.sim.clone().with_cores(1);
+        if let Some(schedule) = faults {
+            cfg = cfg.with_device_faults(schedule);
+        }
+        Machine::new(cfg, self.design, layout.clone(), traces.to_vec()).run()
+    }
+
+    /// Runs the online-fault chaos campaign on this cell: `rounds` rounds
+    /// of randomized device faults × crash points × recovery policies.
+    ///
+    /// Each round, seeded from [`seed`](Experiment::seed):
+    ///
+    /// 1. **Online faults vs. the PMO oracle** — the single-threaded
+    ///    [probe](Self::pmo_probe) replays under a random
+    ///    [`DeviceFaultSchedule`] (transient write failures with retry,
+    ///    permanent media errors with remap, read poison). The faulted
+    ///    machine's durable line *set* must equal the fault-free run's (no
+    ///    write silently lost or invented) and its acceptance order must
+    ///    remain a linear extension of the formal PMO — retries delay,
+    ///    never reorder.
+    /// 2. **Crash × recovery** — a formally-sampled crash image (which
+    ///    includes images where a mid-retry persist never reached media:
+    ///    an un-acknowledged write is simply absent from the persisted
+    ///    set) must reconverge under interrupted-and-rerun `Strict`
+    ///    recovery; a copy with a freshly poisoned log line must
+    ///    reconverge under `Salvage`.
+    /// 3. **Remap-table crash consistency** — a standalone fault unit
+    ///    takes permanent errors, and its remap encoding cut at a random
+    ///    word (a crash mid-publication) must decode to a prefix of the
+    ///    full mapping — never a mix.
+    ///
+    /// Once per campaign, a poisoned heap line is armed for the
+    /// multi-threaded driven run: if a load consumes it, the
+    /// machine-check must abort the run under
+    /// [`RecoveryPolicy::Strict`] and quarantine exactly the faulting
+    /// thread under [`RecoveryPolicy::Salvage`].
+    ///
+    /// # Errors
+    ///
+    /// The first violation, with a copy-pasteable `swctl chaos` reproducer
+    /// (seed included) embedded.
+    pub fn run_chaos_campaign(&self, rounds: usize) -> Result<ChaosCampaignReport, String> {
+        if !self.lang.legal_on(self.design) {
+            return Err(format!(
+                "language model '{}' is not legal on design '{}'",
+                self.lang, self.design
+            ));
+        }
+        let fail = |round: usize, e: String| self.campaign_failure("chaos", rounds, round, e);
+
+        // Fault-free reference for the probe (the traces are identical in
+        // every round; only the fault schedule varies).
+        let (pmo, traces, probe_layout) = self.pmo_probe();
+        let clean = self.probe_run(&probe_layout, &traces, None);
+        let clean_set: BTreeSet<LineAddr> = clean.pm_write_order.iter().copied().collect();
+        let scale = clean.pm_write_order.len() as u64;
+
+        // The multi-threaded driven run for the crash/recovery legs.
+        let mut workload = self.bench.instantiate();
+        let mut params = DriverParams::new(self.design, self.lang)
+            .threads(self.threads)
+            .total_regions(self.total_regions)
+            .ops_per_region(self.ops_per_region)
+            .seed(self.seed);
+        params.strategy = self.strategy;
+        let out = drive(workload.as_mut(), &params);
+        let layout = &out.layout;
+
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xc4a0_5eed);
+        let mut online = OnlineFaultStats::default();
+        let mut pmo_edges_checked = 0usize;
+        let mut reconverged_strict = 0usize;
+        let mut reconverged_salvage = 0usize;
+        let mut remap_prefix_checks = 0usize;
+
+        for round in 0..rounds {
+            // --- Leg 1: online faults vs. the PMO oracle. ---
+            let round_seed = self
+                .seed
+                .wrapping_add((round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let schedule = DeviceFaultSchedule::random(round_seed, scale);
+            let faulted = self.probe_run(&probe_layout, &traces, Some(schedule));
+            let set: BTreeSet<LineAddr> = faulted.pm_write_order.iter().copied().collect();
+            if set != clean_set {
+                let missing: Vec<_> = clean_set.difference(&set).collect();
+                let extra: Vec<_> = set.difference(&clean_set).collect();
+                return Err(fail(
+                    round,
+                    format!(
+                        "silent corruption: persisted line set diverged under online \
+                         faults (missing {missing:?}, extra {extra:?})"
+                    ),
+                ));
+            }
+            pmo_edges_checked += order_extends_pmo(&pmo, &faulted.pm_write_order)
+                .map_err(|e| fail(round, format!("retried persist order: {e}")))?;
+            if let Some(s) = faulted.online_faults {
+                online.merge(&s);
+            }
+
+            // --- Leg 2: crash points × recovery policies. ---
+            let (crash, _persisted) = crash_image(&out.ctx, &out.baseline, self.design, &mut rng);
+            recovery_reconverges(&crash, layout, RecoveryPolicy::Strict, &mut rng)
+                .map_err(|e| fail(round, format!("strict reconvergence: {e}")))?;
+            reconverged_strict += 1;
+            let mut damaged = crash.clone();
+            let victim = rng.gen_range(0..self.threads);
+            let log_line = layout.log_region(victim).base.line().raw();
+            damaged.poison_line(LineAddr(log_line + 1 + rng.gen_range(0..4)));
+            recovery_reconverges(&damaged, layout, RecoveryPolicy::Salvage, &mut rng)
+                .map_err(|e| fail(round, format!("salvage reconvergence: {e}")))?;
+            reconverged_salvage += 1;
+
+            // --- Leg 3: remap-table crash-prefix consistency. ---
+            let mut sched = DeviceFaultSchedule::none();
+            for _ in 0..2 {
+                sched.faults.push(DeviceFault {
+                    class: DeviceFaultClass::PermanentMediaError,
+                    trigger: FaultTrigger::NthWrite(1 + rng.gen_range(0..12)),
+                    sticky: true,
+                });
+            }
+            let (spare_base, spare_count) = (sched.spare_base, sched.spare_count);
+            let mut unit = DeviceFaultUnit::new(sched);
+            for w in 0..24u64 {
+                let _ = unit.on_write(0x100 + w, (w + 1) * 8);
+            }
+            let full: Vec<_> = unit.remap_table().iter().collect();
+            let words = unit.remap_table().encode_words();
+            let cut = rng.gen_range(0..=words.len());
+            let decoded: Vec<_> = RemapTable::decode_words(&words[..cut], spare_base, spare_count)
+                .iter()
+                .collect();
+            if !full.starts_with(&decoded) {
+                return Err(fail(
+                    round,
+                    format!(
+                        "remap table torn at word {cut}/{} decoded to {decoded:?}, \
+                         not a prefix of {full:?}",
+                        words.len()
+                    ),
+                ));
+            }
+            remap_prefix_checks += 1;
+        }
+
+        // --- MCE leg: poisoned-read delivery under both policies. ---
+        let mce_line = layout.heap_base().line().raw();
+        let mut w_strict = self.bench.instantiate();
+        let strict_run = drive(
+            w_strict.as_mut(),
+            &params.mce(mce_line, RecoveryPolicy::Strict),
+        );
+        let mut w_salvage = self.bench.instantiate();
+        let salvage_run = drive(
+            w_salvage.as_mut(),
+            &params.mce(mce_line, RecoveryPolicy::Salvage),
+        );
+        let mce_fail = |e: String| self.campaign_failure("chaos", rounds, rounds, e);
+        if !strict_run.mce_events.is_empty() && !strict_run.aborted {
+            return Err(mce_fail(
+                "strict policy consumed a poisoned line without aborting".into(),
+            ));
+        }
+        if salvage_run.aborted {
+            return Err(mce_fail(
+                "salvage policy aborted instead of continuing".into(),
+            ));
+        }
+        for e in &salvage_run.mce_events {
+            if !salvage_run.quarantined.contains(&e.thread) {
+                return Err(mce_fail(format!(
+                    "salvage failed to quarantine thread {} after {e}",
+                    e.thread
+                )));
+            }
+        }
+
+        Ok(ChaosCampaignReport {
+            design: self.design,
+            lang: self.lang,
+            rounds,
+            online,
+            pmo_edges_checked,
+            reconverged_strict,
+            reconverged_salvage,
+            remap_prefix_checks,
+            mce_traps: strict_run.mce_events.len() + salvage_run.mce_events.len(),
+            mce_strict_aborted: strict_run.aborted,
+            mce_quarantined: salvage_run.quarantined.clone(),
+            silent_corruptions: 0,
+        })
+    }
+
     /// The copy-pasteable `swctl` invocation replaying this cell exactly
     /// (the seed pins workload generation, crash sampling, and fault
     /// injection).
@@ -501,6 +740,276 @@ fn fault_matches(f: &InjectedFault, d: &RecoveryFault) -> bool {
         }
         _ => false,
     }
+}
+
+/// Checks that a machine's PM acceptance order respects every applicable
+/// transitive cross-line PMO edge. Only lines accepted exactly once map
+/// one-to-one onto formal stores (same-line stores share flushes), so
+/// edges touching multiply-accepted lines are skipped. Returns the number
+/// of edges verified; errors on the first violation.
+fn order_extends_pmo(pmo: &Pmo, order: &[LineAddr]) -> Result<usize, String> {
+    let mut count = std::collections::HashMap::new();
+    let mut first_pos = std::collections::HashMap::new();
+    for (pos, line) in order.iter().enumerate() {
+        *count.entry(*line).or_insert(0usize) += 1;
+        first_pos.entry(*line).or_insert(pos);
+    }
+    let pos_of = |line: LineAddr| (count.get(&line) == Some(&1)).then(|| first_pos[&line]);
+    let mut checked = 0;
+    for i in 0..pmo.num_stores() {
+        for j in 0..pmo.num_stores() {
+            if i == j || !pmo.ordered_before(StoreId(i), StoreId(j)) {
+                continue;
+            }
+            let la = pmo.store(StoreId(i)).addr.line();
+            let lb = pmo.store(StoreId(j)).addr.line();
+            if la == lb {
+                continue;
+            }
+            if let (Some(pa), Some(pb)) = (pos_of(la), pos_of(lb)) {
+                if pa >= pb {
+                    return Err(format!(
+                        "PMO edge {la} -> {lb} violated by acceptance order ({pa} >= {pb})"
+                    ));
+                }
+                checked += 1;
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// What [`Experiment::run_chaos_campaign`] measured on one
+/// (design × language model) cell.
+#[derive(Debug, Clone)]
+pub struct ChaosCampaignReport {
+    /// Hardware design of the cell.
+    pub design: HwDesign,
+    /// Language model of the cell.
+    pub lang: LangModel,
+    /// Campaign rounds executed.
+    pub rounds: usize,
+    /// Accumulated online-fault activity across all probe rounds
+    /// (all-zero on designs that bypass the PM controller write path,
+    /// e.g. battery-backed eADR).
+    pub online: OnlineFaultStats,
+    /// Transitive PMO edges the faulted acceptance orders were verified
+    /// against.
+    pub pmo_edges_checked: usize,
+    /// Rounds whose interrupted `Strict` recovery reconverged.
+    pub reconverged_strict: usize,
+    /// Rounds whose interrupted `Salvage` recovery (on a freshly poisoned
+    /// log line) reconverged.
+    pub reconverged_salvage: usize,
+    /// Rounds whose torn remap-table encoding decoded to a mapping prefix.
+    pub remap_prefix_checks: usize,
+    /// Machine-check traps delivered across the two MCE runs.
+    pub mce_traps: usize,
+    /// `true` when the `Strict` MCE run fail-stopped (always true when a
+    /// trap fired).
+    pub mce_strict_aborted: bool,
+    /// Threads the `Salvage` MCE run quarantined.
+    pub mce_quarantined: Vec<usize>,
+    /// Silent corruptions observed (always 0 on `Ok` — a nonzero count
+    /// fails the campaign instead).
+    pub silent_corruptions: usize,
+}
+
+impl ChaosCampaignReport {
+    /// One human-readable summary line for sweep tables.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<14} {:<7} {:>7} {:>7} {:>7} {:>6} {:>6} {:>5} {:>5}",
+            self.design.to_string(),
+            self.lang.to_string(),
+            self.online.retries_succeeded,
+            self.online.lines_remapped,
+            self.online.reads_poisoned,
+            self.reconverged_strict,
+            self.reconverged_salvage,
+            self.pmo_edges_checked,
+            self.mce_traps,
+        )
+    }
+
+    /// Renders the human-readable campaign report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "chaos campaign: {} x {}, {} rounds, {} silent corruptions",
+            self.design, self.lang, self.rounds, self.silent_corruptions
+        );
+        for (k, v) in self.online.entries() {
+            let _ = writeln!(s, "  faults.online.{k} = {v}");
+        }
+        let _ = writeln!(
+            s,
+            "  pmo edges checked {}, reconverged strict {}/{} salvage {}/{}, \
+             remap prefixes {}/{}",
+            self.pmo_edges_checked,
+            self.reconverged_strict,
+            self.rounds,
+            self.reconverged_salvage,
+            self.rounds,
+            self.remap_prefix_checks,
+            self.rounds,
+        );
+        let _ = writeln!(
+            s,
+            "  mce traps {} (strict aborted: {}, quarantined: {:?})",
+            self.mce_traps, self.mce_strict_aborted, self.mce_quarantined
+        );
+        s
+    }
+
+    /// Machine-readable form of the campaign report.
+    pub fn to_json(&self) -> sw_trace::Json {
+        use sw_trace::Json;
+        let online = Json::Obj(
+            self.online
+                .entries()
+                .iter()
+                .map(|&(k, v)| (format!("faults.online.{k}"), Json::U64(v)))
+                .collect(),
+        );
+        Json::obj([
+            ("design", Json::Str(self.design.to_string())),
+            ("lang", Json::Str(self.lang.to_string())),
+            ("rounds", Json::U64(self.rounds as u64)),
+            (
+                "silent_corruptions",
+                Json::U64(self.silent_corruptions as u64),
+            ),
+            ("online", online),
+            (
+                "pmo_edges_checked",
+                Json::U64(self.pmo_edges_checked as u64),
+            ),
+            (
+                "reconverged_strict",
+                Json::U64(self.reconverged_strict as u64),
+            ),
+            (
+                "reconverged_salvage",
+                Json::U64(self.reconverged_salvage as u64),
+            ),
+            (
+                "remap_prefix_checks",
+                Json::U64(self.remap_prefix_checks as u64),
+            ),
+            ("mce_traps", Json::U64(self.mce_traps as u64)),
+            ("mce_strict_aborted", Json::Bool(self.mce_strict_aborted)),
+            (
+                "mce_quarantined",
+                Json::Arr(
+                    self.mce_quarantined
+                        .iter()
+                        .map(|&t| Json::U64(t as u64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// What [`chaos_sweep`] measured across every legal
+/// (design × language model) pair.
+#[derive(Debug, Clone)]
+pub struct ChaosSweepReport {
+    /// Per-cell reports, designs in presentation order.
+    pub cells: Vec<ChaosCampaignReport>,
+    /// Online-fault activity aggregated across all cells.
+    pub online: OnlineFaultStats,
+}
+
+impl ChaosSweepReport {
+    /// Renders the sweep table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<14} {:<7} {:>7} {:>7} {:>7} {:>6} {:>6} {:>5} {:>5}",
+            "design", "lang", "retries", "remaps", "poison", "rc-str", "rc-sal", "edges", "mce"
+        );
+        for cell in &self.cells {
+            let _ = writeln!(s, "{}", cell.summary_line());
+        }
+        let _ = writeln!(
+            s,
+            "total: {} retry successes, {} remaps, {} reads poisoned, 0 silent corruptions",
+            self.online.retries_succeeded, self.online.lines_remapped, self.online.reads_poisoned,
+        );
+        s
+    }
+
+    /// Machine-readable form of the sweep report.
+    pub fn to_json(&self) -> sw_trace::Json {
+        use sw_trace::Json;
+        Json::obj([
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(ChaosCampaignReport::to_json)
+                        .collect(),
+                ),
+            ),
+            (
+                "online",
+                Json::Obj(
+                    self.online
+                        .entries()
+                        .iter()
+                        .map(|&(k, v)| (format!("faults.online.{k}"), Json::U64(v)))
+                        .collect(),
+                ),
+            ),
+            ("silent_corruptions", Json::U64(0)),
+        ])
+    }
+}
+
+/// Runs the chaos campaign on every legal (design × language model) pair
+/// at `scale`'s benchmark and sizes, then enforces the sweep-wide
+/// acceptance bar: zero silent corruptions (any would have errored a
+/// cell), at least one successful transient retry, and at least one
+/// permanent-error remap somewhere in the sweep — proof the fault classes
+/// actually fired and healed rather than being silently skipped.
+///
+/// # Errors
+///
+/// The first failing cell's error (reproducer embedded), or a sweep-level
+/// message when a fault class never fired.
+pub fn chaos_sweep(scale: &Experiment, rounds: usize) -> Result<ChaosSweepReport, String> {
+    let mut cells = Vec::new();
+    let mut online = OnlineFaultStats::default();
+    for design in HwDesign::ALL {
+        for lang in LangModel::ALL {
+            if !lang.legal_on(design) {
+                continue;
+            }
+            let mut cell = scale.clone();
+            cell.design = design;
+            cell.lang = lang;
+            cell.trace = None;
+            let report = cell
+                .run_chaos_campaign(rounds)
+                .map_err(|e| format!("{design} x {lang}: {e}"))?;
+            online.merge(&report.online);
+            cells.push(report);
+        }
+    }
+    if online.retries_succeeded == 0 {
+        return Err("chaos sweep: no transient write fault ever retried successfully".into());
+    }
+    if online.lines_remapped == 0 {
+        return Err("chaos sweep: no permanent media error was ever remapped".into());
+    }
+    Ok(ChaosSweepReport { cells, online })
 }
 
 /// Per-fault-class tally of a campaign.
@@ -887,6 +1396,135 @@ mod tests {
         let results = design_sweep_of(&designs, BenchmarkId::Queue, LangModel::Txn, &scale);
         let order: Vec<HwDesign> = results.iter().map(|(d, _)| *d).collect();
         assert_eq!(order, designs.to_vec());
+    }
+
+    #[test]
+    fn chaos_campaign_heals_faults_and_respects_pmo() {
+        let report = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver)
+            .run_chaos_campaign(3)
+            .expect("campaign must pass on recoverable hardware");
+        assert!(report.online.retries_succeeded >= 1, "{}", report.render());
+        assert!(report.online.lines_remapped >= 1, "{}", report.render());
+        assert!(report.pmo_edges_checked > 0);
+        assert_eq!(report.reconverged_strict, 3);
+        assert_eq!(report.reconverged_salvage, 3);
+        assert_eq!(report.remap_prefix_checks, 3);
+        assert_eq!(report.silent_corruptions, 0);
+        // The armed heap line is hot in the queue workload: the MCE must
+        // fire, fail-stop under Strict, and quarantine under Salvage.
+        assert!(report.mce_traps >= 1, "{}", report.render());
+        assert!(report.mce_strict_aborted);
+        assert!(!report.mce_quarantined.is_empty());
+    }
+
+    #[test]
+    fn chaos_campaign_replays_from_its_seed() {
+        let run = || {
+            small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver)
+                .seed(42)
+                .run_chaos_campaign(3)
+                .expect("campaign")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.online, b.online);
+        assert_eq!(a.pmo_edges_checked, b.pmo_edges_checked);
+        assert_eq!(a.mce_traps, b.mce_traps);
+        assert_eq!(a.mce_quarantined, b.mce_quarantined);
+    }
+
+    #[test]
+    fn chaos_campaign_rejects_illegal_cells() {
+        let err = small(
+            BenchmarkId::Queue,
+            LangModel::Native,
+            HwDesign::StrandWeaver,
+        )
+        .run_chaos_campaign(1)
+        .unwrap_err();
+        assert!(err.contains("not legal"), "{err}");
+    }
+
+    #[test]
+    fn chaos_failures_embed_a_reproducer() {
+        let e = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver).seed(123);
+        let msg = e.campaign_failure("chaos", 5, 2, "boom".into());
+        assert!(msg.contains("round 2: boom"), "{msg}");
+        assert!(
+            msg.contains("swctl chaos queue --lang txn --design strandweaver"),
+            "{msg}"
+        );
+        assert!(msg.contains("--rounds 5 --seed 123"), "{msg}");
+    }
+
+    #[test]
+    fn chaos_campaign_report_renders_and_serializes() {
+        let report = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver)
+            .run_chaos_campaign(2)
+            .expect("campaign");
+        let text = report.render();
+        assert!(text.contains("faults.online.retries_succeeded"), "{text}");
+        let json = report.to_json().render();
+        for key in [
+            "faults.online.lines_remapped",
+            "silent_corruptions",
+            "mce_strict_aborted",
+        ] {
+            assert!(json.contains(key), "{json}");
+        }
+    }
+
+    #[test]
+    fn traced_run_with_faults_emits_device_events() {
+        let mut sched = DeviceFaultSchedule::none();
+        for w in [1u64, 3] {
+            sched.faults.push(DeviceFault {
+                class: DeviceFaultClass::TransientWriteFail,
+                trigger: FaultTrigger::NthWrite(w),
+                sticky: false,
+            });
+        }
+        sched.faults.push(DeviceFault {
+            class: DeviceFaultClass::PermanentMediaError,
+            trigger: FaultTrigger::NthWrite(2),
+            sticky: true,
+        });
+        let rec = sw_trace::RingRecorder::new(1 << 18);
+        let mut e = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver)
+            .traced(rec.clone())
+            .with_metrics();
+        e.sim = e.sim.clone().with_device_faults(sched);
+        let stats = e.run_timing();
+        let events = rec.events();
+        let count = |kind: &str| events.iter().filter(|e| e.event.kind() == kind).count();
+        assert!(count("device_fault") >= 2, "transient + permanent classes");
+        assert!(count("persist_retried") >= 1);
+        assert!(count("line_remapped") >= 1);
+        let online = stats.online_faults.expect("fault unit installed");
+        assert_eq!(
+            stats.metrics.counter("faults.online.persist_retries"),
+            Some(online.retries_succeeded)
+        );
+        assert_eq!(
+            stats.metrics.counter("faults.online.lines_remapped"),
+            Some(online.lines_remapped)
+        );
+    }
+
+    #[test]
+    fn chaos_sweep_covers_every_legal_cell() {
+        let scale = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver);
+        let report = chaos_sweep(&scale, 1).expect("sweep");
+        let legal = HwDesign::ALL
+            .iter()
+            .flat_map(|&d| LangModel::ALL.iter().filter(move |l| l.legal_on(d)))
+            .count();
+        assert_eq!(report.cells.len(), legal);
+        assert!(report.online.retries_succeeded >= 1);
+        assert!(report.online.lines_remapped >= 1);
+        let text = report.render();
+        assert!(text.contains("0 silent corruptions"), "{text}");
+        let json = report.to_json().render();
+        assert!(json.contains("\"cells\""), "{json}");
     }
 }
 

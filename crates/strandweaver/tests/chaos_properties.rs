@@ -1,0 +1,82 @@
+//! Properties of the online device-fault layer (chaos campaign).
+//!
+//! Two guarantees the fault layer must uphold to be trustworthy as a
+//! testing instrument:
+//!
+//! 1. **Zero cost when empty** — installing an *empty*
+//!    [`DeviceFaultSchedule`] must leave every statistic of every
+//!    (design × lang) cell bit-identical to a build with no fault layer
+//!    at all. The fault unit may exist, but with nothing scheduled it
+//!    must be observationally absent.
+//! 2. **Seed determinism** — the chaos campaign is a reproducer-driven
+//!    tool: two campaigns from the same seed must reach byte-identical
+//!    outcomes (fault activity, PMO edges checked, MCE delivery), or the
+//!    embedded `swctl chaos --seed` reproducers would be worthless.
+
+use proptest::prelude::*;
+use strandweaver::experiment::Experiment;
+use strandweaver::{BenchmarkId, HwDesign, LangModel};
+use sw_faults::DeviceFaultSchedule;
+
+fn cells() -> Vec<(HwDesign, LangModel)> {
+    let mut v = Vec::new();
+    for design in HwDesign::ALL {
+        for lang in LangModel::ALL {
+            if lang.legal_on(design) {
+                v.push((design, lang));
+            }
+        }
+    }
+    v
+}
+
+fn small(bench: BenchmarkId, lang: LangModel, design: HwDesign, seed: u64) -> Experiment {
+    Experiment::new(bench, lang, design)
+        .threads(2)
+        .total_regions(12)
+        .seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// An empty fault schedule is observationally absent: every cell's
+    /// full [`sw_sim::SimStats`] — cycles, acceptance order, stall
+    /// breakdowns, event counts — is bit-identical with and without it.
+    #[test]
+    fn empty_fault_schedule_is_bit_identical(seed in 0u64..1_000_000) {
+        for (design, lang) in cells() {
+            let without = small(BenchmarkId::Queue, lang, design, seed).run_timing();
+            let mut with = small(BenchmarkId::Queue, lang, design, seed);
+            with.sim = with.sim.clone().with_device_faults(DeviceFaultSchedule::none());
+            let with = with.run_timing();
+            prop_assert_eq!(
+                &without, &with,
+                "empty schedule changed stats on {} x {}", design, lang
+            );
+        }
+    }
+
+    /// Identical seeds produce identical chaos outcomes on every cell.
+    #[test]
+    fn identical_seeds_give_identical_chaos_outcomes(
+        seed in 0u64..1_000_000,
+        cell in 0usize..19,
+    ) {
+        let all = cells();
+        let (design, lang) = all[cell % all.len()];
+        let run = || {
+            small(BenchmarkId::Queue, lang, design, seed)
+                .run_chaos_campaign(2)
+                .expect("campaign passes")
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.online, b.online);
+        prop_assert_eq!(a.pmo_edges_checked, b.pmo_edges_checked);
+        prop_assert_eq!(a.reconverged_strict, b.reconverged_strict);
+        prop_assert_eq!(a.reconverged_salvage, b.reconverged_salvage);
+        prop_assert_eq!(a.mce_traps, b.mce_traps);
+        prop_assert_eq!(a.mce_strict_aborted, b.mce_strict_aborted);
+        prop_assert_eq!(a.mce_quarantined, b.mce_quarantined);
+    }
+}

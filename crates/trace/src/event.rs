@@ -15,15 +15,23 @@ pub enum StallKind {
     PersistQueueFull,
     /// Waiting for a contended lock.
     Lock,
+    /// The PM controller's write queue itself is full: back-pressure from
+    /// the device, not from the design's persist structure.
+    PmWriteQueueFull,
+    /// A faulted write is in retry backoff at the PM controller (online
+    /// device-fault model); everything behind it waits.
+    RetryWait,
 }
 
 impl StallKind {
     /// All stall kinds, in reporting order.
-    pub const ALL: [StallKind; 4] = [
+    pub const ALL: [StallKind; 6] = [
         StallKind::Fence,
         StallKind::StoreQueueFull,
         StallKind::PersistQueueFull,
         StallKind::Lock,
+        StallKind::PmWriteQueueFull,
+        StallKind::RetryWait,
     ];
 
     /// Short stable label used in exports.
@@ -33,6 +41,8 @@ impl StallKind {
             StallKind::StoreQueueFull => "sq_full",
             StallKind::PersistQueueFull => "pq_full",
             StallKind::Lock => "lock",
+            StallKind::PmWriteQueueFull => "pm_wq_full",
+            StallKind::RetryWait => "retry_wait",
         }
     }
 }
@@ -183,6 +193,31 @@ pub enum TraceEvent {
         /// Damaged slots that caused the salvage.
         dropped: u64,
     },
+    /// An online device fault fired at the PM controller (transient write
+    /// failure, permanent media error, or poisoned read).
+    DeviceFault {
+        /// Cache line the fault hit (`LineAddr` raw value).
+        line: u64,
+        /// Fault class label (`transient`, `permanent`, `read_poison`).
+        class: &'static str,
+    },
+    /// A previously faulted line write was accepted on retry (the
+    /// transient-fault recovery path; the persist was delayed, never
+    /// reordered).
+    PersistRetried {
+        /// Cache line whose write finally succeeded.
+        line: u64,
+        /// Failed attempts before the successful one.
+        attempts: u32,
+    },
+    /// A permanent media error was quarantined: the controller remapped
+    /// the faulty line to a spare and accepted the write there.
+    LineRemapped {
+        /// Faulty (logical) line.
+        from: u64,
+        /// Spare (physical) line now backing it.
+        to: u64,
+    },
     /// End-of-run self-profiling attribution for one simulator tick
     /// phase (emitted by `sw-sim` when a profiler is installed; stamped
     /// with the final cycle).
@@ -218,6 +253,9 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::CorruptionDetected { .. } => "corruption_detected",
             TraceEvent::RegionSalvaged { .. } => "region_salvaged",
+            TraceEvent::DeviceFault { .. } => "device_fault",
+            TraceEvent::PersistRetried { .. } => "persist_retried",
+            TraceEvent::LineRemapped { .. } => "line_remapped",
             TraceEvent::PerfPhase { .. } => "perf_phase",
         }
     }
@@ -318,6 +356,18 @@ impl TimedEvent {
             TraceEvent::RegionSalvaged { thread, dropped } => {
                 push("thread", Json::U64(thread.into()));
                 push("dropped", Json::U64(dropped));
+            }
+            TraceEvent::DeviceFault { line, class } => {
+                push("line", Json::U64(line));
+                push("class", Json::Str(class.to_string()));
+            }
+            TraceEvent::PersistRetried { line, attempts } => {
+                push("line", Json::U64(line));
+                push("attempts", Json::U64(attempts.into()));
+            }
+            TraceEvent::LineRemapped { from, to } => {
+                push("from", Json::U64(from));
+                push("to", Json::U64(to));
             }
             TraceEvent::PerfPhase {
                 phase,

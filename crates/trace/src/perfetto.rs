@@ -304,6 +304,42 @@ pub fn chrome_trace(events: &[TimedEvent]) -> Json {
                     ],
                 ));
             }
+            TraceEvent::DeviceFault { line, class } => {
+                saw_faults = true;
+                out.push(instant(
+                    ts,
+                    TID_FAULTS,
+                    &format!("device:{class}"),
+                    "fault",
+                    vec![("line".to_string(), Json::U64(line))],
+                ));
+            }
+            TraceEvent::PersistRetried { line, attempts } => {
+                saw_pm = true;
+                out.push(instant(
+                    ts,
+                    TID_PM_CONTROLLER,
+                    "persist_retried",
+                    "pm",
+                    vec![
+                        ("line".to_string(), Json::U64(line)),
+                        ("attempts".to_string(), Json::U64(attempts.into())),
+                    ],
+                ));
+            }
+            TraceEvent::LineRemapped { from, to } => {
+                saw_pm = true;
+                out.push(instant(
+                    ts,
+                    TID_PM_CONTROLLER,
+                    "line_remapped",
+                    "pm",
+                    vec![
+                        ("from".to_string(), Json::U64(from)),
+                        ("to".to_string(), Json::U64(to)),
+                    ],
+                ));
+            }
             TraceEvent::PerfPhase {
                 phase,
                 nanos,

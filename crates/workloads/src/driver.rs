@@ -11,8 +11,8 @@ use rand::{Rng, SeedableRng};
 
 use sw_lang::harness;
 use sw_lang::{
-    coordinated_commit, FuncCtx, HwDesign, LangModel, LogStrategy, RegionRecord, RuntimeConfig,
-    ThreadRuntime,
+    coordinated_commit, FuncCtx, HwDesign, LangModel, LogStrategy, MceError, RecoveryPolicy,
+    RegionRecord, RuntimeConfig, ThreadRuntime,
 };
 use sw_pmem::{PmImage, PmLayout};
 
@@ -48,6 +48,14 @@ pub struct DriverParams {
     pub coordination_threshold: u64,
     /// Commit all outstanding entries at the end of the run.
     pub clean_shutdown: bool,
+    /// Arm a poisoned PM line before the operation phase: the first load
+    /// touching it trips an MCE, resolved under `mce_policy` at the next
+    /// region boundary.
+    pub mce_line: Option<u64>,
+    /// How a tripped MCE is resolved: `Strict` aborts the run with the
+    /// structured error; `Salvage` quarantines the faulting thread and
+    /// continues scheduling the rest.
+    pub mce_policy: RecoveryPolicy,
 }
 
 impl DriverParams {
@@ -66,6 +74,8 @@ impl DriverParams {
             record_regions: true,
             coordination_threshold: 512,
             clean_shutdown: false,
+            mce_line: None,
+            mce_policy: RecoveryPolicy::Strict,
         }
     }
 
@@ -111,6 +121,13 @@ impl DriverParams {
         self.strategy = LogStrategy::Redo;
         self
     }
+
+    /// Arms a poisoned PM line, resolved under `policy` when consumed.
+    pub fn mce(mut self, line: u64, policy: RecoveryPolicy) -> Self {
+        self.mce_line = Some(line);
+        self.mce_policy = policy;
+        self
+    }
 }
 
 /// Everything a run produced.
@@ -124,6 +141,13 @@ pub struct DriverOutput {
     pub regions: Vec<RegionRecord>,
     /// The layout used.
     pub layout: PmLayout,
+    /// Machine-check traps delivered during the run, in delivery order.
+    pub mce_events: Vec<MceError>,
+    /// Threads quarantined by the `Salvage` policy (ascending).
+    pub quarantined: Vec<usize>,
+    /// `true` when a `Strict`-policy MCE aborted the run early (the
+    /// remaining regions were not executed).
+    pub aborted: bool,
 }
 
 /// Runs `workload` under `params`.
@@ -156,17 +180,48 @@ pub fn drive(workload: &mut dyn Workload, params: &DriverParams) -> DriverOutput
     // live entry" so the protocol only runs when there is work.
     let threshold = params.coordination_threshold.max(1);
     let coordinates = params.strategy == LogStrategy::Undo && params.lang.batches_commits();
+    if let Some(line) = params.mce_line {
+        ctx.arm_mce([line]);
+    }
+    let mut mce_events = Vec::new();
+    let mut quarantined: Vec<usize> = Vec::new();
+    let mut aborted = false;
     let mut rng = SmallRng::seed_from_u64(params.seed);
     for r in 0..params.total_regions {
         // Round-robin with a random start per round keeps the interleaving
-        // fair without starving any thread.
-        let t = (r + rng.gen_range(0..params.threads)) % params.threads;
+        // fair without starving any thread. Quarantined threads are
+        // skipped; the RNG is always consumed so the schedule of healthy
+        // threads is unchanged by when a quarantine happened.
+        let mut t = (r + rng.gen_range(0..params.threads)) % params.threads;
+        if quarantined.len() >= params.threads {
+            break; // every thread quarantined: nothing left to schedule
+        }
+        while quarantined.contains(&t) {
+            t = (t + 1) % params.threads;
+        }
         workload.run_region(&mut ctx, &mut rts[t], &mut rng, params.ops_per_region);
+        if let Some(err) = ctx.take_mce() {
+            mce_events.push(err);
+            match params.mce_policy {
+                RecoveryPolicy::Strict => {
+                    // Fail-stop: poisoned data was consumed; nothing after
+                    // this point can be trusted.
+                    aborted = true;
+                    break;
+                }
+                RecoveryPolicy::Salvage => {
+                    if !quarantined.contains(&err.thread) {
+                        quarantined.push(err.thread);
+                        quarantined.sort_unstable();
+                    }
+                }
+            }
+        }
         if coordinates && rts.iter().any(|rt| rt.live_log_entries() >= threshold) {
             coordinated_commit(&mut ctx, &mut rts);
         }
     }
-    if params.clean_shutdown {
+    if params.clean_shutdown && !aborted {
         if coordinates {
             coordinated_commit(&mut ctx, &mut rts);
         } else {
@@ -184,6 +239,9 @@ pub fn drive(workload: &mut dyn Workload, params: &DriverParams) -> DriverOutput
         baseline,
         regions,
         layout,
+        mce_events,
+        quarantined,
+        aborted,
     }
 }
 
@@ -259,6 +317,38 @@ mod tests {
                     .unwrap_or_else(|e| panic!("threshold {threshold}: {e}"));
             }
         }
+    }
+
+    /// A poisoned heap line consumed under `Strict` fail-stops the run
+    /// with a structured MCE record; under `Salvage` the faulting thread
+    /// is quarantined and the remaining threads finish the run.
+    #[test]
+    fn mce_policies_abort_or_quarantine() {
+        let layout = PmLayout::new(2, 4096);
+        let poisoned = layout.heap_base().line().raw();
+
+        let mut w = BenchmarkId::Queue.instantiate();
+        let p = DriverParams::new(HwDesign::StrandWeaver, LangModel::Txn)
+            .threads(2)
+            .total_regions(10)
+            .mce(poisoned, RecoveryPolicy::Strict);
+        let out = drive(w.as_mut(), &p);
+        assert!(out.aborted, "strict policy must fail-stop");
+        assert_eq!(out.mce_events.len(), 1);
+        assert_eq!(out.mce_events[0].line, poisoned);
+        assert!(out.regions.len() < 10, "abort skips remaining regions");
+        assert!(out.quarantined.is_empty());
+
+        let mut w = BenchmarkId::Queue.instantiate();
+        let p = DriverParams::new(HwDesign::StrandWeaver, LangModel::Txn)
+            .threads(2)
+            .total_regions(10)
+            .mce(poisoned, RecoveryPolicy::Salvage);
+        let out = drive(w.as_mut(), &p);
+        assert!(!out.aborted, "salvage continues");
+        assert_eq!(out.mce_events.len(), 1);
+        assert_eq!(out.quarantined, vec![out.mce_events[0].thread]);
+        assert_eq!(out.regions.len(), 10, "healthy threads finish the run");
     }
 
     /// The log-free Native model never coordinates (nothing to commit) and

@@ -12,6 +12,9 @@
 
 use std::collections::HashMap;
 
+use strandweaver::faults::{
+    DeviceFault, DeviceFaultClass, DeviceFaultSchedule, FaultTrigger, OnlineFaultStats,
+};
 use strandweaver::model::isa::{FenceKind, IsaOp, IsaTrace};
 use strandweaver::model::litmus::{self, Litmus};
 use strandweaver::model::{enumerate_interleavings, OpKind, Pmo};
@@ -90,21 +93,26 @@ fn extends(pmo: &Pmo, pos: &HashMap<LineAddr, usize>) -> Option<usize> {
     Some(checked)
 }
 
-/// Runs `litmus` on `design` and returns the number of PMO edges the
-/// simulator's order was checked against (for the best-matching witness).
-fn check(litmus: &Litmus, design: HwDesign) -> usize {
+/// Runs `litmus` on `design` — optionally with an online device-fault
+/// schedule installed — and returns the number of PMO edges the
+/// simulator's order was checked against (for the best-matching witness)
+/// plus the fault layer's activity counters.
+fn check_with(
+    litmus: &Litmus,
+    design: HwDesign,
+    faults: Option<DeviceFaultSchedule>,
+) -> (usize, OnlineFaultStats) {
     let threads = litmus.program.num_threads();
     let traces: Vec<IsaTrace> = (0..threads)
         .map(|tid| lower_thread(litmus.program.thread_ops(tid)))
         .collect();
     let layout = PmLayout::new(threads, 64);
-    let stats = Machine::new(
-        SimConfig::table_i().with_cores(threads),
-        design,
-        layout,
-        traces,
-    )
-    .run();
+    let mut cfg = SimConfig::table_i().with_cores(threads);
+    if let Some(schedule) = faults {
+        cfg = cfg.with_device_faults(schedule);
+    }
+    let stats = Machine::new(cfg, design, layout, traces).run();
+    let online = stats.online_faults.unwrap_or_default();
     let pos = once_accepted_positions(litmus, &stats.pm_write_order);
 
     let execs = enumerate_interleavings(&litmus.program, 100_000);
@@ -113,7 +121,7 @@ fn check(litmus: &Litmus, design: HwDesign) -> usize {
         .filter_map(|e| extends(&Pmo::compute(e, design.memory_model()), &pos))
         .max();
     match witness {
-        Some(checked) => checked,
+        Some(checked) => (checked, online),
         None => panic!(
             "{} on {design:?}: simulator order {:?} is not a linear extension \
              of the PMO under any of the {} interleavings",
@@ -124,19 +132,22 @@ fn check(litmus: &Litmus, design: HwDesign) -> usize {
     }
 }
 
-#[test]
-fn every_fig2_scenario_on_every_design() {
-    let scenarios = [
+fn scenarios() -> [Litmus; 5] {
+    [
         litmus::fig2_ab(),
         litmus::fig2_cd(),
         litmus::fig2_ef(),
         litmus::fig2_gh(),
         litmus::fig2_ij(),
-    ];
+    ]
+}
+
+#[test]
+fn every_fig2_scenario_on_every_design() {
     let mut total = 0;
-    for l in &scenarios {
+    for l in &scenarios() {
         for design in HwDesign::ALL {
-            total += check(l, design);
+            total += check_with(l, design, None).0;
         }
     }
     // Guard against vacuity: the matrix as a whole must exercise real
@@ -145,5 +156,61 @@ fn every_fig2_scenario_on_every_design() {
     assert!(
         total >= 10,
         "only {total} PMO edges checked across the matrix"
+    );
+}
+
+/// A deterministic fault schedule for the litmus programs: two early
+/// transient write failures (retried with backoff) and one permanent
+/// media error (remapped to a spare line). Triggers sit on low write
+/// ordinals because litmus programs persist only a handful of lines.
+fn litmus_faults() -> DeviceFaultSchedule {
+    let mut s = DeviceFaultSchedule::none();
+    for w in [1, 3] {
+        s.faults.push(DeviceFault {
+            class: DeviceFaultClass::TransientWriteFail,
+            trigger: FaultTrigger::NthWrite(w),
+            sticky: false,
+        });
+    }
+    s.faults.push(DeviceFault {
+        class: DeviceFaultClass::PermanentMediaError,
+        trigger: FaultTrigger::NthWrite(2),
+        sticky: true,
+    });
+    s
+}
+
+#[test]
+fn every_fig2_scenario_survives_online_faults() {
+    // A retried or remapped persist may land later than its fault-free
+    // twin, but its position in the durable order must still be a linear
+    // extension of the formal PMO on every engine: the fault layer delays,
+    // it never reorders.
+    let mut total = 0;
+    let mut online = OnlineFaultStats::default();
+    for l in &scenarios() {
+        for design in HwDesign::ALL {
+            let (checked, stats) = check_with(l, design, Some(litmus_faults()));
+            total += checked;
+            online.merge(&stats);
+        }
+    }
+    assert!(
+        total >= 10,
+        "only {total} PMO edges checked across the faulted matrix"
+    );
+    // Vacuity guard for the fault layer itself: the schedule must have
+    // fired on the write-path designs (eADR-class cells may stay clean).
+    assert!(
+        online.transient_failures >= 1,
+        "no transient write fault ever fired: {online:?}"
+    );
+    assert!(
+        online.retries_succeeded >= 1,
+        "no faulted write was ever retried to success: {online:?}"
+    );
+    assert!(
+        online.lines_remapped >= 1,
+        "no permanent media error was ever remapped: {online:?}"
     );
 }
