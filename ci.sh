@@ -64,6 +64,50 @@ if ! grep -q '"class":"bitflip","injected":3,"detected":3' <<<"$faults_out"; the
 fi
 echo "fault smoke ok"
 
+echo "== swctl faults --heap (allocator-metadata injection smoke) =="
+# Same classes aimed at the allocator's journal slots: tears must stay
+# benign, corruption/poison must Strict-reject with exact (pool, slot)
+# location and Salvage-quarantine exactly the damaged pool.
+heap_faults_out=$("$SWCTL" faults queue --heap --lang txn --design strandweaver \
+  --threads 2 --regions 16 --ops 2 --rounds 9 --seed 42 --json)
+for probe in '"fully_detected":true' '"class":"bitflip","injected":3,"detected":3' \
+             '"alloc_faults.detected":9'; do
+  if ! grep -q "$probe" <<<"$heap_faults_out"; then
+    echo "ci: heap fault campaign: expected $probe in: $heap_faults_out" >&2
+    exit 1
+  fi
+done
+echo "heap fault smoke ok"
+
+echo "== swctl heap --verify (allocator crash/reclaim smoke) =="
+# Fixed-seed churn -> crash -> recover -> reclaim loop on the log-free
+# native model (eADR), where only the root sweep stands between a crash
+# and a leak: every rooted block must survive live (use-after-free
+# check), every unrooted dynamic block must be reclaimed, and a Strict
+# recovery of each un-injected crash image doubles as the false-positive
+# control. The seed is pinned so the leak count is a known quantity.
+heap_smoke_out=$("$SWCTL" heap hashmap --verify --lang native --design eadr \
+  --threads 2 --regions 40 --ops 2 --rounds 40 --seed 7 --json)
+for probe in '"zero_leaks":true' '"reclaimed_blocks":20' '"rounds":40'; do
+  if ! grep -q "$probe" <<<"$heap_smoke_out"; then
+    echo "ci: allocator smoke: expected $probe in: $heap_smoke_out" >&2
+    exit 1
+  fi
+done
+echo "allocator smoke ok (20 leaked blocks reclaimed, zero remain)"
+
+echo "== figures bit-identical to committed outputs =="
+# The allocator migration must not move a single byte of the paper
+# artifacts at the pinned CI scale; expected/ holds the committed
+# outputs (regenerate with the same env + redirect if a change is ever
+# intended, and say so in the PR).
+figs_env=(SW_BENCH_THREADS=2 SW_BENCH_REGIONS=24 SW_BENCH_OPS_PER_REGION=2)
+for target in fig7 fig8 fig9 fig10 table2 summary; do
+  diff expected/$target.txt <(env "${figs_env[@]}" "$SWCTL" "$target") \
+    || { echo "ci: $target drifted from expected/$target.txt" >&2; exit 1; }
+done
+echo "figures bit-identical"
+
 echo "== swctl chaos (fixed-seed online-fault smoke) =="
 # Deterministic online-fault campaign: every device-fault class must fire
 # (transient write failures, permanent media errors, read poison), at

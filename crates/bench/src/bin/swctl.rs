@@ -5,8 +5,9 @@
 //!              [--threads N] [--regions N] [--ops N] [--sq N] [--pq N]
 //!              [--stats] [--json] [--seed N]
 //! swctl crash  <benchmark> [--rounds N] [--design <d>] [--lang ...] [--redo]
-//! swctl faults <benchmark> [--rounds N] [--json] [crash flags]
+//! swctl faults <benchmark> [--rounds N] [--heap] [--json] [crash flags]
 //! swctl chaos  <benchmark> [--rounds N] [--sweep] [--json] [crash flags]
+//! swctl heap   <benchmark> [--churn] [--verify] [--json] [crash flags]
 //! swctl trace  <benchmark> [--out <file.json>] [--jsonl] [run flags]
 //! swctl litmus | fig1 | fig2 | table1
 //! swctl table2 [--json]
@@ -29,6 +30,18 @@
 //! detect every injection, salvage around it, and reconverge when itself
 //! interrupted. A failure prints a one-line reproducer (seed + flags) and
 //! exits 1. `--seed N` pins the whole campaign for replay.
+//!
+//! `faults --heap` retargets the campaign at the persistent allocator's
+//! journal metadata: Strict must reject corrupt/poisoned pool records
+//! before mutating anything and Salvage must quarantine exactly the
+//! damaged pools.
+//!
+//! `heap` prints end-of-run heap-pool occupancy (arena, carved, live,
+//! free, fragmentation, journal) plus the run's alloc/free counters;
+//! `--churn` uses the allocator-churn workload variant (hashmap,
+//! nstore-*), and `--verify` runs the allocator leak smoke instead:
+//! sampled crash states must recover with every rooted block live and
+//! every unreachable in-flight allocation reclaimed — zero leaks.
 //!
 //! `chaos` runs the *online* device-fault campaign: the memory path takes
 //! randomized transient write failures (retried with backoff), permanent
@@ -90,7 +103,12 @@ fn usage() -> ! {
          \n  crash <benchmark>  crash-consistency campaign (flags as above plus --rounds)\
          \n  faults <benchmark> fault-injection campaign: inject torn/bitflip/poison damage into\
          \n                     sampled crash images and verify detection, salvage, and convergence\
-         \n                     (crash flags plus --json; failures print a seeded reproducer)\
+         \n                     (crash flags plus --json; --heap targets allocator-journal metadata;\
+         \n                     failures print a seeded reproducer)\
+         \n  heap <benchmark>   end-of-run heap-pool occupancy and alloc/free counters (crash flags\
+         \n                     plus --json; --churn enables allocator churn where supported;\
+         \n                     --verify runs the allocator leak smoke: crash, recover, reclaim,\
+         \n                     assert zero leaks)\
          \n  chaos <benchmark>  online device-fault chaos campaign: live transient/permanent/poison\
          \n                     faults with retry, remap, and MCE delivery; checks silent corruption,\
          \n                     PMO order, and crash reconvergence (crash flags plus --json;\
@@ -408,8 +426,22 @@ fn dispatch() {
             let Some(bench) = args.get(1).and_then(|s| parse_bench(s)) else {
                 usage()
             };
-            let f = parse_flags(&args[2..]);
-            match experiment(bench, &f).run_fault_campaign(f.rounds) {
+            // `--heap` retargets the campaign at allocator metadata; strip
+            // it before the shared strict parser.
+            let mut rest: Vec<String> = args[2..].to_vec();
+            let heap = rest
+                .iter()
+                .position(|a| a == "--heap")
+                .map(|i| rest.remove(i))
+                .is_some();
+            let f = parse_flags(&rest);
+            let e = experiment(bench, &f);
+            let result = if heap {
+                e.run_heap_fault_campaign(f.rounds)
+            } else {
+                e.run_fault_campaign(f.rounds)
+            };
+            match result {
                 Ok(report) => {
                     if f.json {
                         println!("{}", report.to_json().render());
@@ -420,6 +452,53 @@ fn dispatch() {
                 Err(e) => {
                     println!("{bench}: FAULT CAMPAIGN FAILED — {e}");
                     std::process::exit(1);
+                }
+            }
+        }
+        "heap" => {
+            let Some(bench) = args.get(1).and_then(|s| parse_bench(s)) else {
+                usage()
+            };
+            // `heap`-only switches, stripped before the strict parser.
+            let mut rest: Vec<String> = args[2..].to_vec();
+            let churn = rest
+                .iter()
+                .position(|a| a == "--churn")
+                .map(|i| rest.remove(i))
+                .is_some();
+            let verify = rest
+                .iter()
+                .position(|a| a == "--verify")
+                .map(|i| rest.remove(i))
+                .is_some();
+            let f = parse_flags(&rest);
+            if verify {
+                match experiment(bench, &f).run_heap_smoke(f.rounds) {
+                    Ok(report) => {
+                        if f.json {
+                            println!("{}", report.to_json().render());
+                        } else {
+                            print!("{bench}: allocator smoke passed\n{}", report.render());
+                        }
+                    }
+                    Err(e) => {
+                        println!("{bench}: ALLOCATOR SMOKE FAILED — {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                match experiment(bench, &f).run_heap_report(churn) {
+                    Ok(report) => {
+                        if f.json {
+                            println!("{}", report.to_json().render());
+                        } else {
+                            print!("{bench}: heap occupancy\n{}", report.render());
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
                 }
             }
         }

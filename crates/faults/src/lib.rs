@@ -67,7 +67,10 @@ use rand::{Rng, SeedableRng};
 
 use sw_lang::log::{W_CHECKSUM, W_TYPE};
 use sw_lang::{classify_slot, SlotState};
-use sw_pmem::{Addr, PmImage, PmLayout, CACHE_LINE_BYTES};
+use sw_pmem::{
+    classify_heap_slot, Addr, HeapSlotState, PmImage, PmLayout, CACHE_LINE_BYTES,
+    HEAP_JOURNAL_SLOTS, HW_CHECKSUM,
+};
 use sw_trace::{TraceEvent, TraceSink};
 
 /// A class of injectable damage.
@@ -96,6 +99,16 @@ impl FaultClass {
             FaultClass::TornLine => "torn",
             FaultClass::BitFlip => "bitflip",
             FaultClass::PoisonLine => "poison",
+        }
+    }
+
+    /// Label used when the class targets allocator metadata instead of
+    /// a workload log.
+    pub fn heap_label(self) -> &'static str {
+        match self {
+            FaultClass::TornLine => "heap-torn",
+            FaultClass::BitFlip => "heap-bitflip",
+            FaultClass::PoisonLine => "heap-poison",
         }
     }
 }
@@ -268,6 +281,168 @@ impl FaultInjector {
     }
 }
 
+/// One allocator-metadata fault the injector placed, with its verified
+/// post-injection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedHeapFault {
+    /// The injected class.
+    pub class: FaultClass,
+    /// Heap pool whose journal was damaged.
+    pub pool: usize,
+    /// Journal slot index within the pool.
+    pub slot: u64,
+    /// Damaged cache line (`LineAddr` raw value).
+    pub line: u64,
+    /// How the slot classifies after injection — always a damaged state.
+    pub resulting: HeapSlotState,
+}
+
+impl InjectedHeapFault {
+    /// `true` when the resulting state fails `Strict`-policy recovery
+    /// (corrupt or poisoned; a tear is reclaimed as in-flight work).
+    pub fn is_fatal(&self) -> bool {
+        matches!(
+            self.resulting,
+            HeapSlotState::Corrupt | HeapSlotState::Poisoned
+        )
+    }
+}
+
+impl FaultInjector {
+    /// Injects the plan's faults into the allocator-journal metadata of
+    /// `img` — one fault per class, each into a distinct *published*
+    /// (checksum-valid) journal slot, possibly across pools. Injection
+    /// is self-verifying exactly like the log path: the slot must
+    /// re-classify as damaged or the perturbation is re-rolled.
+    pub fn inject_heap(&mut self, img: &mut PmImage, layout: &PmLayout) -> Vec<InjectedHeapFault> {
+        self.inject_heap_impl(img, layout, None)
+    }
+
+    /// As [`FaultInjector::inject_heap`], emitting one `FaultInjected`
+    /// trace event per placed fault (`thread` is `u32::MAX`: allocator
+    /// metadata is pool-owned, not thread-owned; the class label carries
+    /// a `heap-` prefix).
+    pub fn inject_heap_traced(
+        &mut self,
+        img: &mut PmImage,
+        layout: &PmLayout,
+        sink: &mut dyn TraceSink,
+    ) -> Vec<InjectedHeapFault> {
+        self.inject_heap_impl(img, layout, Some(sink))
+    }
+
+    fn inject_heap_impl(
+        &mut self,
+        img: &mut PmImage,
+        layout: &PmLayout,
+        mut sink: Option<&mut dyn TraceSink>,
+    ) -> Vec<InjectedHeapFault> {
+        let mut candidates = valid_heap_slots(img, layout);
+        let mut injected = Vec::new();
+        for (i, &class) in self.plan.classes.clone().iter().enumerate() {
+            if candidates.is_empty() {
+                break;
+            }
+            let pick = self.rng.gen_range(0..candidates.len());
+            let (pool, slot, base) = candidates.swap_remove(pick);
+            let resulting = self.damage_heap_slot(img, base, class);
+            debug_assert!(
+                heap_state_damaged(&resulting),
+                "heap injection must be detectable"
+            );
+            let fault = InjectedHeapFault {
+                class,
+                pool,
+                slot,
+                line: base.line().raw(),
+                resulting,
+            };
+            if let Some(s) = sink.as_deref_mut() {
+                s.record(
+                    i as u64,
+                    TraceEvent::FaultInjected {
+                        thread: u32::MAX,
+                        line: fault.line,
+                        class: class.heap_label(),
+                    },
+                );
+            }
+            injected.push(fault);
+        }
+        injected
+    }
+
+    /// Perturbs the journal slot at `base` and returns its verified new
+    /// state.
+    fn damage_heap_slot(
+        &mut self,
+        img: &mut PmImage,
+        base: Addr,
+        class: FaultClass,
+    ) -> HeapSlotState {
+        match class {
+            FaultClass::PoisonLine => img.poison_line(base.line()),
+            FaultClass::TornLine => {
+                // Zero the checksum (a valid record's checksum is never
+                // zero) plus a random subset of the payload words after
+                // KIND; keeping KIND non-zero rules out the all-zero
+                // `Free` classification, so the result is always `Torn`.
+                img.store(base.offset_words(HW_CHECKSUM), 0);
+                for w in 1..HW_CHECKSUM {
+                    if self.rng.gen_bool(0.25) {
+                        img.store(base.offset_words(w), 0);
+                    }
+                }
+            }
+            FaultClass::BitFlip => {
+                // Re-roll flips that land benign (e.g. one that zeroes a
+                // word turns the record into a tear-shaped — still
+                // detectable — state, but a flip restricted to the unused
+                // eighth word would not); fall back to a checksum flip
+                // that keeps every word non-zero, i.e. `Corrupt`.
+                for _ in 0..64 {
+                    let w = self.rng.gen_range(0..=HW_CHECKSUM);
+                    let bit = self.rng.gen_range(0..64u32);
+                    let addr = base.offset_words(w);
+                    let old = img.load(addr);
+                    img.store(addr, old ^ (1u64 << bit));
+                    let got = classify_heap_slot(img, base);
+                    if heap_state_damaged(&got) {
+                        return got;
+                    }
+                    img.store(addr, old);
+                }
+                let addr = base.offset_words(HW_CHECKSUM);
+                img.store(addr, img.load(addr) ^ (1u64 << 63));
+            }
+        }
+        classify_heap_slot(img, base)
+    }
+}
+
+/// `true` for heap-slot states recovery must notice.
+fn heap_state_damaged(s: &HeapSlotState) -> bool {
+    matches!(
+        s,
+        HeapSlotState::Torn | HeapSlotState::Corrupt | HeapSlotState::Poisoned
+    )
+}
+
+/// Enumerates the published (checksum-valid) allocator-journal slots of
+/// every heap pool.
+fn valid_heap_slots(img: &PmImage, layout: &PmLayout) -> Vec<(usize, u64, Addr)> {
+    let mut out = Vec::new();
+    for pool in 0..layout.heap_pools() {
+        for slot in 0..HEAP_JOURNAL_SLOTS {
+            let base = layout.heap_journal_slot(pool, slot);
+            if matches!(classify_heap_slot(img, base), HeapSlotState::Valid(_)) {
+                out.push((pool, slot, base));
+            }
+        }
+    }
+    out
+}
+
 /// Enumerates the published (checksum-valid) log slots of every thread.
 fn valid_slots(img: &PmImage, layout: &PmLayout) -> Vec<(usize, u64, Addr)> {
     let mut out = Vec::new();
@@ -389,6 +564,128 @@ mod tests {
         slots.sort_unstable();
         slots.dedup();
         assert_eq!(slots.len(), faults.len());
+    }
+
+    /// Allocator-journal records in every pool: three setup carves per
+    /// pool, persisted.
+    fn heap_image() -> (PmImage, PmLayout) {
+        let layout = PmLayout::new(1, 64);
+        let mut ctx = FuncCtx::new(layout.clone(), 1);
+        for pool in 0..layout.heap_pools() {
+            let mut heap = ctx.heap_pool(pool);
+            heap.alloc_lines(4);
+            heap.alloc_lines(2);
+            heap.alloc_lines(1);
+        }
+        ctx.mem_mut().persist_all();
+        (ctx.mem().persisted_image().clone(), layout)
+    }
+
+    #[test]
+    fn heap_injection_is_deterministic_per_seed() {
+        let (img, layout) = heap_image();
+        let run = |seed| {
+            let mut img = img.clone();
+            FaultInjector::new(FaultPlan::all(), seed).inject_heap(&mut img, &layout)
+        };
+        assert_eq!(run(9), run(9));
+        assert_eq!(run(9).len(), 3);
+    }
+
+    #[test]
+    fn heap_torn_is_benign_and_counted() {
+        let (mut img, layout) = heap_image();
+        let faults = FaultInjector::new(FaultPlan::single(FaultClass::TornLine), 3)
+            .inject_heap(&mut img, &layout);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].resulting, HeapSlotState::Torn);
+        assert!(!faults[0].is_fatal());
+        let out = recover_with_policy(&mut img.clone(), &layout, RecoveryPolicy::Salvage)
+            .expect("salvage never errors");
+        assert!(out.report.detected.torn >= 1);
+        // A tear is in-flight work, not damage: no pool quarantined.
+        assert!(out.salvaged_pools.is_empty());
+        // Strict tolerates tears too.
+        recover_with_policy(&mut img, &layout, RecoveryPolicy::Strict)
+            .expect("tears do not fail strict");
+    }
+
+    #[test]
+    fn fatal_heap_faults_quarantine_exactly_one_pool() {
+        for (i, class) in [FaultClass::BitFlip, FaultClass::PoisonLine]
+            .into_iter()
+            .enumerate()
+        {
+            let (mut img, layout) = heap_image();
+            let faults = FaultInjector::new(FaultPlan::single(class), 40 + i as u64)
+                .inject_heap(&mut img, &layout);
+            assert_eq!(faults.len(), 1, "{class:?} must find a target");
+            let f = faults[0];
+            assert!(f.is_fatal(), "{class:?} must be fatal");
+            // Strict fails fast on corrupt/poisoned allocator metadata.
+            recover_with_policy(&mut img.clone(), &layout, RecoveryPolicy::Strict)
+                .expect_err("strict must refuse fatal heap damage");
+            // Salvage quarantines only the affected pool.
+            let out = recover_with_policy(&mut img, &layout, RecoveryPolicy::Salvage)
+                .expect("salvage never errors");
+            assert_eq!(out.salvaged_pools, vec![f.pool], "{class:?}");
+            assert!(out.report.detected.total() >= 1);
+        }
+    }
+
+    #[test]
+    fn heap_bitflips_over_many_seeds_always_detectable() {
+        for seed in 0..50 {
+            let (mut img, layout) = heap_image();
+            let faults = FaultInjector::new(FaultPlan::single(FaultClass::BitFlip), seed)
+                .inject_heap(&mut img, &layout);
+            assert_eq!(faults.len(), 1);
+            assert!(
+                matches!(
+                    faults[0].resulting,
+                    HeapSlotState::Torn | HeapSlotState::Corrupt | HeapSlotState::Poisoned
+                ),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn heap_injection_reports_exact_fault_location() {
+        let (mut img, layout) = heap_image();
+        let faults = FaultInjector::new(FaultPlan::single(FaultClass::BitFlip), 17)
+            .inject_heap(&mut img, &layout);
+        let f = faults[0];
+        // The reported (pool, slot) really is the damaged slot.
+        assert_eq!(
+            layout.heap_journal_slot(f.pool, f.slot).line().raw(),
+            f.line
+        );
+        let got = sw_pmem::classify_heap_slot(&img, layout.heap_journal_slot(f.pool, f.slot));
+        assert_eq!(got, f.resulting);
+    }
+
+    #[test]
+    fn traced_heap_injection_uses_heap_labels() {
+        use sw_trace::RingRecorder;
+        let (mut img, layout) = heap_image();
+        let rec = RingRecorder::new(16);
+        let mut sink = rec.clone();
+        let faults = FaultInjector::new(FaultPlan::all(), 2)
+            .inject_heap_traced(&mut img, &layout, &mut sink);
+        assert_eq!(faults.len(), 3);
+        let events = rec.events();
+        let labels: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::FaultInjected { class, thread, .. } => {
+                    assert_eq!(thread, u32::MAX);
+                    Some(class)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels, vec!["heap-torn", "heap-bitflip", "heap-poison"]);
     }
 
     #[test]

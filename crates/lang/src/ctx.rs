@@ -7,6 +7,7 @@ use sw_model::{Execution, OpKind, OpRef, Program, ThreadId};
 use sw_pmem::{Addr, Memory, PmLayout};
 use sw_trace::{CounterId, GaugeId, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceSink};
 
+use crate::heap::HeapState;
 use crate::mce::{MceError, MceUnit};
 
 /// Per-context instruction counters.
@@ -56,6 +57,10 @@ pub struct FuncCtx {
     ///
     /// [`mce`]: crate::mce
     mce: Option<Box<MceUnit>>,
+    /// Volatile state of the persistent buddy allocator (see [`heap`]).
+    ///
+    /// [`heap`]: crate::heap
+    heap: HeapState,
 }
 
 /// Metric IDs registered by [`FuncCtx::enable_metrics`].
@@ -70,13 +75,26 @@ struct CtxMetrics {
     faults_injected: CounterId,
     faults_detected: CounterId,
     faults_salvaged: CounterId,
+    alloc_carves: CounterId,
+    alloc_allocs: CounterId,
+    alloc_frees: CounterId,
+    alloc_checkpoints: CounterId,
 }
 
 impl FuncCtx {
     /// Creates a context for `threads` logical threads over a fresh memory.
+    ///
+    /// The heap pools are formatted here (magic word in each pool
+    /// header) through raw memory stores: the headers persist with the
+    /// caller's baseline image without appearing in any trace.
     pub fn new(layout: PmLayout, threads: usize) -> Self {
+        let heap = HeapState::new(&layout);
+        let mut mem = Memory::new(layout.clone());
+        for p in 0..layout.heap_pools() {
+            mem.store(layout.pool_meta_base(p), sw_pmem::HEAP_MAGIC);
+        }
         Self {
-            mem: Memory::new(layout),
+            mem,
             program: Program::new(threads),
             order: Vec::new(),
             traces: vec![Vec::new(); threads],
@@ -86,7 +104,19 @@ impl FuncCtx {
             trace: None,
             metrics: None,
             mce: None,
+            heap,
         }
+    }
+
+    /// The persistent allocator's volatile state.
+    pub fn heap_state(&self) -> &HeapState {
+        &self.heap
+    }
+
+    /// Mutable allocator state (used by [`heap`](crate::heap) and
+    /// recovery, which swaps in the rebuilt state).
+    pub fn heap_state_mut(&mut self) -> &mut HeapState {
+        &mut self.heap
     }
 
     /// Arms machine-check delivery for `lines` (raw `LineAddr` values):
@@ -122,6 +152,10 @@ impl FuncCtx {
         let faults_injected = reg.counter("faults.injected");
         let faults_detected = reg.counter("faults.detected");
         let faults_salvaged = reg.counter("faults.salvaged");
+        let alloc_carves = reg.counter("alloc.carves");
+        let alloc_allocs = reg.counter("alloc.allocs");
+        let alloc_frees = reg.counter("alloc.frees");
+        let alloc_checkpoints = reg.counter("alloc.checkpoints");
         let log_live = (0..self.traces.len())
             .map(|t| reg.gauge(&format!("thread{t}.log_live")))
             .collect();
@@ -133,6 +167,10 @@ impl FuncCtx {
             faults_injected,
             faults_detected,
             faults_salvaged,
+            alloc_carves,
+            alloc_allocs,
+            alloc_frees,
+            alloc_checkpoints,
         });
     }
 
@@ -154,6 +192,10 @@ impl FuncCtx {
                 TraceEvent::FaultInjected { .. } => m.reg.inc(m.faults_injected),
                 TraceEvent::CorruptionDetected { .. } => m.reg.inc(m.faults_detected),
                 TraceEvent::RegionSalvaged { .. } => m.reg.inc(m.faults_salvaged),
+                TraceEvent::HeapAlloc { carve: true, .. } => m.reg.inc(m.alloc_carves),
+                TraceEvent::HeapAlloc { carve: false, .. } => m.reg.inc(m.alloc_allocs),
+                TraceEvent::HeapFree { .. } => m.reg.inc(m.alloc_frees),
+                TraceEvent::HeapCheckpoint { .. } => m.reg.inc(m.alloc_checkpoints),
                 _ => {}
             }
         }

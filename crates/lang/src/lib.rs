@@ -51,6 +51,7 @@
 mod ctx;
 pub mod formats;
 pub mod harness;
+pub mod heap;
 pub mod log;
 pub mod mce;
 pub mod policies;
@@ -59,11 +60,13 @@ pub(crate) mod runtime;
 
 pub use ctx::{CtxStats, FuncCtx};
 pub use formats::{LogFormat, LogStrategy, RecoveryAction};
+pub use heap::{HeapHandle, HeapState, JOURNAL_HIGH_WATER};
 pub use log::{classify_slot, scan_log_detailed, DetailedScan, SlotState};
 pub use mce::MceError;
 pub use policies::{CommitPolicy, Consistency, LangModel};
 pub use recovery::{
-    FaultCounts, PolicyOutcome, RecoveryError, RecoveryFault, RecoveryPolicy, RecoveryReport,
+    FaultCounts, HeapSummary, PolicyOutcome, RecoveryError, RecoveryFault, RecoveryPolicy,
+    RecoveryReport,
 };
 pub use runtime::{
     coordinated_commit, RegionRecord, RuntimeConfig, ThreadRuntime, COMMIT_TOKEN_LOCK,

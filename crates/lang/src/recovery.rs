@@ -45,7 +45,7 @@
 //!
 //! [`LogFormat`]: crate::LogFormat
 
-use sw_pmem::{Addr, PmImage, PmLayout};
+use sw_pmem::{recover_heap, Addr, HeapFault, HeapRecovery, PmImage, PmLayout};
 use sw_trace::{TraceEvent, TraceSink};
 
 use crate::formats::{self, RecoveryAction};
@@ -77,6 +77,19 @@ impl FaultCounts {
     }
 }
 
+/// Summary of the allocator-metadata recovery that runs before the
+/// workload-log pass (the allocator journal must be trustworthy before
+/// log replay touches heap data).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapSummary {
+    /// Live blocks across all healthy pools after journal replay.
+    pub live_blocks: u64,
+    /// Torn in-flight journal records reclaimed by the scan.
+    pub reclaimed_records: u64,
+    /// Pools whose metadata carried fatal damage.
+    pub damaged_pools: usize,
+}
+
 /// Statistics about one recovery pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -93,6 +106,8 @@ pub struct RecoveryReport {
     pub sync_entries: usize,
     /// Damaged log slots discovered by the scan, by class.
     pub detected: FaultCounts,
+    /// Allocator-metadata recovery summary.
+    pub heap: HeapSummary,
 }
 
 impl RecoveryReport {
@@ -146,13 +161,52 @@ pub enum RecoveryFault {
         /// Cache-line index (`LineAddr` raw value).
         line: u64,
     },
+    /// A torn allocator-journal record (benign: the in-flight alloc or
+    /// free is reclaimed).
+    HeapTorn {
+        /// Heap pool.
+        pool: usize,
+        /// Journal slot within the pool.
+        slot: u64,
+    },
+    /// Corrupt allocator metadata: a journal record failing its checksum
+    /// with no zero word, or a journal that replays inconsistently.
+    HeapCorrupt {
+        /// Heap pool.
+        pool: usize,
+        /// Journal slot within the pool.
+        slot: u64,
+    },
+    /// The pool's newest published checkpoint table fails its checksums.
+    HeapCorruptTable {
+        /// Heap pool.
+        pool: usize,
+        /// First damaged table entry, or `u64::MAX` when the table
+        /// header itself is inconsistent.
+        entry: u64,
+    },
+    /// A poisoned line inside a pool's allocator metadata.
+    HeapPoisoned {
+        /// Heap pool.
+        pool: usize,
+        /// Cache-line index (`LineAddr` raw value).
+        line: u64,
+    },
+    /// A pool header holding neither zero nor the heap magic.
+    HeapBadHeader {
+        /// Heap pool.
+        pool: usize,
+    },
 }
 
 impl RecoveryFault {
     /// `true` for damage that fails the `Strict` policy (anything a
     /// natural crash state cannot contain).
     pub fn is_fatal(self) -> bool {
-        !matches!(self, RecoveryFault::TornEntry { .. })
+        !matches!(
+            self,
+            RecoveryFault::TornEntry { .. } | RecoveryFault::HeapTorn { .. }
+        )
     }
 
     /// Owning thread, when the fault lies inside one thread's log region.
@@ -161,7 +215,36 @@ impl RecoveryFault {
             RecoveryFault::TornEntry { tid, .. }
             | RecoveryFault::ChecksumMismatch { tid, .. }
             | RecoveryFault::PoisonedLine { tid, .. } => Some(tid),
-            RecoveryFault::PoisonedMeta { .. } => None,
+            _ => None,
+        }
+    }
+
+    /// Owning heap pool, for allocator-metadata faults.
+    pub fn pool(self) -> Option<usize> {
+        match self {
+            RecoveryFault::HeapTorn { pool, .. }
+            | RecoveryFault::HeapCorrupt { pool, .. }
+            | RecoveryFault::HeapCorruptTable { pool, .. }
+            | RecoveryFault::HeapPoisoned { pool, .. }
+            | RecoveryFault::HeapBadHeader { pool } => Some(pool),
+            _ => None,
+        }
+    }
+}
+
+impl From<HeapFault> for RecoveryFault {
+    fn from(f: HeapFault) -> Self {
+        match f {
+            HeapFault::TornRecord { pool, slot } => RecoveryFault::HeapTorn { pool, slot },
+            HeapFault::CorruptRecord { pool, slot }
+            | HeapFault::InconsistentJournal { pool, slot } => {
+                RecoveryFault::HeapCorrupt { pool, slot }
+            }
+            HeapFault::CorruptTable { pool, entry } => {
+                RecoveryFault::HeapCorruptTable { pool, entry }
+            }
+            HeapFault::Poisoned { pool, line } => RecoveryFault::HeapPoisoned { pool, line },
+            HeapFault::BadHeader { pool } => RecoveryFault::HeapBadHeader { pool },
         }
     }
 }
@@ -180,6 +263,24 @@ impl std::fmt::Display for RecoveryFault {
             }
             RecoveryFault::PoisonedMeta { line } => {
                 write!(f, "poisoned commit-metadata line {line}")
+            }
+            RecoveryFault::HeapTorn { pool, slot } => {
+                write!(
+                    f,
+                    "torn allocator-journal record (pool {pool}, slot {slot})"
+                )
+            }
+            RecoveryFault::HeapCorrupt { pool, slot } => {
+                write!(f, "corrupt allocator metadata (pool {pool}, slot {slot})")
+            }
+            RecoveryFault::HeapCorruptTable { pool, entry } => {
+                write!(f, "corrupt checkpoint table (pool {pool}, entry {entry})")
+            }
+            RecoveryFault::HeapPoisoned { pool, line } => {
+                write!(f, "poisoned allocator-metadata line {line} (pool {pool})")
+            }
+            RecoveryFault::HeapBadHeader { pool } => {
+                write!(f, "unrecognizable heap-pool header (pool {pool})")
             }
         }
     }
@@ -217,6 +318,9 @@ pub struct PolicyOutcome {
     /// Threads whose log regions held damage (always empty under
     /// `Strict`, which errors instead). Sorted ascending.
     pub salvaged_threads: Vec<usize>,
+    /// Heap pools whose allocator metadata held fatal damage and were
+    /// quarantined (always empty under `Strict`). Sorted ascending.
+    pub salvaged_pools: Vec<usize>,
     /// Recovery's data-region writes in application order (replay then
     /// rollback). Re-applying any prefix-closed subset and re-running
     /// recovery converges to the same image (see module docs).
@@ -362,7 +466,7 @@ fn apply_writes(
     writes
 }
 
-fn report_of(state: ScanState) -> RecoveryReport {
+fn report_of(state: ScanState, heap: HeapSummary) -> RecoveryReport {
     RecoveryReport {
         per_thread_cut: state.cuts,
         discarded_committed: state.discarded,
@@ -370,6 +474,35 @@ fn report_of(state: ScanState) -> RecoveryReport {
         replayed_redo: state.replayable.len(),
         sync_entries: state.sync_entries,
         detected: state.detected,
+        heap,
+    }
+}
+
+/// Scans and rebuilds the allocator metadata of every pool (read-only;
+/// runs before the workload-log pass). Returns the raw recovery, the
+/// faults lifted into the recovery taxonomy, and the report summary.
+fn scan_heap(img: &PmImage, layout: &PmLayout) -> (HeapRecovery, Vec<RecoveryFault>, HeapSummary) {
+    let rec = recover_heap(img, layout);
+    let faults: Vec<RecoveryFault> = rec.faults.iter().map(|&f| f.into()).collect();
+    let summary = HeapSummary {
+        live_blocks: rec.live_blocks(),
+        reclaimed_records: rec.reclaimed_records(),
+        damaged_pools: rec.damaged_pools().len(),
+    };
+    (rec, faults, summary)
+}
+
+/// Folds heap faults into the damage taxonomy counts.
+fn count_heap_faults(detected: &mut FaultCounts, faults: &[RecoveryFault]) {
+    for f in faults {
+        match f {
+            RecoveryFault::HeapTorn { .. } => detected.torn += 1,
+            RecoveryFault::HeapCorrupt { .. }
+            | RecoveryFault::HeapCorruptTable { .. }
+            | RecoveryFault::HeapBadHeader { .. } => detected.checksum_mismatch += 1,
+            RecoveryFault::HeapPoisoned { .. } => detected.poisoned += 1,
+            _ => {}
+        }
     }
 }
 
@@ -388,6 +521,11 @@ fn recover_inner(
         scanned: 0,
         detected: FaultCounts::default(),
     };
+
+    // Allocator metadata is scanned before the workload logs (read-only;
+    // the legacy pass reads through damage and reports best-effort).
+    let (_, heap_faults, heap_summary) = scan_heap(img, layout);
+    count_heap_faults(&mut state.detected, &heap_faults);
 
     // The coordinated-commit protocol publishes a machine-wide cut in a
     // dedicated PM word; it covers every thread.
@@ -418,7 +556,7 @@ fn recover_inner(
     );
 
     apply_writes(img, &mut state, &mut sink, &mut t);
-    report_of(state)
+    report_of(state, heap_summary)
 }
 
 fn recover_policy_inner(
@@ -439,6 +577,40 @@ fn recover_policy_inner(
     };
     let mut faults: Vec<RecoveryFault> = Vec::new();
     let mut salvaged: Vec<usize> = Vec::new();
+
+    // The allocator metadata is scanned first: workload-log replay writes
+    // into heap data, so the heap's own books must be judged before
+    // anything mutates. The scan is read-only and per-pool independent.
+    note(
+        &mut sink,
+        &mut t,
+        TraceEvent::RecoveryBegin { phase: "heap" },
+    );
+    let (heap_rec, heap_faults, heap_summary) = scan_heap(img, layout);
+    let mut salvaged_pools = heap_rec.damaged_pools();
+    count_heap_faults(&mut state.detected, &heap_faults);
+    faults.extend(heap_faults.iter().copied());
+    note(
+        &mut sink,
+        &mut t,
+        TraceEvent::RecoveryEnd {
+            phase: "heap",
+            items: heap_summary.live_blocks,
+        },
+    );
+    for (pool, rebuilt) in heap_rec.pools.iter().enumerate() {
+        if let Some(p) = rebuilt {
+            note(
+                &mut sink,
+                &mut t,
+                TraceEvent::HeapRecovered {
+                    pool: pool as u32,
+                    live: p.live_count(),
+                    reclaimed: heap_rec.scans[pool].torn_slots(),
+                },
+            );
+        }
+    }
 
     // The fault-aware pass refuses to trust a poisoned metadata line: the
     // global cut reads as 0 and the damage is reported. (The legacy pass
@@ -513,6 +685,7 @@ fn recover_policy_inner(
     );
 
     // Surface every damage site as a trace event, whatever the policy.
+    // Heap faults carry no owning thread; they report the metadata line.
     for f in &faults {
         let (thread, line, kind) = match *f {
             RecoveryFault::TornEntry { tid, slot } => {
@@ -525,6 +698,23 @@ fn recover_policy_inner(
             }
             RecoveryFault::PoisonedLine { tid, line } => (tid as u32, line, "poison"),
             RecoveryFault::PoisonedMeta { line } => (u32::MAX, line, "poison"),
+            RecoveryFault::HeapTorn { pool, slot } => (
+                u32::MAX,
+                layout.heap_journal_slot(pool, slot).line().raw(),
+                "torn",
+            ),
+            RecoveryFault::HeapCorrupt { pool, slot } => (
+                u32::MAX,
+                layout.heap_journal_slot(pool, slot).line().raw(),
+                "checksum",
+            ),
+            RecoveryFault::HeapCorruptTable { pool, .. }
+            | RecoveryFault::HeapBadHeader { pool } => (
+                u32::MAX,
+                layout.pool_meta_base(pool).line().raw(),
+                "checksum",
+            ),
+            RecoveryFault::HeapPoisoned { line, .. } => (u32::MAX, line, "poison"),
         };
         note(
             &mut sink,
@@ -543,8 +733,20 @@ fn recover_policy_inner(
                 });
             }
             salvaged.clear();
+            salvaged_pools.clear();
         }
         RecoveryPolicy::Salvage => {
+            for &pool in &salvaged_pools {
+                let n = faults.iter().filter(|f| f.pool() == Some(pool)).count() as u64;
+                note(
+                    &mut sink,
+                    &mut t,
+                    TraceEvent::PoolSalvaged {
+                        pool: pool as u32,
+                        faults: n,
+                    },
+                );
+            }
             for &tid in &salvaged {
                 let dropped = {
                     let (scan, _, header_poisoned) = &scans[tid];
@@ -565,9 +767,10 @@ fn recover_policy_inner(
 
     let writes = apply_writes(img, &mut state, &mut sink, &mut t);
     Ok(PolicyOutcome {
-        report: report_of(state),
+        report: report_of(state, heap_summary),
         faults,
         salvaged_threads: salvaged,
+        salvaged_pools,
         writes,
     })
 }

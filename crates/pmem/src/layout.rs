@@ -162,6 +162,97 @@ impl PmLayout {
         self.heap_region().base
     }
 
+    /// Number of independently-recoverable heap pools.
+    pub fn heap_pools(&self) -> usize {
+        crate::alloc::HEAP_POOLS
+    }
+
+    /// Lines per pool (arena + metadata + slack).
+    fn pool_lines(&self) -> u64 {
+        self.heap_bytes / crate::alloc::HEAP_POOLS as u64 / CACHE_LINE_BYTES
+    }
+
+    /// The full region of pool `pool`.
+    ///
+    /// Pool 0's data area starts at [`PmLayout::heap_base`], so
+    /// frontier carves from pool 0 hand out the exact addresses the
+    /// old whole-heap bump allocator did.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool >= self.heap_pools()`.
+    pub fn pool_region(&self, pool: usize) -> Region {
+        assert!(pool < self.heap_pools(), "pool {pool} out of range");
+        let bytes = self.pool_lines() * CACHE_LINE_BYTES;
+        Region {
+            base: Addr(self.heap_base().raw() + pool as u64 * bytes),
+            bytes,
+            kind: RegionKind::Heap,
+        }
+    }
+
+    /// First byte of pool `pool`'s data arena.
+    pub fn pool_arena_base(&self, pool: usize) -> Addr {
+        self.pool_region(pool).base
+    }
+
+    /// Size of pool `pool`'s data arena, in lines — the largest power
+    /// of two that leaves room for the pool's metadata block.
+    pub fn pool_arena_lines(&self, pool: usize) -> u64 {
+        let _ = self.pool_region(pool); // range check
+        let data = self.pool_lines() - crate::alloc::HEAP_META_LINES;
+        assert!(data > 0, "pool too small for allocator metadata");
+        if data.is_power_of_two() {
+            data
+        } else {
+            data.next_power_of_two() / 2
+        }
+    }
+
+    /// The pool's metadata header line (directly after the arena).
+    pub fn pool_meta_base(&self, pool: usize) -> Addr {
+        Addr(self.pool_arena_base(pool).raw() + self.pool_arena_lines(pool) * CACHE_LINE_BYTES)
+    }
+
+    /// The line address of journal slot `slot` of pool `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn heap_journal_slot(&self, pool: usize, slot: u64) -> Addr {
+        assert!(slot < crate::alloc::HEAP_JOURNAL_SLOTS, "slot out of range");
+        Addr(self.pool_meta_base(pool).raw() + (1 + slot) * CACHE_LINE_BYTES)
+    }
+
+    /// Base of checkpoint table `which` (0 or 1) of pool `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `which > 1`.
+    pub fn heap_table_base(&self, pool: usize, which: usize) -> Addr {
+        assert!(which < 2, "two checkpoint tables per pool");
+        let journal_end = 1 + crate::alloc::HEAP_JOURNAL_SLOTS;
+        Addr(
+            self.pool_meta_base(pool).raw()
+                + (journal_end + which as u64 * crate::alloc::HEAP_TABLE_LINES) * CACHE_LINE_BYTES,
+        )
+    }
+
+    /// The pool whose data arena contains `addr`, if any. Metadata
+    /// lines belong to no pool's arena.
+    pub fn pool_of(&self, addr: Addr) -> Option<usize> {
+        (0..self.heap_pools()).find(|&p| {
+            let base = self.pool_arena_base(p).raw();
+            addr.raw() >= base && addr.raw() < base + self.pool_arena_lines(p) * CACHE_LINE_BYTES
+        })
+    }
+
+    /// The address of arena line `line_off` of pool `pool`.
+    pub fn pool_line_addr(&self, pool: usize, line_off: u64) -> Addr {
+        debug_assert!(line_off <= self.pool_arena_lines(pool));
+        Addr(self.pool_arena_base(pool).raw() + line_off * CACHE_LINE_BYTES)
+    }
+
     /// The volatile DRAM region.
     pub fn volatile_region(&self) -> Region {
         Region {
@@ -199,6 +290,9 @@ pub struct Bump {
 impl Bump {
     /// Allocates `words` machine words, word-aligned.
     ///
+    /// `alloc_words(0)` is well-defined: it returns the current
+    /// frontier and allocates nothing.
+    ///
     /// # Panics
     ///
     /// Panics if the region is exhausted.
@@ -211,6 +305,10 @@ impl Bump {
     }
 
     /// Allocates `lines` whole cache lines, line-aligned.
+    ///
+    /// `alloc_lines(0)` is well-defined: it aligns the frontier up to
+    /// the next line boundary and returns it without allocating (used
+    /// by workloads to name the start of a region they pre-touch).
     ///
     /// # Panics
     ///

@@ -35,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 mod addr;
+pub mod alloc;
 pub mod hash;
 mod image;
 mod layout;
@@ -43,6 +44,12 @@ mod remap;
 pub mod timing;
 
 pub use addr::{Addr, LineAddr, CACHE_LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
+pub use alloc::{
+    classify_heap_slot, decode_table, encode_checkpoint, encode_heap_record, recover_heap,
+    scan_pool, BlockKind, CheckpointWrites, HeapFault, HeapRecord, HeapRecovery, HeapSlotState,
+    PoolAlloc, PoolScan, PoolStats, TableDecode, HEAP_JOURNAL_SLOTS, HEAP_MAGIC, HEAP_META_LINES,
+    HEAP_POOLS, HEAP_TABLE_LINES, HW_CHECKSUM, HW_KIND,
+};
 pub use hash::{AddrHasher, FastMap, FastSet};
 pub use image::{PmImage, PoisonedLine};
 pub use layout::{Bump, PmLayout, Region, RegionKind};

@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 
 use sw_faults::{
     DeviceFault, DeviceFaultClass, DeviceFaultSchedule, DeviceFaultUnit, FaultClass, FaultInjector,
-    FaultPlan, FaultTrigger, InjectedFault, OnlineFaultStats,
+    FaultPlan, FaultTrigger, InjectedFault, InjectedHeapFault, OnlineFaultStats,
 };
 use sw_lang::harness::{
     check_prefix_consistency, check_replay_consistency, check_salvage_consistency,
@@ -22,7 +22,7 @@ use sw_lang::{
 };
 use sw_model::isa::{IsaTrace, LockId};
 use sw_model::{Pmo, StoreId};
-use sw_pmem::{LineAddr, PmLayout, RemapTable};
+use sw_pmem::{HeapSlotState, LineAddr, PmLayout, RemapTable};
 use sw_sim::{Machine, SimConfig, SimStats};
 use sw_trace::{MetricsRegistry, MetricsSnapshot};
 use sw_workloads::driver::{drive, DriverParams};
@@ -456,6 +456,361 @@ impl Experiment {
         })
     }
 
+    /// Runs the allocator-metadata fault campaign: sample `rounds` crash
+    /// states and, in each, inject one fault — rotating through
+    /// [`FaultClass::ALL`] — into a published allocator-journal record of
+    /// some heap pool, then require:
+    ///
+    /// * `Strict` recovery rejects every fatal injection (corrupt or
+    ///   poisoned metadata) *before mutating anything*, and accepts
+    ///   injected tears — a torn journal record is indistinguishable from
+    ///   a crash mid-publication and is reclaimed, not fatal;
+    /// * `Salvage` recovery reports every injected fault at its exact
+    ///   location (pool + slot or line) and quarantines **only** the
+    ///   pools holding fatal damage — an over-quarantine throws away
+    ///   healthy pools and fails the campaign;
+    /// * recovery reconverges when interrupted mid-repair.
+    ///
+    /// The report reuses [`FaultCampaignReport`]; its `salvaged` tallies
+    /// count quarantined *pools* (so injected tears detect without
+    /// salvaging). Workload churn is not required: every workload's setup
+    /// carves are journaled, so each crash image holds published records.
+    pub fn run_heap_fault_campaign(&self, rounds: usize) -> Result<FaultCampaignReport, String> {
+        let mut workload = self.bench.instantiate();
+        let mut params = DriverParams::new(self.design, self.lang)
+            .threads(self.threads)
+            .total_regions(self.total_regions)
+            .ops_per_region(self.ops_per_region)
+            .seed(self.seed);
+        params.strategy = self.strategy;
+        let out = drive(workload.as_mut(), &params);
+        let layout = &out.layout;
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x4ea9);
+        let fail = |round: usize, e: String| self.campaign_failure("faults", rounds, round, e);
+
+        let mut registry = MetricsRegistry::new();
+        let injected_ctr = registry.counter("alloc_faults.injected");
+        let detected_ctr = registry.counter("alloc_faults.detected");
+        let salvaged_ctr = registry.counter("alloc_faults.salvaged_pools");
+        let strict_ctr = registry.counter("alloc_faults.strict_rejections");
+        let control_ctr = registry.counter("alloc_faults.control_rounds");
+
+        let mut per_class: Vec<(FaultClass, ClassTally)> = FaultClass::ALL
+            .iter()
+            .map(|&c| (c, ClassTally::default()))
+            .collect();
+        let mut control_rounds = 0usize;
+        let mut strict_rejections = 0usize;
+        let mut reconverged = 0usize;
+
+        for round in 0..rounds {
+            let (crash, _) = crash_image(&out.ctx, &out.baseline, self.design, &mut rng);
+            let idx = round % FaultClass::ALL.len();
+            let class = FaultClass::ALL[idx];
+            let inj_seed = self.seed ^ (round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut injector = FaultInjector::new(FaultPlan::single(class), inj_seed);
+            let mut damaged = crash.clone();
+            let injected = match &self.trace {
+                Some(rec) => {
+                    let mut sink = rec.clone();
+                    injector.inject_heap_traced(&mut damaged, layout, &mut sink)
+                }
+                None => injector.inject_heap(&mut damaged, layout),
+            };
+
+            if injected.is_empty() {
+                // Defensive control: can only happen if a crash image held
+                // no published journal record; Strict must still accept.
+                control_rounds += 1;
+                registry.inc(control_ctr);
+                recover_with_policy(&mut crash.clone(), layout, RecoveryPolicy::Strict).map_err(
+                    |e| {
+                        fail(
+                            round,
+                            format!("strict false positive on uninjected image: {e}"),
+                        )
+                    },
+                )?;
+                continue;
+            }
+
+            per_class[idx].1.injected += injected.len();
+            registry.add(injected_ctr, injected.len() as u64);
+
+            let fatal = injected.iter().any(|f| f.is_fatal());
+            match recover_with_policy(&mut damaged.clone(), layout, RecoveryPolicy::Strict) {
+                Err(_) if fatal => {
+                    strict_rejections += 1;
+                    registry.inc(strict_ctr);
+                }
+                Ok(_) if !fatal => {}
+                Err(e) => {
+                    return Err(fail(
+                        round,
+                        format!("strict rejected a torn-only allocator injection: {e}"),
+                    ))
+                }
+                Ok(_) => {
+                    return Err(fail(
+                        round,
+                        format!(
+                            "strict accepted an image with fatal {} allocator damage",
+                            class.heap_label()
+                        ),
+                    ))
+                }
+            }
+
+            let mut image = damaged.clone();
+            let outcome = match &self.trace {
+                Some(rec) => {
+                    let mut sink = rec.clone();
+                    recover_with_policy_traced(
+                        &mut image,
+                        layout,
+                        RecoveryPolicy::Salvage,
+                        &mut sink,
+                    )
+                }
+                None => recover_with_policy(&mut image, layout, RecoveryPolicy::Salvage),
+            }
+            .map_err(|e| fail(round, format!("salvage recovery errored: {e}")))?;
+            for f in &injected {
+                if !outcome.faults.iter().any(|d| heap_fault_matches(f, d)) {
+                    return Err(fail(
+                        round,
+                        format!(
+                            "injected {} fault (pool {}, slot {}, line {}) went \
+                             undetected; recovery reported {:?}",
+                            f.class.heap_label(),
+                            f.pool,
+                            f.slot,
+                            f.line,
+                            outcome.faults
+                        ),
+                    ));
+                }
+                per_class[idx].1.detected += 1;
+                registry.inc(detected_ctr);
+                if f.is_fatal() {
+                    if !outcome.salvaged_pools.contains(&f.pool) {
+                        return Err(fail(
+                            round,
+                            format!(
+                                "pool {} held fatal {} damage but was not quarantined \
+                                 (salvaged pools: {:?})",
+                                f.pool,
+                                f.class.heap_label(),
+                                outcome.salvaged_pools
+                            ),
+                        ));
+                    }
+                    per_class[idx].1.salvaged += 1;
+                }
+            }
+            // Exact quarantine: a salvaged pool must hold injected fatal
+            // damage — quarantining a healthy pool discards good data.
+            for &pool in &outcome.salvaged_pools {
+                if !injected.iter().any(|f| f.pool == pool && f.is_fatal()) {
+                    return Err(fail(
+                        round,
+                        format!(
+                            "pool {pool} was quarantined without fatal damage \
+                             (injected: {injected:?})"
+                        ),
+                    ));
+                }
+            }
+            registry.add(salvaged_ctr, outcome.salvaged_pools.len() as u64);
+
+            recovery_reconverges(&damaged, layout, RecoveryPolicy::Salvage, &mut rng)
+                .map_err(|e| fail(round, e))?;
+            reconverged += 1;
+        }
+
+        Ok(FaultCampaignReport {
+            rounds,
+            control_rounds,
+            strict_rejections,
+            per_class,
+            reconverged,
+            metrics: registry.snapshot(),
+        })
+    }
+
+    /// Runs this cell to a clean shutdown and reports end-of-run heap-pool
+    /// occupancy plus the run's allocator activity counters — the backend
+    /// of `swctl heap`. With `churn`, the workload variant that exercises
+    /// run-time `heap_alloc`/`heap_free` is used (an error names the
+    /// benchmark if it has no churn mode).
+    pub fn run_heap_report(&self, churn: bool) -> Result<HeapReport, String> {
+        let mut workload = if churn {
+            self.bench.instantiate_churn().ok_or_else(|| {
+                format!(
+                    "benchmark {} has no allocator-churn mode (churn: hashmap, nstore-*)",
+                    self.bench
+                )
+            })?
+        } else {
+            self.bench.instantiate()
+        };
+        let mut params = DriverParams::new(self.design, self.lang)
+            .threads(self.threads)
+            .total_regions(self.total_regions)
+            .ops_per_region(self.ops_per_region)
+            .seed(self.seed)
+            .clean_shutdown()
+            .metrics();
+        params.strategy = self.strategy;
+        let out = drive(workload.as_mut(), &params);
+        let snapshot = out.ctx.metrics_snapshot();
+        let hs = out.ctx.heap_state();
+        let pools = (0..hs.pool_count())
+            .map(|p| {
+                let pa = hs.pool(p);
+                PoolOccupancy {
+                    pool: p,
+                    arena_lines: pa.arena_lines(),
+                    carved_lines: pa.frontier(),
+                    live_blocks: pa.live_count(),
+                    live_lines: pa.live_lines(),
+                    free_lines: pa.free_lines(),
+                    largest_free_lines: pa.largest_free_lines(),
+                    fragmentation: pa.fragmentation(),
+                    journal_next_slot: pa.next_slot,
+                    checkpoints: pa.stats.checkpoints,
+                }
+            })
+            .collect();
+        Ok(HeapReport {
+            pools,
+            carves: snapshot.counter("alloc.carves").unwrap_or(0),
+            allocs: snapshot.counter("alloc.allocs").unwrap_or(0),
+            frees: snapshot.counter("alloc.frees").unwrap_or(0),
+            checkpoints: snapshot.counter("alloc.checkpoints").unwrap_or(0),
+        })
+    }
+
+    /// Runs the allocator leak smoke — the backend of `swctl heap
+    /// --verify` and the CI allocator stage. The cell's churn workload
+    /// runs to a crash; each of `rounds` sampled crash states must:
+    ///
+    /// * pass `Strict` recovery (false-positive control: natural crash
+    ///   damage never looks like corruption);
+    /// * rebuild every heap pool undamaged from its PM metadata;
+    /// * hold **no use-after-free**: every block reachable from the
+    ///   workload's persistent roots is live in the rebuilt allocator;
+    /// * reach **zero leaks** after reclamation: every live dynamic block
+    ///   left unreachable by the crash (an allocation whose publishing
+    ///   store never persisted) is reclaimed, deterministically so (a
+    ///   second rebuild + reclaim finds the identical set).
+    pub fn run_heap_smoke(&self, rounds: usize) -> Result<HeapSmokeReport, String> {
+        use sw_pmem::BlockKind;
+        let mut workload = self.bench.instantiate_churn().ok_or_else(|| {
+            format!(
+                "benchmark {} has no allocator-churn mode (churn: hashmap, nstore-*)",
+                self.bench
+            )
+        })?;
+        let mut params = DriverParams::new(self.design, self.lang)
+            .threads(self.threads)
+            .total_regions(self.total_regions)
+            .ops_per_region(self.ops_per_region)
+            .seed(self.seed);
+        params.strategy = self.strategy;
+        let out = drive(workload.as_mut(), &params);
+        let layout = &out.layout;
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x4eaf);
+        let fail = |round: usize, e: String| self.campaign_failure("heap", rounds, round, e);
+
+        let mut reclaimed_blocks = 0u64;
+        let mut rounds_with_leaks = 0usize;
+        let mut rooted_blocks = 0u64;
+        for round in 0..rounds {
+            let (crash, _) = crash_image(&out.ctx, &out.baseline, self.design, &mut rng);
+            let mut image = crash.clone();
+            recover_with_policy(&mut image, layout, RecoveryPolicy::Strict).map_err(|e| {
+                fail(
+                    round,
+                    format!("strict false positive on a natural crash image: {e}"),
+                )
+            })?;
+            let (mut hs, rec) = sw_lang::HeapState::rebuild(&image, layout);
+            let damaged = rec.damaged_pools();
+            if !damaged.is_empty() {
+                return Err(fail(
+                    round,
+                    format!("natural crash image damaged heap pools {damaged:?}"),
+                ));
+            }
+            let roots = workload.heap_roots(&image);
+            let live: std::collections::HashSet<u64> = (0..hs.pool_count())
+                .flat_map(|p| {
+                    hs.pool(p)
+                        .live_blocks()
+                        .map(|(off, _, _)| layout.pool_line_addr(p, off).raw())
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            for r in &roots {
+                if !live.contains(&r.raw()) {
+                    return Err(fail(
+                        round,
+                        format!(
+                            "use-after-free: rooted block {:#x} is not live in the \
+                             rebuilt allocator",
+                            r.raw()
+                        ),
+                    ));
+                }
+            }
+            let reclaimed = hs.reclaim_unreachable(layout, &roots);
+            // Zero leaks and exact accounting after reclamation.
+            let rooted: std::collections::HashSet<u64> = roots.iter().map(|a| a.raw()).collect();
+            for p in 0..hs.pool_count() {
+                let leaked = hs
+                    .pool(p)
+                    .live_blocks()
+                    .filter(|&(off, _, kind)| {
+                        kind == BlockKind::Dynamic
+                            && !rooted.contains(&layout.pool_line_addr(p, off).raw())
+                    })
+                    .count();
+                if leaked != 0 {
+                    return Err(fail(
+                        round,
+                        format!("pool {p} still leaks {leaked} blocks after reclamation"),
+                    ));
+                }
+                if !hs.pool(p).accounting_exact() {
+                    return Err(fail(
+                        round,
+                        format!("pool {p} accounting does not balance after reclamation"),
+                    ));
+                }
+            }
+            // Reclamation is volatile-only, so it must be reproducible
+            // from the same image.
+            let (mut hs2, _) = sw_lang::HeapState::rebuild(&image, layout);
+            let again = hs2.reclaim_unreachable(layout, &roots);
+            if again != reclaimed {
+                return Err(fail(
+                    round,
+                    format!("reclamation is not deterministic: {reclaimed:?} then {again:?}"),
+                ));
+            }
+            reclaimed_blocks += reclaimed.len() as u64;
+            rounds_with_leaks += usize::from(!reclaimed.is_empty());
+            rooted_blocks += roots.len() as u64;
+        }
+        Ok(HeapSmokeReport {
+            rounds,
+            reclaimed_blocks,
+            rounds_with_leaks,
+            rooted_blocks,
+        })
+    }
+
     /// Single-threaded lowered probe workload under this cell's
     /// `(design, lang, strategy)`: six regions of four stores each,
     /// returning the formal PMO oracle, the per-thread ISA traces, and the
@@ -737,6 +1092,25 @@ fn fault_matches(f: &InjectedFault, d: &RecoveryFault) -> bool {
         }
         (SlotState::Poisoned, RecoveryFault::PoisonedLine { tid, line }) => {
             *tid == f.tid && *line == f.line
+        }
+        _ => false,
+    }
+}
+
+/// `true` when recovery's reported fault `d` is the heap campaign's
+/// injected allocator-metadata fault `f`. As with [`fault_matches`],
+/// matching goes by the *resulting* slot state: a bit flip that zeroes a
+/// word classifies — and is correctly reported — as a tear.
+fn heap_fault_matches(f: &InjectedHeapFault, d: &RecoveryFault) -> bool {
+    match (&f.resulting, d) {
+        (HeapSlotState::Torn, RecoveryFault::HeapTorn { pool, slot }) => {
+            *pool == f.pool && *slot == f.slot
+        }
+        (HeapSlotState::Corrupt, RecoveryFault::HeapCorrupt { pool, slot }) => {
+            *pool == f.pool && *slot == f.slot
+        }
+        (HeapSlotState::Poisoned, RecoveryFault::HeapPoisoned { pool, line }) => {
+            *pool == f.pool && *line == f.line
         }
         _ => false,
     }
@@ -1139,6 +1513,162 @@ impl FaultCampaignReport {
     }
 }
 
+/// End-of-run occupancy of one heap pool ([`Experiment::run_heap_report`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolOccupancy {
+    /// Pool index.
+    pub pool: usize,
+    /// Arena capacity in cache lines.
+    pub arena_lines: u64,
+    /// Lines consumed by the setup-time carve frontier.
+    pub carved_lines: u64,
+    /// Live blocks (carves + dynamic allocations).
+    pub live_blocks: u64,
+    /// Lines held by live blocks.
+    pub live_lines: u64,
+    /// Lines on the buddy free lists.
+    pub free_lines: u64,
+    /// Largest contiguous free block, in lines.
+    pub largest_free_lines: u64,
+    /// External fragmentation: `1 - largest_free / free` (0 when empty).
+    pub fragmentation: f64,
+    /// Next allocator-journal slot (journal occupancy).
+    pub journal_next_slot: u64,
+    /// Checkpoints this pool wrote.
+    pub checkpoints: u64,
+}
+
+/// What [`Experiment::run_heap_report`] measured — `swctl heap`.
+#[derive(Debug, Clone)]
+pub struct HeapReport {
+    /// Per-pool occupancy, pool order.
+    pub pools: Vec<PoolOccupancy>,
+    /// Setup-time frontier carves across pools.
+    pub carves: u64,
+    /// Run-time dynamic allocations across pools.
+    pub allocs: u64,
+    /// Run-time frees across pools.
+    pub frees: u64,
+    /// Journal checkpoints across pools.
+    pub checkpoints: u64,
+}
+
+impl HeapReport {
+    /// Renders the human-readable occupancy table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{} carves, {} allocs, {} frees, {} checkpoints",
+            self.carves, self.allocs, self.frees, self.checkpoints
+        );
+        let _ = writeln!(
+            s,
+            "{:<5} {:>11} {:>8} {:>7} {:>7} {:>9} {:>9} {:>6} {:>8}",
+            "pool",
+            "arena_lines",
+            "carved",
+            "blocks",
+            "lines",
+            "free",
+            "largest",
+            "frag",
+            "journal"
+        );
+        for p in &self.pools {
+            let _ = writeln!(
+                s,
+                "{:<5} {:>11} {:>8} {:>7} {:>7} {:>9} {:>9} {:>6.3} {:>8}",
+                p.pool,
+                p.arena_lines,
+                p.carved_lines,
+                p.live_blocks,
+                p.live_lines,
+                p.free_lines,
+                p.largest_free_lines,
+                p.fragmentation,
+                p.journal_next_slot,
+            );
+        }
+        s
+    }
+
+    /// Machine-readable form of the occupancy report.
+    pub fn to_json(&self) -> sw_trace::Json {
+        use sw_trace::Json;
+        Json::obj([
+            ("carves", Json::U64(self.carves)),
+            ("allocs", Json::U64(self.allocs)),
+            ("frees", Json::U64(self.frees)),
+            ("checkpoints", Json::U64(self.checkpoints)),
+            (
+                "pools",
+                Json::Arr(
+                    self.pools
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("pool", Json::U64(p.pool as u64)),
+                                ("arena_lines", Json::U64(p.arena_lines)),
+                                ("carved_lines", Json::U64(p.carved_lines)),
+                                ("live_blocks", Json::U64(p.live_blocks)),
+                                ("live_lines", Json::U64(p.live_lines)),
+                                ("free_lines", Json::U64(p.free_lines)),
+                                ("largest_free_lines", Json::U64(p.largest_free_lines)),
+                                ("fragmentation", Json::F64(p.fragmentation)),
+                                ("journal_next_slot", Json::U64(p.journal_next_slot)),
+                                ("checkpoints", Json::U64(p.checkpoints)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// What [`Experiment::run_heap_smoke`] measured — `swctl heap --verify`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapSmokeReport {
+    /// Crash states audited.
+    pub rounds: usize,
+    /// In-flight allocations reclaimed across all rounds (leaks that
+    /// recovery repaired; zero remain afterwards by construction of the
+    /// passing check).
+    pub reclaimed_blocks: u64,
+    /// Rounds in which at least one leak was found and reclaimed.
+    pub rounds_with_leaks: usize,
+    /// Blocks reachable from persistent roots across all rounds.
+    pub rooted_blocks: u64,
+}
+
+impl HeapSmokeReport {
+    /// Renders the human-readable smoke summary.
+    pub fn render(&self) -> String {
+        format!(
+            "{} crash states: {} rooted blocks verified live, {} leaked \
+             allocations reclaimed ({} rounds leaked), zero leaks remain\n",
+            self.rounds, self.rooted_blocks, self.reclaimed_blocks, self.rounds_with_leaks
+        )
+    }
+
+    /// Machine-readable form of the smoke report.
+    pub fn to_json(&self) -> sw_trace::Json {
+        use sw_trace::Json;
+        Json::obj([
+            ("rounds", Json::U64(self.rounds as u64)),
+            ("reclaimed_blocks", Json::U64(self.reclaimed_blocks)),
+            (
+                "rounds_with_leaks",
+                Json::U64(self.rounds_with_leaks as u64),
+            ),
+            ("rooted_blocks", Json::U64(self.rooted_blocks)),
+            ("zero_leaks", Json::Bool(true)),
+        ])
+    }
+}
+
 /// Runs one benchmark × language model across every registered hardware
 /// design with identical logical work, returning `(design, stats)` pairs
 /// in the paper's presentation order. The Figure 7 generator calls this
@@ -1304,6 +1834,119 @@ mod tests {
             report.metrics.counter("faults.detected"),
             Some(report.detected() as u64)
         );
+    }
+
+    #[test]
+    fn heap_report_accounts_pools_and_counters() {
+        let report = small(BenchmarkId::Hashmap, LangModel::Txn, HwDesign::StrandWeaver)
+            .run_heap_report(false)
+            .expect("hashmap always has a heap report");
+        assert!(report.carves > 0, "setup carves via the allocator");
+        let p0 = &report.pools[0];
+        assert!(p0.live_blocks > 0 && p0.carved_lines > 0);
+        assert!(p0.live_lines + p0.free_lines <= p0.arena_lines);
+        assert!((0.0..=1.0).contains(&p0.fragmentation));
+        // Plain mode serves inserts from the pre-carved arena: no
+        // dynamic allocator traffic. Churn mode allocates and frees.
+        assert_eq!(report.allocs, 0);
+        assert_eq!(report.frees, 0);
+        let churn = small(BenchmarkId::Hashmap, LangModel::Txn, HwDesign::StrandWeaver)
+            .run_heap_report(true)
+            .expect("hashmap has a churn mode");
+        assert!(churn.allocs > 0, "churn inserts allocate nodes");
+        assert!(churn.frees > 0, "relocating updates free displaced nodes");
+        // JSON form carries the pools array.
+        let json = report.to_json().render();
+        assert!(json.contains("\"pools\":["), "{json}");
+        assert!(json.contains("\"fragmentation\":"), "{json}");
+    }
+
+    #[test]
+    fn heap_report_errors_on_churn_free_benchmarks() {
+        let err = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver)
+            .run_heap_report(true)
+            .unwrap_err();
+        assert!(err.contains("no allocator-churn mode"), "{err}");
+    }
+
+    #[test]
+    fn heap_smoke_reclaims_native_leaks_to_zero() {
+        // Native on eADR has no logs: a crash can persist an allocation's
+        // journal record while the publishing store is still in flight,
+        // leaking the block. The smoke must find and reclaim such leaks.
+        let report = small(BenchmarkId::Hashmap, LangModel::Native, HwDesign::Eadr)
+            .total_regions(40)
+            .run_heap_smoke(60)
+            .expect("smoke must pass");
+        assert!(report.rooted_blocks > 0);
+        assert!(
+            report.reclaimed_blocks > 0,
+            "log-free churn must leak across {} rounds: {}",
+            report.rounds,
+            report.render()
+        );
+    }
+
+    #[test]
+    fn heap_smoke_is_leak_free_for_logged_models() {
+        // Undo logging rolls the allocator journal back with everything
+        // else: a recovered image never holds an unreachable committed
+        // allocation.
+        let report = small(BenchmarkId::Hashmap, LangModel::Txn, HwDesign::StrandWeaver)
+            .run_heap_smoke(25)
+            .expect("smoke must pass");
+        assert!(report.rooted_blocks > 0);
+        assert_eq!(
+            report.reclaimed_blocks,
+            0,
+            "transactional churn cannot leak: {}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn heap_fault_campaign_detects_every_injection() {
+        let report = small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver)
+            .run_heap_fault_campaign(9)
+            .expect("allocator campaign must pass on recoverable hardware");
+        assert!(
+            report.injected() > 0,
+            "setup carves guarantee published allocator-journal records"
+        );
+        assert!(report.fully_detected(), "{}", report.render());
+        assert_eq!(report.control_rounds, 0);
+        assert_eq!(report.reconverged, report.rounds);
+        // Every fatal (bitflip-corrupt, poison) round both rejected under
+        // Strict and quarantined exactly one pool under Salvage.
+        let fatal_detected: usize = report.per_class.iter().map(|(_, t)| t.salvaged).sum();
+        assert_eq!(report.strict_rejections, fatal_detected);
+        assert!(fatal_detected > 0, "{}", report.render());
+        assert_eq!(
+            report.metrics.counter("alloc_faults.injected"),
+            Some(report.injected() as u64)
+        );
+    }
+
+    #[test]
+    fn heap_fault_campaign_works_on_log_free_native() {
+        // Native writes no workload log, but setup still journals its
+        // heap carves: the allocator campaign has targets everywhere.
+        let report = small(BenchmarkId::Queue, LangModel::Native, HwDesign::Eadr)
+            .run_heap_fault_campaign(6)
+            .expect("allocator metadata is model-independent");
+        assert!(report.injected() > 0);
+        assert!(report.fully_detected(), "{}", report.render());
+    }
+
+    #[test]
+    fn heap_fault_campaign_replays_from_its_seed() {
+        let run = || {
+            small(BenchmarkId::Queue, LangModel::Txn, HwDesign::StrandWeaver)
+                .seed(31)
+                .run_heap_fault_campaign(6)
+                .expect("campaign")
+        };
+        assert_eq!(run().per_class, run().per_class);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use rand::SeedableRng;
 use sw_lang::harness;
 use sw_lang::{FuncCtx, HwDesign, LangModel, RuntimeConfig, ThreadRuntime};
 use sw_model::isa::LockId;
-use sw_pmem::{Addr, Bump, PmImage, PmLayout};
+use sw_pmem::{Addr, PmImage, PmLayout};
 
 /// A single-threaded persistent-heap session.
 ///
@@ -48,7 +48,6 @@ use sw_pmem::{Addr, Bump, PmImage, PmLayout};
 pub struct Heap {
     ctx: FuncCtx,
     rt: ThreadRuntime,
-    bump: Bump,
     baseline: PmImage,
     lock: LockId,
 }
@@ -66,11 +65,9 @@ impl Heap {
         let mut ctx = FuncCtx::new(layout.clone(), 1);
         let baseline = harness::baseline(&mut ctx);
         let rt = ThreadRuntime::new(&layout, 0, cfg);
-        let bump = layout.heap_region().bump();
         Self {
             ctx,
             rt,
-            bump,
             baseline,
             lock: LockId(0),
         }
@@ -85,16 +82,18 @@ impl Heap {
         )
     }
 
-    /// Allocates `words` machine words of persistent memory.
+    /// Allocates `words` machine words of persistent memory from the
+    /// session's allocator pool.
     ///
-    /// Allocation is session metadata (volatile); initialize the memory
-    /// inside a transaction to make it recoverable.
+    /// The allocation is journaled in PM allocator metadata; initialize
+    /// the memory inside a transaction to make the *contents*
+    /// recoverable.
     ///
     /// # Panics
     ///
     /// Panics if the heap is exhausted.
     pub fn alloc_words(&mut self, words: u64) -> Addr {
-        self.bump.alloc_words(words)
+        self.ctx.heap().alloc_words(words)
     }
 
     /// Allocates `lines` whole cache lines (line-aligned).
@@ -103,7 +102,7 @@ impl Heap {
     ///
     /// Panics if the heap is exhausted.
     pub fn alloc_lines(&mut self, lines: u64) -> Addr {
-        self.bump.alloc_lines(lines)
+        self.ctx.heap().alloc_lines(lines)
     }
 
     /// Runs `f` as one failure-atomic transaction and returns its result.

@@ -218,6 +218,53 @@ pub enum TraceEvent {
         /// Spare (physical) line now backing it.
         to: u64,
     },
+    /// The persistent allocator handed out a heap block.
+    HeapAlloc {
+        /// Heap pool the block came from.
+        pool: u32,
+        /// Arena line offset of the block.
+        off: u64,
+        /// Block length in lines.
+        lines: u64,
+        /// `true` for a setup-time frontier carve, `false` for a
+        /// run-time buddy allocation.
+        carve: bool,
+    },
+    /// The persistent allocator freed (quarantined) a heap block.
+    HeapFree {
+        /// Heap pool the block belongs to.
+        pool: u32,
+        /// Arena line offset of the block.
+        off: u64,
+        /// Block length in lines.
+        lines: u64,
+    },
+    /// The allocator folded its journal into a checkpoint table.
+    HeapCheckpoint {
+        /// Heap pool checkpointed.
+        pool: u32,
+        /// Epoch the checkpoint published.
+        epoch: u64,
+        /// Live blocks recorded.
+        blocks: u64,
+    },
+    /// Recovery rebuilt one heap pool from its PM metadata.
+    HeapRecovered {
+        /// Heap pool recovered.
+        pool: u32,
+        /// Live blocks after replay.
+        live: u64,
+        /// Torn in-flight journal records reclaimed.
+        reclaimed: u64,
+    },
+    /// Salvage-policy recovery quarantined a damaged heap pool instead
+    /// of failing.
+    PoolSalvaged {
+        /// Quarantined pool.
+        pool: u32,
+        /// Fatal metadata faults that caused the quarantine.
+        faults: u64,
+    },
     /// End-of-run self-profiling attribution for one simulator tick
     /// phase (emitted by `sw-sim` when a profiler is installed; stamped
     /// with the final cycle).
@@ -256,6 +303,11 @@ impl TraceEvent {
             TraceEvent::DeviceFault { .. } => "device_fault",
             TraceEvent::PersistRetried { .. } => "persist_retried",
             TraceEvent::LineRemapped { .. } => "line_remapped",
+            TraceEvent::HeapAlloc { .. } => "heap_alloc",
+            TraceEvent::HeapFree { .. } => "heap_free",
+            TraceEvent::HeapCheckpoint { .. } => "heap_checkpoint",
+            TraceEvent::HeapRecovered { .. } => "heap_recovered",
+            TraceEvent::PoolSalvaged { .. } => "pool_salvaged",
             TraceEvent::PerfPhase { .. } => "perf_phase",
         }
     }
@@ -369,6 +421,44 @@ impl TimedEvent {
                 push("from", Json::U64(from));
                 push("to", Json::U64(to));
             }
+            TraceEvent::HeapAlloc {
+                pool,
+                off,
+                lines,
+                carve,
+            } => {
+                push("pool", Json::U64(pool.into()));
+                push("off", Json::U64(off));
+                push("lines", Json::U64(lines));
+                push("carve", Json::Bool(carve));
+            }
+            TraceEvent::HeapFree { pool, off, lines } => {
+                push("pool", Json::U64(pool.into()));
+                push("off", Json::U64(off));
+                push("lines", Json::U64(lines));
+            }
+            TraceEvent::HeapCheckpoint {
+                pool,
+                epoch,
+                blocks,
+            } => {
+                push("pool", Json::U64(pool.into()));
+                push("epoch", Json::U64(epoch));
+                push("blocks", Json::U64(blocks));
+            }
+            TraceEvent::HeapRecovered {
+                pool,
+                live,
+                reclaimed,
+            } => {
+                push("pool", Json::U64(pool.into()));
+                push("live", Json::U64(live));
+                push("reclaimed", Json::U64(reclaimed));
+            }
+            TraceEvent::PoolSalvaged { pool, faults } => {
+                push("pool", Json::U64(pool.into()));
+                push("faults", Json::U64(faults));
+            }
             TraceEvent::PerfPhase {
                 phase,
                 nanos,
@@ -416,6 +506,32 @@ mod tests {
                 calls: 0,
             }
             .kind(),
+            TraceEvent::HeapAlloc {
+                pool: 0,
+                off: 0,
+                lines: 1,
+                carve: false,
+            }
+            .kind(),
+            TraceEvent::HeapFree {
+                pool: 0,
+                off: 0,
+                lines: 1,
+            }
+            .kind(),
+            TraceEvent::HeapCheckpoint {
+                pool: 0,
+                epoch: 1,
+                blocks: 0,
+            }
+            .kind(),
+            TraceEvent::HeapRecovered {
+                pool: 0,
+                live: 0,
+                reclaimed: 0,
+            }
+            .kind(),
+            TraceEvent::PoolSalvaged { pool: 0, faults: 1 }.kind(),
         ];
         let mut dedup = kinds.to_vec();
         dedup.sort_unstable();

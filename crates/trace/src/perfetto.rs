@@ -340,6 +340,88 @@ pub fn chrome_trace(events: &[TimedEvent]) -> Json {
                     ],
                 ));
             }
+            TraceEvent::HeapAlloc {
+                pool,
+                off,
+                lines,
+                carve,
+            } => {
+                saw_recovery = true;
+                out.push(instant(
+                    ts,
+                    TID_RECOVERY,
+                    if carve { "heap_carve" } else { "heap_alloc" },
+                    "heap",
+                    vec![
+                        ("pool".to_string(), Json::U64(pool.into())),
+                        ("off".to_string(), Json::U64(off)),
+                        ("lines".to_string(), Json::U64(lines)),
+                    ],
+                ));
+            }
+            TraceEvent::HeapFree { pool, off, lines } => {
+                saw_recovery = true;
+                out.push(instant(
+                    ts,
+                    TID_RECOVERY,
+                    "heap_free",
+                    "heap",
+                    vec![
+                        ("pool".to_string(), Json::U64(pool.into())),
+                        ("off".to_string(), Json::U64(off)),
+                        ("lines".to_string(), Json::U64(lines)),
+                    ],
+                ));
+            }
+            TraceEvent::HeapCheckpoint {
+                pool,
+                epoch,
+                blocks,
+            } => {
+                saw_recovery = true;
+                out.push(instant(
+                    ts,
+                    TID_RECOVERY,
+                    "heap_checkpoint",
+                    "heap",
+                    vec![
+                        ("pool".to_string(), Json::U64(pool.into())),
+                        ("epoch".to_string(), Json::U64(epoch)),
+                        ("blocks".to_string(), Json::U64(blocks)),
+                    ],
+                ));
+            }
+            TraceEvent::HeapRecovered {
+                pool,
+                live,
+                reclaimed,
+            } => {
+                saw_recovery = true;
+                out.push(instant(
+                    ts,
+                    TID_RECOVERY,
+                    "heap_recovered",
+                    "heap",
+                    vec![
+                        ("pool".to_string(), Json::U64(pool.into())),
+                        ("live".to_string(), Json::U64(live)),
+                        ("reclaimed".to_string(), Json::U64(reclaimed)),
+                    ],
+                ));
+            }
+            TraceEvent::PoolSalvaged { pool, faults } => {
+                saw_recovery = true;
+                out.push(instant(
+                    ts,
+                    TID_RECOVERY,
+                    "pool_salvaged",
+                    "fault",
+                    vec![
+                        ("pool".to_string(), Json::U64(pool.into())),
+                        ("faults".to_string(), Json::U64(faults)),
+                    ],
+                ));
+            }
             TraceEvent::PerfPhase {
                 phase,
                 nanos,

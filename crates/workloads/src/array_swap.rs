@@ -50,8 +50,8 @@ impl Workload for ArraySwapWorkload {
     }
 
     fn setup(&mut self, ctx: &mut FuncCtx) {
-        let mut bump = ctx.mem().layout().heap_region().bump();
-        self.arr = bump.alloc_lines(N / 8);
+        let mut heap = ctx.heap();
+        self.arr = heap.alloc_lines(N / 8);
         for i in 0..N {
             ctx.store(0, self.elem(i), i + 1);
         }

@@ -56,6 +56,9 @@ pub struct DriverParams {
     /// structured error; `Salvage` quarantines the faulting thread and
     /// continues scheduling the rest.
     pub mce_policy: RecoveryPolicy,
+    /// Enable the context's metrics registry before setup (so allocator
+    /// carve counters include setup-time activity).
+    pub metrics: bool,
 }
 
 impl DriverParams {
@@ -76,7 +79,15 @@ impl DriverParams {
             clean_shutdown: false,
             mce_line: None,
             mce_policy: RecoveryPolicy::Strict,
+            metrics: false,
         }
+    }
+
+    /// Enables the runtime metrics registry on the context (counts
+    /// log appends/commits and allocator carves/allocs/frees).
+    pub fn metrics(mut self) -> Self {
+        self.metrics = true;
+        self
     }
 
     /// Sets the thread count.
@@ -154,6 +165,9 @@ pub struct DriverOutput {
 pub fn drive(workload: &mut dyn Workload, params: &DriverParams) -> DriverOutput {
     let layout = PmLayout::new(params.threads, params.log_entries);
     let mut ctx = FuncCtx::new(layout.clone(), params.threads);
+    if params.metrics {
+        ctx.enable_metrics();
+    }
     ctx.set_record_program(false);
     workload.setup(&mut ctx);
     let baseline = harness::baseline(&mut ctx);
@@ -219,6 +233,12 @@ pub fn drive(workload: &mut dyn Workload, params: &DriverParams) -> DriverOutput
         }
         if coordinates && rts.iter().any(|rt| rt.live_log_entries() >= threshold) {
             coordinated_commit(&mut ctx, &mut rts);
+            ctx.heap_quiesce();
+        } else if !params.lang.batches_commits() {
+            // Eager-commit models are durably committed at every region
+            // boundary, so quarantined frees can be released here. (A
+            // no-op unless the workload churns the allocator.)
+            ctx.heap_quiesce();
         }
     }
     if params.clean_shutdown && !aborted {
@@ -229,6 +249,7 @@ pub fn drive(workload: &mut dyn Workload, params: &DriverParams) -> DriverOutput
                 rt.shutdown(&mut ctx);
             }
         }
+        ctx.heap_quiesce();
     }
     let regions = rts
         .into_iter()

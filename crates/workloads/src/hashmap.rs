@@ -26,6 +26,9 @@ const LOCK_BASE: u32 = 100;
 const OP_COMPUTE: u32 = 600;
 /// Node-pool lines pre-touched at setup (bounds the insert count).
 const POOL_LINES: u64 = 4096;
+/// Node-pool arena carved from the allocator (sized well past any
+/// insert count this workload sees).
+const ARENA_LINES: u64 = 65_536;
 
 /// Node field offsets in words: key, value, version, next.
 const F_KEY: u64 = 0;
@@ -43,6 +46,7 @@ pub struct HashmapWorkload {
     buckets: Addr,
     pool: Option<Bump>,
     pool_start: Addr,
+    churn: bool,
 }
 
 impl Default for HashmapWorkload {
@@ -58,7 +62,17 @@ impl HashmapWorkload {
             buckets: Addr::NULL,
             pool: None,
             pool_start: Addr::NULL,
+            churn: false,
         }
+    }
+
+    /// Enables allocator churn: nodes come from `heap_alloc` instead of
+    /// the pre-carved pool, and every update relocates its node (alloc
+    /// new + free old), so crash recovery must reclaim any node left
+    /// unlinked by an interrupted region. Off the figure path.
+    pub fn with_churn(mut self) -> Self {
+        self.churn = true;
+        self
     }
 
     fn bucket_of(key: u64) -> u64 {
@@ -81,14 +95,17 @@ impl Workload for HashmapWorkload {
     }
 
     fn setup(&mut self, ctx: &mut FuncCtx) {
-        let mut bump = ctx.mem().layout().heap_region().bump();
-        self.buckets = bump.alloc_lines(BUCKETS / 8);
-        self.pool_start = bump.alloc_lines(0);
+        let pool = {
+            let mut heap = ctx.heap();
+            self.buckets = heap.alloc_lines(BUCKETS / 8);
+            self.pool_start = heap.alloc_lines(0);
+            heap.alloc_arena(ARENA_LINES)
+        };
         // Pre-touch the node pool so steady-state inserts hit warm lines.
         for i in 0..POOL_LINES {
             ctx.store(0, self.pool_start.offset_words(i * 8), 0);
         }
-        self.pool = Some(bump);
+        self.pool = Some(pool);
     }
 
     fn run_region(
@@ -111,6 +128,7 @@ impl Workload for HashmapWorkload {
             let b = Self::bucket_of(key);
             // Walk the chain.
             let mut node = rt.load(ctx, self.bucket_addr(b));
+            let mut prev = Addr::NULL;
             let mut found = Addr::NULL;
             while node != 0 {
                 let n = Addr(node);
@@ -118,17 +136,38 @@ impl Workload for HashmapWorkload {
                     found = n;
                     break;
                 }
+                prev = n;
                 node = rt.load(ctx, n.offset_words(F_NEXT));
             }
             if found.is_null() {
                 // Insert: initialize a fresh node, link at the head.
-                let n = self.pool.as_mut().expect("setup ran").alloc_lines(1);
+                let n = if self.churn {
+                    rt.heap_alloc(ctx, 1)
+                } else {
+                    self.pool.as_mut().expect("setup ran").alloc_lines(1)
+                };
                 rt.store(ctx, n.offset_words(F_KEY), key);
                 rt.store(ctx, n.offset_words(F_VALUE), expected_value(key, 1));
                 rt.store(ctx, n.offset_words(F_VERSION), 1);
                 let head = rt.load(ctx, self.bucket_addr(b));
                 rt.store(ctx, n.offset_words(F_NEXT), head);
                 rt.store(ctx, self.bucket_addr(b), n.raw());
+            } else if self.churn {
+                // Update by relocation: write the fresh node, swing the
+                // predecessor link, then free the displaced node.
+                let v = rt.load(ctx, found.offset_words(F_VERSION)) + 1;
+                let next = rt.load(ctx, found.offset_words(F_NEXT));
+                let n = rt.heap_alloc(ctx, 1);
+                rt.store(ctx, n.offset_words(F_KEY), key);
+                rt.store(ctx, n.offset_words(F_VALUE), expected_value(key, v));
+                rt.store(ctx, n.offset_words(F_VERSION), v);
+                rt.store(ctx, n.offset_words(F_NEXT), next);
+                if prev.is_null() {
+                    rt.store(ctx, self.bucket_addr(b), n.raw());
+                } else {
+                    rt.store(ctx, prev.offset_words(F_NEXT), n.raw());
+                }
+                rt.heap_free(ctx, found);
             } else {
                 // Update: bump version, rewrite the paired value.
                 let v = rt.load(ctx, found.offset_words(F_VERSION)) + 1;
@@ -174,6 +213,20 @@ impl Workload for HashmapWorkload {
             }
         }
         Ok(())
+    }
+
+    fn heap_roots(&self, img: &PmImage) -> Vec<Addr> {
+        let mut roots = Vec::new();
+        for b in 0..BUCKETS {
+            let mut node = img.load(self.bucket_addr(b));
+            let mut hops = 0u64;
+            while node != 0 && hops <= KEYS + 1 {
+                roots.push(Addr(node));
+                node = img.load(Addr(node).offset_words(F_NEXT));
+                hops += 1;
+            }
+        }
+        roots
     }
 }
 

@@ -80,6 +80,16 @@ pub trait Workload: std::fmt::Debug {
     ///
     /// Returns a description of the first violated invariant.
     fn check(&self, img: &PmImage) -> Result<(), String>;
+
+    /// Base addresses of every dynamically allocated heap block reachable
+    /// from the workload's persistent roots in `img`. Recovery treats a
+    /// live dynamic block outside this set as a leak from a
+    /// crash-interrupted operation and reclaims it. Workloads that never
+    /// call `heap_alloc` keep the default (no reachable dynamic blocks).
+    fn heap_roots(&self, img: &PmImage) -> Vec<sw_pmem::Addr> {
+        let _ = img;
+        Vec::new()
+    }
 }
 
 /// The eight benchmarks of Table II.
@@ -141,6 +151,22 @@ impl BenchmarkId {
             BenchmarkId::NStoreRd => Box::new(nstore::NStoreWorkload::new(90)),
             BenchmarkId::NStoreBal => Box::new(nstore::NStoreWorkload::new(50)),
             BenchmarkId::NStoreWr => Box::new(nstore::NStoreWorkload::new(10)),
+        }
+    }
+
+    /// As [`BenchmarkId::instantiate`], with allocator churn enabled:
+    /// the hash map relocates nodes on update (alloc new + free old) and
+    /// the n-store mixes stage writes through scratch blocks, so the
+    /// run exercises `heap_alloc`/`heap_free` and crash recovery must
+    /// reclaim in-flight blocks. `None` for structurally churn-free
+    /// workloads.
+    pub fn instantiate_churn(self) -> Option<Box<dyn Workload>> {
+        match self {
+            BenchmarkId::Hashmap => Some(Box::new(hashmap::HashmapWorkload::new().with_churn())),
+            BenchmarkId::NStoreRd => Some(Box::new(nstore::NStoreWorkload::new(90).with_churn())),
+            BenchmarkId::NStoreBal => Some(Box::new(nstore::NStoreWorkload::new(50).with_churn())),
+            BenchmarkId::NStoreWr => Some(Box::new(nstore::NStoreWorkload::new(10).with_churn())),
+            _ => None,
         }
     }
 }

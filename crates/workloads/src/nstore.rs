@@ -38,6 +38,7 @@ fn expected_value(key: u64, version: u64) -> u64 {
 pub struct NStoreWorkload {
     read_pct: u32,
     table: Addr,
+    churn: bool,
 }
 
 impl NStoreWorkload {
@@ -52,7 +53,17 @@ impl NStoreWorkload {
         Self {
             read_pct,
             table: Addr::NULL,
+            churn: false,
         }
+    }
+
+    /// Enables allocator churn: every update stages its write through a
+    /// scratch block allocated and freed within the same region, so the
+    /// run exercises `heap_alloc`/`heap_free` and crash recovery must
+    /// reclaim any in-flight scratch block. Off the figure path.
+    pub fn with_churn(mut self) -> Self {
+        self.churn = true;
+        self
     }
 
     fn record(&self, key: u64) -> Addr {
@@ -82,8 +93,8 @@ impl Workload for NStoreWorkload {
     }
 
     fn setup(&mut self, ctx: &mut FuncCtx) {
-        let mut bump = ctx.mem().layout().heap_region().bump();
-        self.table = bump.alloc_lines(RECORDS);
+        let mut heap = ctx.heap();
+        self.table = heap.alloc_lines(RECORDS);
         for key in 0..RECORDS {
             ctx.store(0, self.record(key).offset_words(F_VERSION), 1);
             ctx.store(
@@ -118,8 +129,20 @@ impl Workload for NStoreWorkload {
                 ctx.compute(tid, READ_COMPUTE);
             } else {
                 let version = rt.load(ctx, rec.offset_words(F_VERSION)) + 1;
-                rt.store(ctx, rec.offset_words(F_VERSION), version);
-                rt.store(ctx, rec.offset_words(F_VALUE), expected_value(key, version));
+                if self.churn {
+                    // Stage the update through a scratch block: allocated,
+                    // written, and freed inside this region, so the block
+                    // is live only while the region is in flight.
+                    let scratch = rt.heap_alloc(ctx, 1);
+                    rt.store(ctx, scratch, expected_value(key, version));
+                    let staged = rt.load(ctx, scratch);
+                    rt.store(ctx, rec.offset_words(F_VERSION), version);
+                    rt.store(ctx, rec.offset_words(F_VALUE), staged);
+                    rt.heap_free(ctx, scratch);
+                } else {
+                    rt.store(ctx, rec.offset_words(F_VERSION), version);
+                    rt.store(ctx, rec.offset_words(F_VALUE), expected_value(key, version));
+                }
                 ctx.compute(tid, WRITE_COMPUTE);
             }
         }

@@ -46,10 +46,10 @@ impl Workload for QueueWorkload {
     }
 
     fn setup(&mut self, ctx: &mut FuncCtx) {
-        let mut bump = ctx.mem().layout().heap_region().bump();
-        self.head = bump.alloc_lines(1);
-        self.tail = bump.alloc_lines(1);
-        self.slots = bump.alloc_lines(CAPACITY / 8);
+        let mut heap = ctx.heap();
+        self.head = heap.alloc_lines(1);
+        self.tail = heap.alloc_lines(1);
+        self.slots = heap.alloc_lines(CAPACITY / 8);
         // Zero-initialized memory is a valid empty queue. Pre-touch every
         // line so the steady-state phase runs against warm caches (the
         // paper's runs operate on pre-populated, resident structures).

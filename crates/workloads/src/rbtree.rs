@@ -26,6 +26,9 @@ const OP_COMPUTE: u32 = 2200;
 const KEY_SPACE: u64 = 10_000;
 /// Node-pool lines pre-touched at setup.
 const POOL_LINES: u64 = 4096;
+/// Node-pool arena carved from the allocator (one line per node; sized
+/// well past any run length this workload sees).
+const ARENA_LINES: u64 = 65_536;
 
 const F_KEY: u64 = 0;
 const F_VAL: u64 = 1;
@@ -444,11 +447,15 @@ impl Workload for RbTreeWorkload {
     }
 
     fn setup(&mut self, ctx: &mut FuncCtx) {
-        let mut bump = ctx.mem().layout().heap_region().bump();
-        self.root_ptr = bump.alloc_lines(1);
-        let nil = bump.alloc_lines(1);
-        self.nil = nil.raw();
-        self.pool_start = self.nil;
+        let pool = {
+            let mut heap = ctx.heap();
+            self.root_ptr = heap.alloc_lines(1);
+            let nil = heap.alloc_lines(1);
+            self.nil = nil.raw();
+            self.pool_start = self.nil;
+            heap.alloc_arena(ARENA_LINES)
+        };
+        let nil = Addr(self.nil);
         // The sentinel is black; its other fields are scratch.
         ctx.store(0, nil.offset_words(F_COLOR), BLACK);
         ctx.store(0, self.root_ptr, self.nil);
@@ -456,7 +463,7 @@ impl Workload for RbTreeWorkload {
         for i in 0..POOL_LINES {
             ctx.store(0, Addr(self.nil + 64 + i * 64), 0);
         }
-        self.pool = Some(bump);
+        self.pool = Some(pool);
     }
 
     fn run_region(

@@ -78,11 +78,11 @@ impl Workload for TpccWorkload {
     }
 
     fn setup(&mut self, ctx: &mut FuncCtx) {
-        let mut bump = ctx.mem().layout().heap_region().bump();
-        self.districts = bump.alloc_lines(DISTRICTS);
-        self.stock = bump.alloc_lines(ITEMS);
-        self.orders = bump.alloc_lines(DISTRICTS * MAX_ORDERS);
-        self.order_lines = bump.alloc_lines(DISTRICTS * MAX_ORDERS * MAX_LINES);
+        let mut heap = ctx.heap();
+        self.districts = heap.alloc_lines(DISTRICTS);
+        self.stock = heap.alloc_lines(ITEMS);
+        self.orders = heap.alloc_lines(DISTRICTS * MAX_ORDERS);
+        self.order_lines = heap.alloc_lines(DISTRICTS * MAX_ORDERS * MAX_LINES);
         for item in 0..ITEMS {
             ctx.store(0, self.stock_qty(item), INITIAL_STOCK);
         }

@@ -1,8 +1,18 @@
 //! Integration: crash-consistency campaigns for every workload × language
-//! model on the recoverable designs, plus the non-atomic counterexample.
+//! model on the recoverable designs, plus the non-atomic counterexample
+//! and the allocator-journal crash matrix (a crash at every persist point
+//! of a churning run must recover with zero leaked blocks).
+
+use std::collections::HashSet;
 
 use strandweaver::experiment::Experiment;
 use strandweaver::{BenchmarkId, HwDesign, LangModel};
+use sw_lang::recovery::{recover_with_policy, RecoveryPolicy};
+use sw_lang::HeapState;
+use sw_model::{crash, Pmo};
+use sw_pmem::{BlockKind, PmImage, PmLayout};
+use sw_workloads::driver::{drive, DriverParams};
+use sw_workloads::Workload;
 
 fn campaign(bench: BenchmarkId, lang: LangModel, design: HwDesign, regions: usize, rounds: usize) {
     Experiment::new(bench, lang, design)
@@ -109,6 +119,109 @@ fn nstore_survives_crashes() {
         16,
         8,
     );
+}
+
+/// Audits the allocator books of one crash image: `Strict` recovery must
+/// accept it, every pool must rebuild undamaged from PM metadata, every
+/// block reachable from the workload's persistent roots must be live in
+/// the rebuilt allocator (no use-after-free), and reclaiming unreachable
+/// dynamic blocks must leave zero leaks with exact accounting.
+fn audit_heap(image: &PmImage, layout: &PmLayout, workload: &dyn Workload, what: &str) {
+    let mut recovered = image.clone();
+    recover_with_policy(&mut recovered, layout, RecoveryPolicy::Strict)
+        .unwrap_or_else(|e| panic!("{what}: strict false positive: {e}"));
+    let (mut hs, rec) = HeapState::rebuild(&recovered, layout);
+    assert!(
+        rec.damaged_pools().is_empty(),
+        "{what}: natural crash damaged pools {:?}",
+        rec.damaged_pools()
+    );
+    let roots = workload.heap_roots(&recovered);
+    let live: HashSet<u64> = (0..hs.pool_count())
+        .flat_map(|p| {
+            hs.pool(p)
+                .live_blocks()
+                .map(|(off, _, _)| layout.pool_line_addr(p, off).raw())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for r in &roots {
+        assert!(
+            live.contains(&r.raw()),
+            "{what}: use-after-free, rooted block {:#x} is not live",
+            r.raw()
+        );
+    }
+    let rooted: HashSet<u64> = roots.iter().map(|a| a.raw()).collect();
+    hs.reclaim_unreachable(layout, &roots);
+    for p in 0..hs.pool_count() {
+        let leaked = hs
+            .pool(p)
+            .live_blocks()
+            .filter(|&(off, _, kind)| {
+                kind == BlockKind::Dynamic && !rooted.contains(&layout.pool_line_addr(p, off).raw())
+            })
+            .count();
+        assert_eq!(leaked, 0, "{what}: pool {p} leaks {leaked} blocks");
+        assert!(
+            hs.pool(p).accounting_exact(),
+            "{what}: pool {p} accounting does not balance"
+        );
+    }
+}
+
+#[test]
+fn allocator_journal_survives_a_crash_at_every_persist_point() {
+    // Churning workloads (run-time `heap_alloc`/`heap_free`) across the
+    // language models and recoverable designs. Single-threaded so the
+    // execution-order prefixes below are exactly the reachable crash
+    // states.
+    let cells = [
+        (BenchmarkId::Hashmap, LangModel::Txn, HwDesign::StrandWeaver),
+        (BenchmarkId::Hashmap, LangModel::Sfr, HwDesign::StrandWeaver),
+        (BenchmarkId::Hashmap, LangModel::Native, HwDesign::Eadr),
+        (BenchmarkId::NStoreWr, LangModel::Txn, HwDesign::IntelX86),
+        (BenchmarkId::NStoreWr, LangModel::Atlas, HwDesign::Hops),
+        (BenchmarkId::NStoreWr, LangModel::Native, HwDesign::Eadr),
+    ];
+    for (bench, lang, design) in cells {
+        let mut workload = bench.instantiate_churn().expect("churn benchmarks");
+        let mut params = DriverParams::new(design, lang)
+            .threads(1)
+            .total_regions(6)
+            .ops_per_region(1)
+            .seed(11);
+        params.log_entries = 256;
+        let out = drive(workload.as_mut(), &params);
+        let layout = &out.layout;
+        let pmo = Pmo::compute(&out.ctx.execution(), design.memory_model());
+        let n = pmo.num_stores();
+        assert!(
+            n > 0,
+            "{bench} {lang} {design}: churn run recorded no stores"
+        );
+        // Stepping a store-order prefix one store at a time crashes at
+        // EVERY persist point — including inside each of the eight word
+        // stores of every allocator-journal record (a mid-record cut must
+        // classify as a benign tear, never as corruption).
+        let mut in_set = vec![false; n];
+        for k in 0..=n {
+            if k > 0 {
+                in_set[k - 1] = true;
+            }
+            let state = crash::materialize(&pmo, &in_set);
+            let mut image = out.baseline.clone();
+            for (addr, value) in state {
+                image.store(addr, value);
+            }
+            audit_heap(
+                &image,
+                layout,
+                workload.as_ref(),
+                &format!("{bench} {lang} {design} cut {k}/{n}"),
+            );
+        }
+    }
 }
 
 #[test]

@@ -67,6 +67,49 @@ fn fault_campaign_covers_workloads() {
     }
 }
 
+/// Allocator-metadata damage across the matrix: every legal (language
+/// model × recoverable design) pair fully detects journal injections,
+/// Strict-rejects the fatal ones, and quarantines exactly the damaged
+/// pools under Salvage. Unlike the log campaign, even the log-free
+/// Native model has targets — setup carves are always journaled.
+#[test]
+fn heap_fault_campaign_covers_langs_and_designs() {
+    for lang in LangModel::ALL {
+        for design in HwDesign::ALL.into_iter().filter(|d| d.recoverable()) {
+            if lang.legal_on(design) {
+                let report = Experiment::new(BenchmarkId::Queue, lang, design)
+                    .threads(2)
+                    .total_regions(12)
+                    .ops_per_region(2)
+                    .run_heap_fault_campaign(6)
+                    .unwrap_or_else(|err| panic!("{lang} {design}: {err}"));
+                assert!(report.injected() > 0, "{lang} {design}: no targets");
+                assert!(
+                    report.fully_detected(),
+                    "{lang} {design}: {}",
+                    report.render()
+                );
+                assert_eq!(report.reconverged, report.rounds);
+            }
+        }
+    }
+}
+
+/// Churning workloads put run-time alloc/free records in the journal;
+/// the campaign must hold there too.
+#[test]
+fn heap_fault_campaign_covers_churn_workloads() {
+    for bench in [BenchmarkId::Hashmap, BenchmarkId::NStoreWr] {
+        let report = Experiment::new(bench, LangModel::Txn, HwDesign::StrandWeaver)
+            .threads(2)
+            .total_regions(12)
+            .ops_per_region(2)
+            .run_heap_fault_campaign(6)
+            .unwrap_or_else(|err| panic!("{bench}: {err}"));
+        assert!(report.fully_detected(), "{bench}: {}", report.render());
+    }
+}
+
 /// One region: which thread runs it and which (word, value) writes it does.
 type RegionPlan = (usize, Vec<(u64, u64)>);
 
