@@ -119,7 +119,7 @@ chaos_out=$("$SWCTL" chaos queue --lang txn --design strandweaver \
 chaos_field() { sed -n "s/.*\"$1\":\([0-9][0-9]*\).*/\1/p" <<<"$chaos_out"; }
 for k in faults.online.transient_failures faults.online.retries_succeeded \
          faults.online.permanent_errors faults.online.lines_remapped \
-         faults.online.reads_poisoned mce_traps; do
+         faults.online.reads_poisoned faults.online.spares_exhausted mce_traps; do
   v=$(chaos_field "$k")
   if [ -z "$v" ] || [ "$v" -lt 1 ]; then
     echo "ci: chaos smoke: $k did not fire (got '${v:-missing}'): $chaos_out" >&2
@@ -134,6 +134,29 @@ for probe in '"silent_corruptions":0' '"reconverged_strict":3' \
   fi
 done
 echo "chaos smoke ok"
+
+echo "== swctl serve (fixed-seed degraded-mode smoke) =="
+# Open-loop serving under the engineered chaos-under-load schedules: at
+# least one breaker must trip, spare-pool exhaustion must fail a shard
+# over, every quarantine's crash/recover leg must reconverge with zero
+# silent corruptions, and the JSON must round-trip byte-identically
+# through the in-workspace parser.
+serve_out=$("$SWCTL" serve queue --lang txn --design strandweaver \
+  --threads 2 --regions 24 --ops 2 --seed 1234 --json)
+serve_field() { sed -n "s/.*\"$1\":\([0-9][0-9]*\).*/\1/p" <<<"$serve_out"; }
+for k in breaker_trips failovers recovery_legs reconverged_salvage; do
+  v=$(serve_field "$k")
+  if [ -z "$v" ] || [ "$v" -lt 1 ]; then
+    echo "ci: serve smoke: $k did not fire (got '${v:-missing}'): $serve_out" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"silent_corruptions":0' <<<"$serve_out"; then
+  echo "ci: serve smoke: silent corruption reported: $serve_out" >&2
+  exit 1
+fi
+printf '%s\n' "$serve_out" | target/debug/examples/serve_roundtrip
+echo "serve smoke ok"
 
 echo "== swctl bench (perf trajectory + regression gate) =="
 # Fixed small scale so one pass finishes quickly on a 1-CPU container; the

@@ -8,6 +8,9 @@
 //! swctl faults <benchmark> [--rounds N] [--heap] [--json] [crash flags]
 //! swctl chaos  <benchmark> [--rounds N] [--sweep] [--json] [crash flags]
 //! swctl heap   <benchmark> [--churn] [--verify] [--json] [crash flags]
+//! swctl serve  <benchmark> [--sweep] [--shards N] [--requests N] [--load F]
+//!              [--arrival poisson|bursty] [--shed-policy drop-tail|deadline|token-bucket]
+//!              [--queue-depth N] [--deadline-factor N] [--no-faults] [run flags]
 //! swctl trace  <benchmark> [--out <file.json>] [--jsonl] [run flags]
 //! swctl litmus | fig1 | fig2 | table1
 //! swctl table2 [--json]
@@ -43,6 +46,17 @@
 //! sampled crash states must recover with every rooted block live and
 //! every unreachable in-flight allocation reclaimed — zero leaks.
 //!
+//! `serve` drives the benchmark as a fault-tolerant open-loop service:
+//! seeded Poisson/bursty arrivals at `--load` × calibrated capacity, a
+//! bounded per-shard admission queue with a pluggable shed policy,
+//! per-shard circuit breakers tripped by persist-retry exhaustion or
+//! MCEs, Salvage recovery on quarantine while survivors keep serving,
+//! and failover on spare-pool exhaustion. Reports p50/p99/p999 latency
+//! plus goodput/shed/timeout/failover counts; `--sweep` walks every
+//! legal design × lang pair across an offered-load grid. Every
+//! mid-serve crash/recover leg is checked for durable-set equality and
+//! PMO linear extension; violations embed a seeded reproducer.
+//!
 //! `chaos` runs the *online* device-fault campaign: the memory path takes
 //! randomized transient write failures (retried with backoff), permanent
 //! media errors (remapped to spare lines), and read poison (delivered as
@@ -54,46 +68,36 @@
 
 use strandweaver::experiment::Experiment;
 use strandweaver::{BenchmarkId, HwDesign, LangModel};
+use sw_bench::cli::{self, CliError, Flags};
 use sw_bench::{Scale, Target, TargetFilters};
+use sw_serve::{ArrivalKind, ServeConfig, ShedPolicy};
+
+/// Unwraps a strict-parse result, exiting 2 the way the shared parser's
+/// error asks: named message verbatim, or the full usage text.
+fn or_exit<T>(r: Result<T, CliError>) -> T {
+    r.unwrap_or_else(|e| match e {
+        CliError::Message(m) => {
+            eprintln!("{m}");
+            std::process::exit(2);
+        }
+        CliError::Usage => usage(),
+    })
+}
 
 fn parse_bench(s: &str) -> Option<BenchmarkId> {
-    BenchmarkId::ALL.into_iter().find(|b| b.label() == s)
+    cli::parse_bench(s)
 }
 
-/// Resolves a `--design` value, exiting with a named error (not the
-/// generic usage text) on an unknown label.
 fn parse_design(s: &str) -> HwDesign {
-    HwDesign::from_label(s).unwrap_or_else(|| {
-        eprintln!(
-            "unknown design '{s}' (valid: {})",
-            HwDesign::ALL.map(|d| d.label()).join(" ")
-        );
-        std::process::exit(2);
-    })
+    or_exit(cli::parse_design(s))
 }
 
-/// Resolves a `--lang` value, exiting with a named error (not the generic
-/// usage text) on an unknown label.
 fn parse_lang(s: &str) -> LangModel {
-    LangModel::from_label(s).unwrap_or_else(|| {
-        eprintln!(
-            "unknown lang '{s}' (valid: {})",
-            LangModel::ALL.map(|l| l.label()).join(" ")
-        );
-        std::process::exit(2);
-    })
+    or_exit(cli::parse_lang(s))
 }
 
-/// Rejects an illegal language model × hardware design combination (the
-/// log-free Native model requires an eADR-class design).
 fn check_legal(lang: LangModel, design: HwDesign) {
-    if !lang.legal_on(design) {
-        eprintln!(
-            "lang '{lang}' is not legal on design '{design}': it needs a design that \
-             persists stores at visibility (eADR-class)"
-        );
-        std::process::exit(2);
-    }
+    or_exit(cli::check_legal(lang, design));
 }
 
 fn usage() -> ! {
@@ -109,6 +113,12 @@ fn usage() -> ! {
          \n                     plus --json; --churn enables allocator churn where supported;\
          \n                     --verify runs the allocator leak smoke: crash, recover, reclaim,\
          \n                     assert zero leaks)\
+         \n  serve <benchmark>  fault-tolerant open-loop serving layer: seeded arrivals, bounded\
+         \n                     admission queue, per-shard circuit breakers, Salvage recovery on\
+         \n                     quarantine, failover on spare exhaustion; reports p50/p99/p999 and\
+         \n                     goodput/shed/timeout/failover (run flags plus --shards --requests\
+         \n                     --load --arrival --shed-policy --queue-depth --deadline-factor\
+         \n                     --no-faults; --sweep walks legal design x lang across a load grid)\
          \n  chaos <benchmark>  online device-fault chaos campaign: live transient/permanent/poison\
          \n                     faults with retry, remap, and MCE delivery; checks silent corruption,\
          \n                     PMO order, and crash reconvergence (crash flags plus --json;\
@@ -136,78 +146,8 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-struct Flags {
-    lang: LangModel,
-    design: HwDesign,
-    redo: bool,
-    threads: usize,
-    regions: usize,
-    ops: usize,
-    rounds: usize,
-    stats: bool,
-    json: bool,
-    jsonl: bool,
-    out: Option<String>,
-    sq: Option<usize>,
-    pq: Option<usize>,
-    seed: Option<u64>,
-}
-
 fn parse_flags(args: &[String]) -> Flags {
-    let scale = Scale::from_env();
-    let mut f = Flags {
-        lang: LangModel::Txn,
-        design: HwDesign::StrandWeaver,
-        redo: false,
-        threads: scale.threads,
-        regions: scale.regions,
-        ops: scale.ops_per_region,
-        rounds: 100,
-        stats: false,
-        json: false,
-        jsonl: false,
-        out: None,
-        sq: None,
-        pq: None,
-        seed: None,
-    };
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        let mut next = |name: &str| -> String {
-            it.next()
-                .unwrap_or_else(|| {
-                    eprintln!("{name} needs a value");
-                    std::process::exit(2)
-                })
-                .clone()
-        };
-        match a.as_str() {
-            "--lang" => f.lang = parse_lang(&next("--lang")),
-            "--design" => f.design = parse_design(&next("--design")),
-            "--redo" => f.redo = true,
-            "--stats" => f.stats = true,
-            "--json" => f.json = true,
-            "--jsonl" => f.jsonl = true,
-            "--out" => f.out = Some(next("--out")),
-            "--threads" => f.threads = next("--threads").parse().unwrap_or_else(|_| usage()),
-            "--regions" => f.regions = next("--regions").parse().unwrap_or_else(|_| usage()),
-            "--ops" => f.ops = next("--ops").parse().unwrap_or_else(|_| usage()),
-            "--rounds" => f.rounds = next("--rounds").parse().unwrap_or_else(|_| usage()),
-            "--sq" => f.sq = Some(next("--sq").parse().unwrap_or_else(|_| usage())),
-            "--pq" => f.pq = Some(next("--pq").parse().unwrap_or_else(|_| usage())),
-            "--seed" => f.seed = Some(next("--seed").parse().unwrap_or_else(|_| usage())),
-            other => {
-                eprintln!("unknown flag: {other}");
-                std::process::exit(2);
-            }
-        }
-    }
-    if f.threads == 0 || f.regions == 0 || f.ops == 0 {
-        eprintln!("--threads, --regions, and --ops must be at least 1");
-        std::process::exit(2);
-    }
-    check_legal(f.lang, f.design);
-    f
+    or_exit(cli::parse_flags(args))
 }
 
 fn experiment(bench: BenchmarkId, f: &Flags) -> Experiment {
@@ -429,11 +369,7 @@ fn dispatch() {
             // `--heap` retargets the campaign at allocator metadata; strip
             // it before the shared strict parser.
             let mut rest: Vec<String> = args[2..].to_vec();
-            let heap = rest
-                .iter()
-                .position(|a| a == "--heap")
-                .map(|i| rest.remove(i))
-                .is_some();
+            let heap = cli::take_switch(&mut rest, "--heap");
             let f = parse_flags(&rest);
             let e = experiment(bench, &f);
             let result = if heap {
@@ -461,16 +397,8 @@ fn dispatch() {
             };
             // `heap`-only switches, stripped before the strict parser.
             let mut rest: Vec<String> = args[2..].to_vec();
-            let churn = rest
-                .iter()
-                .position(|a| a == "--churn")
-                .map(|i| rest.remove(i))
-                .is_some();
-            let verify = rest
-                .iter()
-                .position(|a| a == "--verify")
-                .map(|i| rest.remove(i))
-                .is_some();
+            let churn = cli::take_switch(&mut rest, "--churn");
+            let verify = cli::take_switch(&mut rest, "--verify");
             let f = parse_flags(&rest);
             if verify {
                 match experiment(bench, &f).run_heap_smoke(f.rounds) {
@@ -509,11 +437,7 @@ fn dispatch() {
             // `--sweep` is chaos-only; strip it before the shared strict
             // parser so the other subcommands keep rejecting it.
             let mut rest: Vec<String> = args[2..].to_vec();
-            let sweep = rest
-                .iter()
-                .position(|a| a == "--sweep")
-                .map(|i| rest.remove(i))
-                .is_some();
+            let sweep = cli::take_switch(&mut rest, "--sweep");
             let f = parse_flags(&rest);
             if sweep {
                 match strandweaver::experiment::chaos_sweep(&experiment(bench, &f), f.rounds) {
@@ -542,6 +466,87 @@ fn dispatch() {
                         println!("{bench}: CHAOS CAMPAIGN FAILED — {e}");
                         std::process::exit(1);
                     }
+                }
+            }
+        }
+        "serve" => {
+            let Some(bench) = args.get(1).and_then(|s| parse_bench(s)) else {
+                usage()
+            };
+            // Serve-only flags, stripped before the shared strict parser.
+            let mut rest: Vec<String> = args[2..].to_vec();
+            let sweep = cli::take_switch(&mut rest, "--sweep");
+            let no_faults = cli::take_switch(&mut rest, "--no-faults");
+            let shards = or_exit(cli::take_value(&mut rest, "--shards"));
+            let requests = or_exit(cli::take_value(&mut rest, "--requests"));
+            let load = or_exit(cli::take_value(&mut rest, "--load"));
+            let arrival = or_exit(cli::take_value(&mut rest, "--arrival"));
+            let shed = or_exit(cli::take_value(&mut rest, "--shed-policy"));
+            let queue_depth = or_exit(cli::take_value(&mut rest, "--queue-depth"));
+            let deadline = or_exit(cli::take_value(&mut rest, "--deadline-factor"));
+            let f = parse_flags(&rest);
+
+            let mut cfg = ServeConfig::new(bench, f.lang, f.design);
+            cfg.redo = f.redo;
+            cfg.threads = f.threads;
+            cfg.regions = f.regions;
+            cfg.ops = f.ops;
+            cfg.faults = !no_faults;
+            if let Some(seed) = f.seed {
+                cfg.seed = seed;
+            }
+            if let Some(v) = shards {
+                cfg.shards = v.parse().unwrap_or_else(|_| usage());
+            }
+            if let Some(v) = requests {
+                cfg.requests = v.parse().unwrap_or_else(|_| usage());
+            }
+            if let Some(v) = load {
+                cfg.offered_load = v.parse().unwrap_or_else(|_| usage());
+            }
+            if let Some(v) = queue_depth {
+                cfg.queue_depth = v.parse().unwrap_or_else(|_| usage());
+            }
+            if let Some(v) = deadline {
+                cfg.deadline_factor = v.parse().unwrap_or_else(|_| usage());
+            }
+            if let Some(v) = arrival {
+                cfg.arrival = ArrivalKind::from_label(&v).unwrap_or_else(|| {
+                    or_exit(Err(CliError::Message(format!(
+                        "unknown arrival '{v}' (valid: {})",
+                        ArrivalKind::ALL.map(|k| k.label()).join(" ")
+                    ))))
+                });
+            }
+            if let Some(v) = shed {
+                cfg.shed = ShedPolicy::from_label(&v).unwrap_or_else(|| {
+                    or_exit(Err(CliError::Message(format!(
+                        "unknown shed policy '{v}' (valid: {})",
+                        ShedPolicy::ALL.map(|p| p.label()).join(" ")
+                    ))))
+                });
+            }
+            if cfg.shards == 0 || cfg.requests == 0 || cfg.offered_load <= 0.0 {
+                eprintln!("--shards, --requests, and --load must be positive");
+                std::process::exit(2);
+            }
+
+            let result = if sweep {
+                sw_serve::serve_sweep(&cfg)
+            } else {
+                sw_serve::serve_report(&cfg)
+            };
+            match result {
+                Ok(report) => {
+                    if f.json {
+                        println!("{}", report.to_json().render());
+                    } else {
+                        print!("{bench}: serve ok\n{}", report.render());
+                    }
+                }
+                Err(e) => {
+                    println!("{bench}: SERVE FAILED — {e}");
+                    std::process::exit(1);
                 }
             }
         }

@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod perf_report;
 pub mod targets;
 

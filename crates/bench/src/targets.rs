@@ -70,11 +70,13 @@ pub enum Target {
     Fig10,
     /// Cross-model summary (headline sweep + native bound).
     Summary,
+    /// Fault-tolerant open-loop serving cell (fixed seed, default knobs).
+    Serve,
 }
 
 impl Target {
     /// Every target, in presentation order.
-    pub const ALL: [Target; 9] = [
+    pub const ALL: [Target; 10] = [
         Target::Fig1,
         Target::Fig2,
         Target::Table1,
@@ -84,18 +86,20 @@ impl Target {
         Target::Fig9,
         Target::Fig10,
         Target::Summary,
+        Target::Serve,
     ];
 
     /// The targets `swctl bench` times: every simulation-heavy figure.
     /// (Figures 1/2 and Table I are litmus-scale or static and would only
     /// add noise to a performance trajectory.)
-    pub const BENCH: [Target; 6] = [
+    pub const BENCH: [Target; 7] = [
         Target::Fig7,
         Target::Fig8,
         Target::Fig9,
         Target::Fig10,
         Target::Table2,
         Target::Summary,
+        Target::Serve,
     ];
 
     /// The `swctl` subcommand label.
@@ -110,6 +114,7 @@ impl Target {
             Target::Fig9 => "fig9",
             Target::Fig10 => "fig10",
             Target::Summary => "summary",
+            Target::Serve => "serve",
         }
     }
 
@@ -226,6 +231,23 @@ impl Target {
                             .iter()
                             .map(|r| r.intel_txn + r.eadr_txn + r.eadr_native)
                             .sum::<u64>(),
+                }
+            }
+            Target::Serve => {
+                let design = filters.design.unwrap_or(HwDesign::StrandWeaver);
+                let lang = filters.lang.unwrap_or(LangModel::Txn);
+                let mut cfg =
+                    sw_serve::ServeConfig::new(strandweaver::BenchmarkId::NStoreBal, lang, design);
+                cfg.threads = scale.threads;
+                cfg.regions = scale.regions;
+                cfg.ops = scale.ops_per_region;
+                let report = sw_serve::serve_report(&cfg)
+                    .unwrap_or_else(|e| panic!("serve target invariant failure: {e}"));
+                TargetOutput {
+                    text: report.render(),
+                    json: Some(report.to_json()),
+                    events_processed: report.cells.iter().map(|c| c.events_processed).sum(),
+                    sim_cycles: report.cells.iter().map(|c| c.sim_cycles).sum(),
                 }
             }
         }

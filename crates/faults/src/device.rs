@@ -218,6 +218,9 @@ pub struct OnlineFaultStats {
     pub lines_remapped: u64,
     /// Reads that returned poisoned data.
     pub reads_poisoned: u64,
+    /// Retirements that found the spare pool empty: the device can no
+    /// longer serve the line and must be failed over by the caller.
+    pub spares_exhausted: u64,
 }
 
 impl OnlineFaultStats {
@@ -235,10 +238,11 @@ impl OnlineFaultStats {
         self.permanent_errors += other.permanent_errors;
         self.lines_remapped += other.lines_remapped;
         self.reads_poisoned += other.reads_poisoned;
+        self.spares_exhausted += other.spares_exhausted;
     }
 
     /// Stable `(key, value)` pairs for JSON/metric export.
-    pub fn entries(&self) -> [(&'static str, u64); 7] {
+    pub fn entries(&self) -> [(&'static str, u64); 8] {
         [
             ("transient_failures", self.transient_failures),
             ("retry_waits", self.retry_waits),
@@ -247,6 +251,7 @@ impl OnlineFaultStats {
             ("permanent_errors", self.permanent_errors),
             ("lines_remapped", self.lines_remapped),
             ("reads_poisoned", self.reads_poisoned),
+            ("spares_exhausted", self.spares_exhausted),
         ]
     }
 }
@@ -288,6 +293,13 @@ pub enum WriteDecision {
         next_at: u64,
         /// Failed attempts so far in this episode.
         attempts: u32,
+    },
+    /// The line needed retirement but the spare pool is empty: the
+    /// device has failed. The caller must fail the device (or shard)
+    /// over; subsequent writes to the line park in permanent backoff.
+    RemapExhausted {
+        /// The logical line the device can no longer serve.
+        line: u64,
     },
 }
 
@@ -402,19 +414,20 @@ impl DeviceFaultUnit {
                 }
             }
             None => {
-                // Spares exhausted: the device is failed; writes to this
-                // line park in permanent backoff rather than succeeding
-                // silently.
-                let next_at = u64::MAX;
+                // Spares exhausted: the device is failed. Surface a typed
+                // outcome (once per line) so the caller can fail the
+                // device over; subsequent writes to the line park in
+                // permanent backoff rather than succeeding silently.
+                self.stats.spares_exhausted += 1;
                 self.retry.insert(
                     line,
                     RetryState {
                         attempts: attempts.unwrap_or(0),
-                        next_at,
+                        next_at: u64::MAX,
                         sticky: true,
                     },
                 );
-                WriteDecision::Backoff { until: next_at }
+                WriteDecision::RemapExhausted { line }
             }
         }
     }
@@ -638,6 +651,9 @@ mod tests {
                     assert_eq!(remapped, Some((line, true)));
                     break line;
                 }
+                WriteDecision::RemapExhausted { .. } => {
+                    panic!("64 spares cannot exhaust here")
+                }
             }
             rounds += 1;
             assert!(rounds < 32, "sticky fault must converge to a remap");
@@ -741,11 +757,20 @@ mod tests {
             }])
         };
         let mut unit = DeviceFaultUnit::new(sched);
+        // The retirement itself surfaces a typed failure (exactly once)...
         assert_eq!(
             unit.on_write(5, 0),
+            WriteDecision::RemapExhausted { line: 5 }
+        );
+        let s = unit.stats();
+        assert_eq!(s.spares_exhausted, 1);
+        assert_eq!(s.lines_remapped, 0);
+        // ...and later writes to the line park in permanent backoff.
+        assert_eq!(
+            unit.on_write(5, 1),
             WriteDecision::Backoff { until: u64::MAX }
         );
-        assert_eq!(unit.stats().lines_remapped, 0);
+        assert_eq!(unit.stats().spares_exhausted, 1, "typed failure fires once");
         assert_eq!(unit.next_retry_at(), Some(u64::MAX));
     }
 
@@ -818,9 +843,15 @@ mod tests {
                                 WriteDecision::Proceed { .. } => break,
                                 WriteDecision::Fail { next_at, .. }
                                 | WriteDecision::Backoff { until: next_at } => cycle = next_at,
+                                WriteDecision::RemapExhausted { .. } => {
+                                    panic!("64 spares cannot exhaust here")
+                                }
                             }
                         }
                         line += 1;
+                    }
+                    WriteDecision::RemapExhausted { .. } => {
+                        panic!("64 spares cannot exhaust here")
                     }
                 }
                 cycle += 1;

@@ -32,8 +32,10 @@ fn entry_checksum(from: u64, to: u64) -> u64 {
 ///
 /// Spares are allocated sequentially from a dedicated spare range starting
 /// at `spare_base`; the table refuses to remap once the range is
-/// exhausted (the caller then reports the device as failed rather than
-/// silently reusing live lines).
+/// exhausted. Exhaustion is a first-class failure: the fault layer turns
+/// the `None` into a typed `RemapExhausted` outcome (with a trace event
+/// and a `faults.online.spares_exhausted` counter) so the layer above
+/// fails the device over rather than silently reusing live lines.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RemapTable {
     /// Insertion-ordered (from, to) pairs; order is the durable encoding
@@ -65,6 +67,11 @@ impl RemapTable {
     /// Returns `true` if no lines have been remapped.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Spare lines still available for retirement.
+    pub fn spares_left(&self) -> u64 {
+        self.spare_count - self.entries.len() as u64
     }
 
     /// Resolves a line through the table: the spare if `line` was retired,

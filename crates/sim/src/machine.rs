@@ -132,6 +132,7 @@ struct MachineMetrics {
     fault_retries: CounterId,
     fault_remaps: CounterId,
     fault_poisons: CounterId,
+    fault_spares_exhausted: CounterId,
 }
 
 /// The simulated machine, monomorphized over its design's persist engine.
@@ -277,6 +278,7 @@ impl<E: PersistEngine> SimMachine<E> {
         let fault_retries = reg.counter("faults.online.persist_retries");
         let fault_remaps = reg.counter("faults.online.lines_remapped");
         let fault_poisons = reg.counter("faults.online.reads_poisoned");
+        let fault_spares_exhausted = reg.counter("faults.online.spares_exhausted");
         self.metrics = Some(MachineMetrics {
             reg,
             pm_writes,
@@ -294,6 +296,7 @@ impl<E: PersistEngine> SimMachine<E> {
             fault_retries,
             fault_remaps,
             fault_poisons,
+            fault_spares_exhausted,
         });
     }
 
@@ -397,6 +400,18 @@ impl<E: PersistEngine> SimMachine<E> {
                 Some(ack_at)
             }
             WriteOutcome::QueueFull | WriteOutcome::RetryWait { .. } => None,
+            WriteOutcome::RemapExhausted { line } => {
+                // The device failed the line permanently: surface the
+                // typed event so the layer above can fail the device
+                // over (the write itself parks, exactly like RetryWait
+                // at u64::MAX).
+                if let Some(m) = self.metrics.as_mut() {
+                    m.reg.inc(m.fault_device);
+                    m.reg.inc(m.fault_spares_exhausted);
+                }
+                self.emit(TraceEvent::SparesExhausted { line: line.0 });
+                None
+            }
             WriteOutcome::Faulted { attempts, .. } => {
                 if attempts == 1 {
                     // First failure of the episode: the fault itself.

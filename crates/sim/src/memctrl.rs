@@ -42,6 +42,14 @@ pub enum WriteOutcome {
         /// Cycle at which the next retry is admitted.
         until: u64,
     },
+    /// The line needed retirement but the device's spare pool is empty:
+    /// the device has failed and the caller must fail it over. Subsequent
+    /// writes to the line surface as [`WriteOutcome::RetryWait`] parked at
+    /// `u64::MAX`.
+    RemapExhausted {
+        /// The logical line the device can no longer serve.
+        line: LineAddr,
+    },
 }
 
 impl WriteOutcome {
@@ -212,6 +220,9 @@ impl PmController {
             WriteDecision::Fail { next_at, attempts } => {
                 WriteOutcome::Faulted { next_at, attempts }
             }
+            WriteDecision::RemapExhausted { line } => WriteOutcome::RemapExhausted {
+                line: LineAddr(line),
+            },
         }
     }
 
@@ -443,6 +454,32 @@ mod tests {
         let remap = c.remap_table().expect("unit installed");
         assert_eq!(remap.resolve(LineAddr(9)), LineAddr(1 << 40));
         assert_eq!(c.online_stats().expect("unit").lines_remapped, 1);
+    }
+
+    #[test]
+    fn spare_exhaustion_surfaces_typed_outcome() {
+        use sw_faults::{DeviceFault, DeviceFaultClass, FaultTrigger};
+        let mut c = PmController::new(8, 192, 250, 692, 16);
+        c.install_faults(DeviceFaultSchedule {
+            spare_count: 0,
+            faults: vec![DeviceFault {
+                class: DeviceFaultClass::PermanentMediaError,
+                trigger: FaultTrigger::OnLine(9),
+                sticky: true,
+            }],
+            ..DeviceFaultSchedule::none()
+        });
+        assert_eq!(
+            c.try_write(LineAddr(9), 0),
+            WriteOutcome::RemapExhausted { line: LineAddr(9) }
+        );
+        // The write never became durable and the line is parked forever.
+        assert!(c.write_order.is_empty());
+        assert_eq!(
+            c.try_write(LineAddr(9), 1),
+            WriteOutcome::RetryWait { until: u64::MAX }
+        );
+        assert_eq!(c.online_stats().expect("unit").spares_exhausted, 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 
 use sw_faults::{
     DeviceFault, DeviceFaultClass, DeviceFaultSchedule, DeviceFaultUnit, FaultClass, FaultInjector,
-    FaultPlan, FaultTrigger, InjectedFault, InjectedHeapFault, OnlineFaultStats,
+    FaultPlan, FaultTrigger, InjectedFault, InjectedHeapFault, OnlineFaultStats, WriteDecision,
 };
 use sw_lang::harness::{
     check_prefix_consistency, check_replay_consistency, check_salvage_consistency,
@@ -990,6 +990,55 @@ impl Experiment {
                 ));
             }
             remap_prefix_checks += 1;
+
+            // --- Leg 3b: spare exhaustion must surface, not saturate. ---
+            // A one-spare device taking two permanent errors: the second
+            // retirement must return the typed `RemapExhausted` outcome
+            // and count it, never park the line silently.
+            let mut tiny = DeviceFaultSchedule::none();
+            tiny.spare_count = 1;
+            for l in [0x200u64, 0x201] {
+                tiny.faults.push(DeviceFault {
+                    class: DeviceFaultClass::PermanentMediaError,
+                    trigger: FaultTrigger::OnLine(l),
+                    sticky: true,
+                });
+            }
+            let mut unit = DeviceFaultUnit::new(tiny);
+            if !matches!(
+                unit.on_write(0x200, 8),
+                WriteDecision::Proceed {
+                    remapped: Some((_, true)),
+                    ..
+                }
+            ) {
+                return Err(fail(
+                    round,
+                    "first retirement failed to consume the spare".into(),
+                ));
+            }
+            if !matches!(
+                unit.on_write(0x201, 16),
+                WriteDecision::RemapExhausted { line: 0x201 }
+            ) {
+                return Err(fail(
+                    round,
+                    "spare exhaustion saturated silently instead of surfacing \
+                     a RemapExhausted outcome"
+                        .into(),
+                ));
+            }
+            let exhausted = unit.stats();
+            if exhausted.spares_exhausted != 1 {
+                return Err(fail(
+                    round,
+                    format!(
+                        "spares_exhausted counted {} events, expected 1",
+                        exhausted.spares_exhausted
+                    ),
+                ));
+            }
+            online.spares_exhausted += exhausted.spares_exhausted;
         }
 
         // --- MCE leg: poisoned-read delivery under both policies. ---
@@ -1121,7 +1170,11 @@ fn heap_fault_matches(f: &InjectedHeapFault, d: &RecoveryFault) -> bool {
 /// one-to-one onto formal stores (same-line stores share flushes), so
 /// edges touching multiply-accepted lines are skipped. Returns the number
 /// of edges verified; errors on the first violation.
-fn order_extends_pmo(pmo: &Pmo, order: &[LineAddr]) -> Result<usize, String> {
+///
+/// Public so other harnesses (the `sw-serve` serving layer's mid-serve
+/// crash/recover legs) can hold their acceptance orders to the same
+/// linear-extension bar as the chaos campaign.
+pub fn order_extends_pmo(pmo: &Pmo, order: &[LineAddr]) -> Result<usize, String> {
     let mut count = std::collections::HashMap::new();
     let mut first_pos = std::collections::HashMap::new();
     for (pos, line) in order.iter().enumerate() {

@@ -218,6 +218,12 @@ pub enum TraceEvent {
         /// Spare (physical) line now backing it.
         to: u64,
     },
+    /// A line needed retirement but the spare pool was empty: the device
+    /// has failed and the layer above must fail it over.
+    SparesExhausted {
+        /// Logical line the device can no longer serve.
+        line: u64,
+    },
     /// The persistent allocator handed out a heap block.
     HeapAlloc {
         /// Heap pool the block came from.
@@ -303,6 +309,7 @@ impl TraceEvent {
             TraceEvent::DeviceFault { .. } => "device_fault",
             TraceEvent::PersistRetried { .. } => "persist_retried",
             TraceEvent::LineRemapped { .. } => "line_remapped",
+            TraceEvent::SparesExhausted { .. } => "spares_exhausted",
             TraceEvent::HeapAlloc { .. } => "heap_alloc",
             TraceEvent::HeapFree { .. } => "heap_free",
             TraceEvent::HeapCheckpoint { .. } => "heap_checkpoint",
@@ -421,6 +428,9 @@ impl TimedEvent {
                 push("from", Json::U64(from));
                 push("to", Json::U64(to));
             }
+            TraceEvent::SparesExhausted { line } => {
+                push("line", Json::U64(line));
+            }
             TraceEvent::HeapAlloc {
                 pool,
                 off,
@@ -532,6 +542,7 @@ mod tests {
             }
             .kind(),
             TraceEvent::PoolSalvaged { pool: 0, faults: 1 }.kind(),
+            TraceEvent::SparesExhausted { line: 0 }.kind(),
         ];
         let mut dedup = kinds.to_vec();
         dedup.sort_unstable();

@@ -202,6 +202,27 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Value at quantile `q` in `[0, 1]`, estimated from the power-of-two
+    /// buckets: the upper edge of the bucket holding the `q`-th sample,
+    /// capped at [`max`](Self::max). Rounding up to the bucket edge makes
+    /// tail quantiles (p99, p999) conservative — the estimate never
+    /// under-reports latency. Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i == 0 { 1 } else { (1u64 << (i + 1)) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
 }
 
 /// A frozen view of a [`MetricsRegistry`], suitable for embedding in run
@@ -306,6 +327,27 @@ mod tests {
         reg.inc(c);
         reg.add(c, 4);
         assert_eq!(reg.snapshot().counter("sim.pq.enqueues"), Some(5));
+    }
+
+    #[test]
+    fn quantile_reads_bucket_upper_edges() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        // 90 fast samples in [2, 4), 9 in [64, 128), one slow outlier.
+        for _ in 0..90 {
+            reg.observe(h, 3);
+        }
+        for _ in 0..9 {
+            reg.observe(h, 100);
+        }
+        reg.observe(h, 5000);
+        let snap = reg.snapshot();
+        let lat = snap.histogram("lat").expect("registered");
+        assert_eq!(lat.quantile(0.5), 3); // bucket [2,4) upper edge
+        assert_eq!(lat.quantile(0.99), 127); // bucket [64,128) upper edge
+        assert_eq!(lat.quantile(0.999), 5000); // capped at max
+        assert_eq!(lat.quantile(1.0), 5000);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
     }
 
     #[test]

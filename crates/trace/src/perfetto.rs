@@ -340,6 +340,16 @@ pub fn chrome_trace(events: &[TimedEvent]) -> Json {
                     ],
                 ));
             }
+            TraceEvent::SparesExhausted { line } => {
+                saw_faults = true;
+                out.push(instant(
+                    ts,
+                    TID_FAULTS,
+                    "spares_exhausted",
+                    "fault",
+                    vec![("line".to_string(), Json::U64(line))],
+                ));
+            }
             TraceEvent::HeapAlloc {
                 pool,
                 off,

@@ -1,0 +1,36 @@
+//! CI helper: read a `swctl serve --json` document from stdin, parse it
+//! with the strict in-workspace parser, and verify that re-rendering the
+//! parsed report reproduces the input byte for byte.
+//!
+//! Run with: `swctl serve queue --json | cargo run --example serve_roundtrip`
+
+use std::io::Read;
+
+use sw_serve::ServeReport;
+
+fn main() {
+    let mut input = String::new();
+    std::io::stdin()
+        .read_to_string(&mut input)
+        .expect("read stdin");
+    let input = input.trim_end();
+    let report = match ServeReport::parse(input) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve JSON failed to parse: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rendered = report.to_json().render();
+    if rendered != input {
+        eprintln!("serve JSON round trip is not byte-identical");
+        std::process::exit(1);
+    }
+    println!(
+        "serve JSON round trip ok: {} cells, {} breaker trips, {} failovers, {} silent corruptions",
+        report.cells.len(),
+        report.breaker_trips(),
+        report.failovers(),
+        report.silent_corruptions()
+    );
+}
